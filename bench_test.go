@@ -1,0 +1,330 @@
+// Benchmark harness regenerating every figure of the paper's evaluation
+// plus the Sec. 5 timing claim. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison. Run with:
+//
+//	go test -bench=. -benchmem .
+package muppet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"muppet"
+	"muppet/internal/boolcirc"
+	"muppet/internal/encode"
+	"muppet/internal/envelope"
+	"muppet/internal/relational"
+	"muppet/internal/sat"
+)
+
+// walkthrough loads the Sec. 3 / Fig. 1 scenario.
+type walkthrough struct {
+	sys      *muppet.System
+	bundle   *muppet.Bundle
+	k8sGoals []muppet.K8sGoal
+	strict   []muppet.IstioGoal
+	relaxed  []muppet.IstioGoal
+}
+
+func loadWalkthrough(b testing.TB) *walkthrough {
+	b.Helper()
+	bundle, err := muppet.LoadFiles(
+		"testdata/fig1/mesh.yaml",
+		"testdata/fig1/k8s_current.yaml",
+		"testdata/fig1/istio_current.yaml",
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := muppet.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies,
+		[]int{23, 24, 25, 26, 10000, 12000, 14000, 16000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &walkthrough{sys: sys, bundle: bundle}
+	if w.k8sGoals, err = muppet.LoadK8sGoals("testdata/fig1/k8s_goals.csv"); err != nil {
+		b.Fatal(err)
+	}
+	if w.strict, err = muppet.LoadIstioGoals("testdata/fig1/istio_goals.csv"); err != nil {
+		b.Fatal(err)
+	}
+	if w.relaxed, err = muppet.LoadIstioGoals("testdata/fig1/istio_goals_revised.csv"); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func (w *walkthrough) parties(b testing.TB, istioGoals []muppet.IstioGoal, k8sOffer, istioOffer muppet.Offer) (*muppet.Party, *muppet.Party) {
+	b.Helper()
+	k8sParty, _, err := muppet.NewK8sParty(w.sys, w.bundle.K8s, k8sOffer, w.k8sGoals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	istioParty, _, err := muppet.NewIstioParty(w.sys, w.bundle.Istio, istioOffer, istioGoals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k8sParty, istioParty
+}
+
+// BenchmarkFig5Envelope regenerates the paper's Figure 5: computing
+// E_{K8s→Istio} for the port-23 ban against the current K8s configuration.
+func BenchmarkFig5Envelope(b *testing.B) {
+	w := loadWalkthrough(b)
+	for i := 0; i < b.N; i++ {
+		k8sParty, istioParty := w.parties(b, nil, muppet.Offer{}, muppet.AllSoft())
+		env := muppet.ComputeEnvelope(w.sys, istioParty, []*muppet.Party{k8sParty})
+		if env.Trivial() {
+			b.Fatal("Fig. 5 envelope must be non-trivial")
+		}
+	}
+}
+
+// BenchmarkFig6Monolithic regenerates the Figure 6 baseline: one-shot
+// synthesis over the union of conflicting goals, which fails (Sec. 2).
+func BenchmarkFig6Monolithic(b *testing.B) {
+	w := loadWalkthrough(b)
+	for i := 0; i < b.N; i++ {
+		k8sParty, istioParty := w.parties(b, w.strict, muppet.AllHoles(), muppet.AllHoles())
+		res := muppet.SynthesizeMonolithic(w.sys, []*muppet.Party{k8sParty, istioParty})
+		if res.OK {
+			b.Fatal("monolithic baseline must fail on the conflict")
+		}
+	}
+}
+
+// BenchmarkAlg1LocalConsistency regenerates Algorithm 1 on the provider's
+// offer.
+func BenchmarkAlg1LocalConsistency(b *testing.B) {
+	w := loadWalkthrough(b)
+	for i := 0; i < b.N; i++ {
+		k8sParty, istioParty := w.parties(b, nil, muppet.Offer{}, muppet.AllHoles())
+		res := muppet.LocalConsistency(w.sys, k8sParty, []*muppet.Party{istioParty})
+		if !res.OK {
+			b.Fatal("provider must be consistent")
+		}
+	}
+}
+
+// BenchmarkAlg2Reconcile regenerates Algorithm 2 on the reconcilable
+// (Fig. 4) goal pair.
+func BenchmarkAlg2Reconcile(b *testing.B) {
+	w := loadWalkthrough(b)
+	for i := 0; i < b.N; i++ {
+		k8sParty, istioParty := w.parties(b, w.relaxed, muppet.AllSoft(), muppet.AllSoft())
+		res := muppet.Reconcile(w.sys, []*muppet.Party{k8sParty, istioParty})
+		if !res.OK {
+			b.Fatal("Fig. 4 goals must reconcile")
+		}
+	}
+}
+
+// BenchmarkFig7Conformance regenerates the Figure 7 workflow end to end.
+func BenchmarkFig7Conformance(b *testing.B) {
+	w := loadWalkthrough(b)
+	for i := 0; i < b.N; i++ {
+		provider, tenant := w.parties(b, w.relaxed, muppet.Offer{}, muppet.AllSoft())
+		out := muppet.RunConformance(w.sys, provider, tenant)
+		if !out.Reconciled {
+			b.Fatal("conformance must succeed")
+		}
+	}
+}
+
+// BenchmarkFig8MinimalEdit regenerates the Figure 8 revision aid: minimal
+// edit of the tenant's offer against the received envelope plus its goals.
+func BenchmarkFig8MinimalEdit(b *testing.B) {
+	w := loadWalkthrough(b)
+	k8sParty, istioParty := w.parties(b, w.relaxed, muppet.Offer{}, muppet.AllSoft())
+	env := muppet.ComputeEnvelope(w.sys, istioParty, []*muppet.Party{k8sParty})
+	constraints := append([]relational.Formula{env.Formula()}, istioParty.GoalFormulas()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := muppet.MinimalEdit(w.sys, istioParty, constraints, k8sParty)
+		if !res.OK {
+			b.Fatal("minimal edit must exist")
+		}
+	}
+}
+
+// BenchmarkFig9Negotiation regenerates the Figure 9 workflow: the pushed
+// ban, a flexible tenant, round-robin to reconciliation.
+func BenchmarkFig9Negotiation(b *testing.B) {
+	w := loadWalkthrough(b)
+	banned := &muppet.K8sConfig{Policies: []*muppet.NetworkPolicy{{
+		Name:             "cluster-default",
+		IngressDenyPorts: []int{23},
+	}}}
+	for i := 0; i < b.N; i++ {
+		k8sParty, _, err := muppet.NewK8sParty(w.sys, banned, muppet.Offer{}, w.k8sGoals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		istioParty, _, err := muppet.NewIstioParty(w.sys, w.bundle.Istio, muppet.AllSoft(), w.relaxed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := muppet.NewNegotiation(w.sys, k8sParty, istioParty).Run()
+		if !out.Reconciled {
+			b.Fatal("negotiation must succeed")
+		}
+	}
+}
+
+// BenchmarkScalingSweep reproduces the Sec. 5 claim ("all queries made in
+// modest scenarios … finish in under 1 second") across scenario sizes: for
+// each size, the three query kinds the workflows issue — local
+// consistency, envelope computation, and reconciliation — are timed
+// separately. ns/op per sub-benchmark is the per-query latency.
+func BenchmarkScalingSweep(b *testing.B) {
+	sizes := []struct {
+		services, flows, bans int
+	}{
+		{3, 4, 1},
+		{6, 6, 1},
+		{12, 12, 2},
+		{24, 24, 2},
+	}
+	for _, size := range sizes {
+		sc := muppet.GenerateScenario(muppet.ScenarioParams{
+			Services:        size.services,
+			PortsPerService: 2,
+			Flows:           size.flows,
+			BannedPorts:     size.bans,
+			Seed:            42,
+		})
+		sys, err := sc.System()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk := func(tb testing.TB) (*muppet.Party, *muppet.Party) {
+			k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), sc.K8sGoals)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return k8sParty, istioParty
+		}
+		prefix := fmt.Sprintf("services=%d", size.services)
+		b.Run(prefix+"/consistency", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k8sParty, istioParty := mk(b)
+				if res := muppet.LocalConsistency(sys, k8sParty, []*muppet.Party{istioParty}); !res.OK {
+					b.Fatal("must be consistent")
+				}
+			}
+		})
+		b.Run(prefix+"/envelope", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k8sParty, istioParty := mk(b)
+				if env := muppet.ComputeEnvelope(sys, istioParty, []*muppet.Party{k8sParty}); env.Trivial() {
+					b.Fatal("envelope must be non-trivial")
+				}
+			}
+		})
+		b.Run(prefix+"/reconcile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k8sParty, istioParty := mk(b)
+				if res := muppet.Reconcile(sys, []*muppet.Party{k8sParty, istioParty}); !res.OK {
+					b.Fatal("must reconcile")
+				}
+			}
+		})
+	}
+}
+
+// --- ablations (DESIGN.md Sec. 6) ---
+
+// fig1Problem builds the reconcilable Fig. 1 problem at the relational
+// level so solver/factory options can be varied.
+func fig1Problem(b testing.TB) (*encode.System, relational.Formula, *relational.Bounds) {
+	b.Helper()
+	w := loadWalkthrough(b)
+	sys := w.sys
+	fk, err := sys.CompileK8sGoals(w.k8sGoals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fi, err := sys.CompileIstioGoals(w.relaxed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := sys.NewBounds()
+	sys.BindK8s(bounds, &muppet.K8sConfig{}, muppet.AllHoles())
+	sys.BindIstio(bounds, &muppet.IstioConfig{}, muppet.AllHoles())
+	return sys, relational.And(fk, fi), bounds
+}
+
+func benchSolveWith(b *testing.B, satOpts sat.Options, circOpts boolcirc.Options) {
+	_, f, bounds := fig1Problem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss := relational.NewSessionWith(bounds,
+			boolcirc.NewWithOptions(circOpts),
+			sat.NewWithOptions(satOpts))
+		ss.Assert(f)
+		if ss.Solve() != sat.Sat {
+			b.Fatal("expected SAT")
+		}
+	}
+}
+
+// BenchmarkAblationDefault is the reference configuration.
+func BenchmarkAblationDefault(b *testing.B) {
+	benchSolveWith(b, sat.Options{}, boolcirc.Options{})
+}
+
+// BenchmarkAblationNoLearning disables CDCL clause learning.
+func BenchmarkAblationNoLearning(b *testing.B) {
+	benchSolveWith(b, sat.Options{DisableLearning: true}, boolcirc.Options{})
+}
+
+// BenchmarkAblationNaivePropagation replaces two-watched-literal
+// propagation with occurrence-list scans.
+func BenchmarkAblationNaivePropagation(b *testing.B) {
+	benchSolveWith(b, sat.Options{NaivePropagation: true}, boolcirc.Options{})
+}
+
+// BenchmarkAblationNoRestarts disables Luby restarts.
+func BenchmarkAblationNoRestarts(b *testing.B) {
+	benchSolveWith(b, sat.Options{DisableRestarts: true}, boolcirc.Options{})
+}
+
+// BenchmarkAblationNoHashCons disables structural sharing in the circuit
+// factory.
+func BenchmarkAblationNoHashCons(b *testing.B) {
+	benchSolveWith(b, sat.Options{}, boolcirc.Options{NoHashCons: true})
+}
+
+// BenchmarkAblationEnvelopeNoSimplify computes the Fig. 5 envelope without
+// the elementary-simplification pass, reporting size and leakage through
+// custom metrics.
+func BenchmarkAblationEnvelopeNoSimplify(b *testing.B) {
+	w := loadWalkthrough(b)
+	sys := w.sys
+	fk, err := sys.CompileK8sGoals(w.k8sGoals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sender := sys.SenderTupleSets(w.bundle.K8s, nil, nil)
+	for _, mode := range []struct {
+		name string
+		opts envelope.Options
+	}{
+		{"simplify", envelope.Options{Shared: sys.SharedTupleSets()}},
+		{"raw", envelope.Options{NoSimplify: true, Shared: sys.SharedTupleSets()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var env *envelope.Envelope
+			for i := 0; i < b.N; i++ {
+				env = envelope.Compute("K8s", "Istio",
+					[]relational.Formula{fk}, sender, sys.IstioRelations(), sys.Universe, mode.opts)
+			}
+			b.ReportMetric(float64(env.Size()), "nodes")
+			b.ReportMetric(float64(len(env.LeakedAtoms())), "leaked-atoms")
+		})
+	}
+}

@@ -1,0 +1,406 @@
+// Command muppet is the CLI front end for the solver-aided multi-party
+// configuration toolkit. It mirrors the paper's workflows:
+//
+//	muppet check      — local consistency of one party's offer (Alg. 1)
+//	muppet envelope   — compute and print E_{A→B} (Alg. 3, Fig. 5)
+//	muppet reconcile  — reconcile all offers (Alg. 2)
+//	muppet conform    — the conformance workflow (Fig. 7)
+//	muppet negotiate  — the negotiation workflow (Fig. 9)
+//	muppet eval       — evaluate one flow under concrete configurations
+//
+// System structure and current configurations come from YAML files (K8s
+// Services and NetworkPolicies, Istio AuthorizationPolicies); goals come
+// from CSV tables (see package goals for the format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"muppet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "check":
+		err = runCheck(args)
+	case "envelope":
+		err = runEnvelope(args)
+	case "reconcile":
+		err = runReconcile(args)
+	case "conform":
+		err = runConform(args)
+	case "negotiate":
+		err = runNegotiate(args)
+	case "eval":
+		err = runEval(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "muppet: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muppet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: muppet <command> [flags]
+
+commands:
+  check      local consistency of one party's offer (Alg. 1)
+  envelope   compute an envelope between parties (Alg. 3)
+  reconcile  reconcile all parties' offers (Alg. 2)
+  conform    run the conformance workflow (Fig. 7)
+  negotiate  run the negotiation workflow (Fig. 9)
+  eval       evaluate a single flow under the loaded configurations
+
+common flags:
+  -files        comma-separated YAML files (Services, NetworkPolicies,
+                AuthorizationPolicies)
+  -k8s-goals    CSV file with K8s goals (port,perm,selector)
+  -istio-goals  CSV file with Istio goals (src,dst,srcPort,dstPort[,perm])
+  -k8s-offer    fixed|soft|holes (default fixed)
+  -istio-offer  fixed|soft|holes (default soft)
+  -ports        comma-separated extra ports for the inventory
+`)
+}
+
+// inputs gathers the flags shared by all workflow commands.
+type inputs struct {
+	files      string
+	k8sGoals   string
+	istioGoals string
+	k8sOffer   string
+	istioOffer string
+	ports      string
+}
+
+func (in *inputs) register(fs *flag.FlagSet) {
+	fs.StringVar(&in.files, "files", "", "comma-separated YAML files")
+	fs.StringVar(&in.k8sGoals, "k8s-goals", "", "K8s goals CSV")
+	fs.StringVar(&in.istioGoals, "istio-goals", "", "Istio goals CSV")
+	fs.StringVar(&in.k8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
+	fs.StringVar(&in.istioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
+	fs.StringVar(&in.ports, "ports", "", "extra ports, comma-separated")
+}
+
+type session struct {
+	sys        *muppet.System
+	k8sParty   *muppet.Party
+	k8sState   *muppet.K8sPartyState
+	istioParty *muppet.Party
+	istioState *muppet.IstioPartyState
+}
+
+func (in *inputs) load() (*session, error) {
+	if in.files == "" {
+		return nil, fmt.Errorf("-files is required")
+	}
+	bundle, err := muppet.LoadFiles(strings.Split(in.files, ",")...)
+	if err != nil {
+		return nil, err
+	}
+	var kg []muppet.K8sGoal
+	if in.k8sGoals != "" {
+		if kg, err = muppet.LoadK8sGoals(in.k8sGoals); err != nil {
+			return nil, err
+		}
+	}
+	var ig []muppet.IstioGoal
+	if in.istioGoals != "" {
+		if ig, err = muppet.LoadIstioGoals(in.istioGoals); err != nil {
+			return nil, err
+		}
+	}
+	extra, err := parsePorts(in.ports)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range kg {
+		extra = append(extra, g.Port)
+	}
+	for _, g := range ig {
+		for _, t := range []muppet.PortTerm{g.SrcPort, g.DstPort} {
+			if t.Kind == muppet.PortLit {
+				extra = append(extra, t.Port)
+			}
+		}
+	}
+	sys, err := muppet.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies, extra)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{sys: sys}
+	k8sOffer, err := parseOffer(in.k8sOffer)
+	if err != nil {
+		return nil, err
+	}
+	istioOffer, err := parseOffer(in.istioOffer)
+	if err != nil {
+		return nil, err
+	}
+	if s.k8sParty, s.k8sState, err = muppet.NewK8sParty(sys, bundle.K8s, k8sOffer, kg); err != nil {
+		return nil, err
+	}
+	if s.istioParty, s.istioState, err = muppet.NewIstioParty(sys, bundle.Istio, istioOffer, ig); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseOffer(s string) (muppet.Offer, error) {
+	switch s {
+	case "fixed", "":
+		return muppet.Offer{}, nil
+	case "soft":
+		return muppet.AllSoft(), nil
+	case "holes":
+		return muppet.AllHoles(), nil
+	}
+	return muppet.Offer{}, fmt.Errorf("bad offer mode %q (want fixed|soft|holes)", s)
+}
+
+func parsePorts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad port %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (s *session) party(name string) (*muppet.Party, error) {
+	switch strings.ToLower(name) {
+	case "k8s", "kubernetes":
+		return s.k8sParty, nil
+	case "istio":
+		return s.istioParty, nil
+	}
+	return nil, fmt.Errorf("unknown party %q (want k8s or istio)", name)
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	party := fs.String("party", "k8s", "party to check: k8s|istio")
+	fs.Parse(args)
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	subject, err := s.party(*party)
+	if err != nil {
+		return err
+	}
+	other := s.istioParty
+	if subject == s.istioParty {
+		other = s.k8sParty
+	}
+	res := muppet.LocalConsistency(s.sys, subject, []*muppet.Party{other})
+	if !res.OK {
+		fmt.Println("INCONSISTENT")
+		fmt.Println(res.Feedback)
+		os.Exit(1)
+	}
+	fmt.Println("CONSISTENT")
+	for _, e := range res.Edits {
+		fmt.Println("  soft edit:", e)
+	}
+	return nil
+}
+
+func runEnvelope(args []string) error {
+	fs := flag.NewFlagSet("envelope", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	from := fs.String("from", "k8s", "sender party")
+	to := fs.String("to", "istio", "recipient party")
+	leakage := fs.Bool("leakage", false, "also print the leaked atoms")
+	english := fs.Bool("english", false, "also print a prose rendering")
+	fs.Parse(args)
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	sender, err := s.party(*from)
+	if err != nil {
+		return err
+	}
+	recipient, err := s.party(*to)
+	if err != nil {
+		return err
+	}
+	env := muppet.ComputeEnvelope(s.sys, recipient, []*muppet.Party{sender})
+	fmt.Print(env)
+	if env.Unsatisfiable() {
+		fmt.Println("// WARNING: unsatisfiable — the sender's own settings defeat its goals")
+	}
+	if *english {
+		fmt.Println()
+		fmt.Print(muppet.EnglishEnvelope(s.sys, env))
+	}
+	if *leakage {
+		fmt.Println("// leaked atoms:", strings.Join(env.LeakedAtoms(), ", "))
+	}
+	return nil
+}
+
+func runReconcile(args []string) error {
+	fs := flag.NewFlagSet("reconcile", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	fs.Parse(args)
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	res := muppet.Reconcile(s.sys, []*muppet.Party{s.k8sParty, s.istioParty})
+	if !res.OK {
+		fmt.Println("CANNOT RECONCILE")
+		fmt.Println(res.Feedback)
+		os.Exit(1)
+	}
+	s.k8sParty.Adopt(res.Instance)
+	s.istioParty.Adopt(res.Instance)
+	fmt.Println("RECONCILED")
+	for _, e := range res.Edits {
+		fmt.Println("  soft edit:", e)
+	}
+	fmt.Println("--- K8s configuration ---")
+	fmt.Print(s.k8sParty.Describe())
+	fmt.Println("--- Istio configuration ---")
+	fmt.Print(s.istioParty.Describe())
+	return nil
+}
+
+func runConform(args []string) error {
+	fs := flag.NewFlagSet("conform", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	provider := fs.String("provider", "k8s", "inflexible provider party")
+	fs.Parse(args)
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	prov, err := s.party(*provider)
+	if err != nil {
+		return err
+	}
+	tenant := s.istioParty
+	if prov == s.istioParty {
+		tenant = s.k8sParty
+	}
+	out := muppet.RunConformance(s.sys, prov, tenant)
+	fmt.Printf("provider locally consistent: %v\n", out.ProviderConsistent)
+	if out.Envelope != nil {
+		fmt.Print(out.Envelope)
+	}
+	if len(out.Edits) > 0 {
+		fmt.Println("tenant revision edits:")
+		for _, e := range out.Edits {
+			fmt.Println("  ", e)
+		}
+	}
+	if !out.Reconciled {
+		fmt.Printf("FAILED at %s\n%s\n", out.FailedStep, out.Feedback)
+		os.Exit(1)
+	}
+	fmt.Println("CONFORMED")
+	fmt.Println("--- delivered tenant configuration ---")
+	fmt.Print(tenant.Describe())
+	return nil
+}
+
+func runNegotiate(args []string) error {
+	fs := flag.NewFlagSet("negotiate", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
+	fs.Parse(args)
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	n := muppet.NewNegotiation(s.sys, s.k8sParty, s.istioParty)
+	if *rounds > 0 {
+		n.MaxRounds = *rounds
+	}
+	out := n.Run()
+	if out.InitialReconcile {
+		fmt.Println("initial offers reconciled immediately")
+	}
+	for _, r := range out.Rounds {
+		fmt.Printf("round %d: %s ", r.Round, r.Party)
+		switch {
+		case r.Stuck:
+			fmt.Println("is stuck — administrators must talk")
+		case r.ConformedAlready:
+			fmt.Println("already conforms")
+		case r.Revised:
+			fmt.Printf("revised with %d edits\n", len(r.Edits))
+		}
+		if r.Reconciled {
+			fmt.Println("  → reconciled")
+		}
+	}
+	if !out.Reconciled {
+		fmt.Printf("NEGOTIATION FAILED\n%s\n", out.Feedback)
+		os.Exit(1)
+	}
+	fmt.Println("NEGOTIATED")
+	fmt.Println("--- K8s configuration ---")
+	fmt.Print(s.k8sParty.Describe())
+	fmt.Println("--- Istio configuration ---")
+	fmt.Print(s.istioParty.Describe())
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	src := fs.String("src", "", "source service")
+	dst := fs.String("dst", "", "destination service")
+	port := fs.Int("port", 0, "destination port")
+	fs.Parse(args)
+	if *src == "" || *dst == "" || *port == 0 {
+		return fmt.Errorf("eval needs -src, -dst and -port")
+	}
+	if in.files == "" {
+		return fmt.Errorf("-files is required")
+	}
+	bundle, err := muppet.LoadFiles(strings.Split(in.files, ",")...)
+	if err != nil {
+		return err
+	}
+	v := muppet.Evaluate(bundle.Mesh, bundle.K8s, bundle.Istio,
+		muppet.Flow{Src: *src, Dst: *dst, DstPort: *port})
+	if v.Allowed {
+		fmt.Println("ALLOWED")
+		return nil
+	}
+	fmt.Println("DENIED:", v.Reason)
+	os.Exit(1)
+	return nil
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"testing"
+
+	"muppet"
+)
+
+const fig1Files = "../../testdata/fig1/mesh.yaml,../../testdata/fig1/k8s_current.yaml,../../testdata/fig1/istio_current.yaml"
+
+func TestParseOffer(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		soft int
+		hole int
+	}{
+		{"fixed", 0, 0},
+		{"", 0, 0},
+		{"soft", 1, 0},
+		{"holes", 0, 1},
+	} {
+		o, err := parseOffer(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if len(o.Soft) != c.soft || len(o.Holes) != c.hole {
+			t.Fatalf("%q: got %+v", c.in, o)
+		}
+	}
+	if _, err := parseOffer("bogus"); err == nil {
+		t.Fatal("bogus offer mode must error")
+	}
+}
+
+func TestParsePorts(t *testing.T) {
+	ports, err := parsePorts("23, 80,443")
+	if err != nil || len(ports) != 3 || ports[0] != 23 || ports[2] != 443 {
+		t.Fatalf("ports=%v err=%v", ports, err)
+	}
+	if _, err := parsePorts("x"); err == nil {
+		t.Fatal("bad port must error")
+	}
+	if ports, err := parsePorts(""); err != nil || ports != nil {
+		t.Fatalf("empty ports: %v %v", ports, err)
+	}
+}
+
+func TestInputsLoad(t *testing.T) {
+	in := inputs{
+		files:      fig1Files,
+		k8sGoals:   "../../testdata/fig1/k8s_goals.csv",
+		istioGoals: "../../testdata/fig1/istio_goals_revised.csv",
+		k8sOffer:   "fixed",
+		istioOffer: "soft",
+	}
+	s, err := in.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.k8sParty == nil || s.istioParty == nil {
+		t.Fatal("parties not built")
+	}
+	if p, err := s.party("k8s"); err != nil || p != s.k8sParty {
+		t.Fatalf("party lookup k8s: %v", err)
+	}
+	if p, err := s.party("Istio"); err != nil || p != s.istioParty {
+		t.Fatalf("party lookup istio: %v", err)
+	}
+	if _, err := s.party("router"); err == nil {
+		t.Fatal("unknown party must error")
+	}
+}
+
+func TestInputsLoadErrors(t *testing.T) {
+	if _, err := (&inputs{}).load(); err == nil {
+		t.Fatal("missing -files must error")
+	}
+	in := inputs{files: "does-not-exist.yaml"}
+	if _, err := in.load(); err == nil {
+		t.Fatal("missing file must error")
+	}
+	in = inputs{files: fig1Files, k8sOffer: "bogus"}
+	if _, err := in.load(); err == nil {
+		t.Fatal("bad offer must error")
+	}
+}
+
+func TestRunEnvelopeSucceeds(t *testing.T) {
+	err := runEnvelope([]string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-from", "k8s", "-to", "istio",
+		"-english", "-leakage",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckSucceeds(t *testing.T) {
+	err := runCheck([]string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-party", "k8s",
+		"-istio-offer", "holes",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReconcileSucceeds(t *testing.T) {
+	err := runReconcile([]string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "soft", "-istio-offer", "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConformSucceeds(t *testing.T) {
+	err := runConform([]string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "fixed", "-istio-offer", "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNegotiateSucceeds(t *testing.T) {
+	err := runNegotiate([]string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "soft", "-istio-offer", "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEvalSucceeds(t *testing.T) {
+	err := runEval([]string{
+		"-files", fig1Files,
+		"-src", "test-backend", "-dst", "test-frontend", "-port", "23",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runEval([]string{"-files", fig1Files}); err == nil {
+		t.Fatal("missing flow flags must error")
+	}
+}
+
+func TestExtraPortsFlowIntoSystem(t *testing.T) {
+	in := inputs{
+		files: fig1Files,
+		ports: "9999",
+	}
+	s, err := in.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.sys.HasPort(9999) {
+		t.Fatal("-ports must extend the inventory")
+	}
+	_ = muppet.Flow{}
+}

@@ -1,0 +1,315 @@
+// Package boolcirc provides a hash-consed boolean circuit factory in the
+// style of an and-inverter graph (AIG): the only gate is binary AND, and
+// negation is carried on edges. N-ary conjunction/disjunction, implication,
+// equivalence and if-then-else are built on top with constant folding and
+// structural sharing.
+//
+// Circuits are emitted to a sat.Solver via the Tseitin transformation. In
+// the Muppet stack this package is the middle layer: the relational
+// translator (package relational) grounds bounded first-order formulas into
+// circuits, and the circuit is what the SAT backend ultimately decides. It
+// plays the role of Kodkod's boolean factory.
+package boolcirc
+
+import (
+	"fmt"
+
+	"muppet/internal/sat"
+)
+
+// Ref is an edge into the circuit: a node index with a complement bit in
+// the lowest bit. The zero node is the constant true.
+type Ref int32
+
+// True and False are the constant references.
+const (
+	True  Ref = 0
+	False Ref = 1
+)
+
+// Not returns the complement edge.
+func (r Ref) Not() Ref { return r ^ 1 }
+
+// IsConst reports whether r is the constant true or false.
+func (r Ref) IsConst() bool { return r>>1 == 0 }
+
+func (r Ref) node() int32        { return int32(r >> 1) }
+func (r Ref) complemented() bool { return r&1 == 1 }
+
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindVar
+	kindAnd
+)
+
+type node struct {
+	kind nodeKind
+	// a, b are the AND inputs; for kindVar, a holds the variable id.
+	a, b Ref
+}
+
+// Options configure a Factory.
+type Options struct {
+	// NoHashCons disables structural sharing of AND nodes (ablation).
+	NoHashCons bool
+}
+
+// Factory builds and owns circuit nodes. The zero value is not usable; call
+// New or NewWithOptions.
+type Factory struct {
+	opts  Options
+	nodes []node
+	cons  map[[2]Ref]Ref
+	vars  int32
+}
+
+// New returns an empty factory with hash-consing enabled.
+func New() *Factory { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty factory.
+func NewWithOptions(opts Options) *Factory {
+	f := &Factory{
+		opts:  opts,
+		nodes: []node{{kind: kindConst}},
+	}
+	if !opts.NoHashCons {
+		f.cons = make(map[[2]Ref]Ref)
+	}
+	return f
+}
+
+// NumNodes returns the number of allocated nodes (constants, variables and
+// AND gates).
+func (f *Factory) NumNodes() int { return len(f.nodes) }
+
+// NumVars returns the number of circuit variables created.
+func (f *Factory) NumVars() int { return int(f.vars) }
+
+// Var allocates a fresh circuit variable and returns its positive edge.
+func (f *Factory) Var() Ref {
+	id := f.vars
+	f.vars++
+	f.nodes = append(f.nodes, node{kind: kindVar, a: Ref(id)})
+	return Ref((len(f.nodes) - 1) << 1)
+}
+
+// VarID returns the variable identifier behind a variable reference
+// (ignoring complementation). It panics if r does not point at a variable.
+func (f *Factory) VarID(r Ref) int {
+	n := f.nodes[r.node()]
+	if n.kind != kindVar {
+		panic("boolcirc: VarID of non-variable ref")
+	}
+	return int(n.a)
+}
+
+// IsVar reports whether r points at a variable node.
+func (f *Factory) IsVar(r Ref) bool { return f.nodes[r.node()].kind == kindVar }
+
+// Bool returns the constant for b.
+func (f *Factory) Bool(b bool) Ref {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And returns the conjunction of the operands, folding constants and
+// duplicates, as a balanced tree of binary AND gates.
+func (f *Factory) And(rs ...Ref) Ref {
+	acc := True
+	for _, r := range rs {
+		acc = f.and2(acc, r)
+		if acc == False {
+			return False
+		}
+	}
+	return acc
+}
+
+// Or returns the disjunction of the operands.
+func (f *Factory) Or(rs ...Ref) Ref {
+	acc := False
+	for _, r := range rs {
+		// a ∨ b = ¬(¬a ∧ ¬b)
+		acc = f.and2(acc.Not(), r.Not()).Not()
+		if acc == True {
+			return True
+		}
+	}
+	return acc
+}
+
+// Not returns the complement of r.
+func (f *Factory) Not(r Ref) Ref { return r.Not() }
+
+// Implies returns a → b.
+func (f *Factory) Implies(a, b Ref) Ref { return f.Or(a.Not(), b) }
+
+// Iff returns a ↔ b.
+func (f *Factory) Iff(a, b Ref) Ref {
+	// (a→b) ∧ (b→a)
+	return f.And(f.Implies(a, b), f.Implies(b, a))
+}
+
+// ITE returns if c then t else e.
+func (f *Factory) ITE(c, t, e Ref) Ref {
+	return f.And(f.Implies(c, t), f.Implies(c.Not(), e))
+}
+
+func (f *Factory) and2(a, b Ref) Ref {
+	// Constant and structural folding.
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return False
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if f.cons != nil {
+		if r, ok := f.cons[[2]Ref{a, b}]; ok {
+			return r
+		}
+	}
+	f.nodes = append(f.nodes, node{kind: kindAnd, a: a, b: b})
+	r := Ref((len(f.nodes) - 1) << 1)
+	if f.cons != nil {
+		f.cons[[2]Ref{a, b}] = r
+	}
+	return r
+}
+
+// Eval computes the value of r under the variable assignment varVal
+// (indexed by variable id as returned by VarID).
+func (f *Factory) Eval(r Ref, varVal func(int) bool) bool {
+	memo := make(map[int32]bool)
+	var rec func(Ref) bool
+	rec = func(e Ref) bool {
+		ni := e.node()
+		n := f.nodes[ni]
+		var v bool
+		switch n.kind {
+		case kindConst:
+			v = true
+		case kindVar:
+			v = varVal(int(n.a))
+		case kindAnd:
+			if got, ok := memo[ni]; ok {
+				v = got
+			} else {
+				v = rec(n.a) && rec(n.b)
+				memo[ni] = v
+			}
+		}
+		if e.complemented() {
+			return !v
+		}
+		return v
+	}
+	return rec(r)
+}
+
+// CNF incrementally emits circuit nodes into a SAT solver via the Tseitin
+// transformation. One CNF may serve many Assert/LitFor calls; node→solver
+// variable mappings are memoised.
+type CNF struct {
+	f       *Factory
+	s       *sat.Solver
+	nodeVar map[int32]sat.Var // circuit node index → solver variable
+	varVar  map[int32]sat.Var // circuit variable id → solver variable
+}
+
+// NewCNF couples a factory with a solver.
+func NewCNF(f *Factory, s *sat.Solver) *CNF {
+	return &CNF{
+		f:       f,
+		s:       s,
+		nodeVar: make(map[int32]sat.Var),
+		varVar:  make(map[int32]sat.Var),
+	}
+}
+
+// Solver returns the underlying SAT solver.
+func (c *CNF) Solver() *sat.Solver { return c.s }
+
+// SolverVar returns the solver variable allocated for circuit variable id,
+// creating it if needed.
+func (c *CNF) SolverVar(id int) sat.Var {
+	if v, ok := c.varVar[int32(id)]; ok {
+		return v
+	}
+	v := c.s.NewVar()
+	c.varVar[int32(id)] = v
+	return v
+}
+
+// LitFor returns a solver literal equivalent to the circuit edge r, emitting
+// Tseitin definitions for any AND gates not yet encoded. Constants are
+// encoded through a dedicated always-true variable.
+func (c *CNF) LitFor(r Ref) sat.Lit {
+	v := c.litForNode(r.node())
+	return sat.MkLit(v, r.complemented())
+}
+
+func (c *CNF) litForNode(ni int32) sat.Var {
+	if v, ok := c.nodeVar[ni]; ok {
+		return v
+	}
+	n := c.f.nodes[ni]
+	var v sat.Var
+	switch n.kind {
+	case kindConst:
+		v = c.s.NewVar()
+		c.s.AddClause(sat.PosLit(v)) // the true node
+	case kindVar:
+		v = c.SolverVar(int(n.a))
+	case kindAnd:
+		la := c.LitFor(n.a)
+		lb := c.LitFor(n.b)
+		v = c.s.NewVar()
+		out := sat.PosLit(v)
+		// v ↔ la ∧ lb
+		c.s.AddClause(out.Not(), la)
+		c.s.AddClause(out.Not(), lb)
+		c.s.AddClause(la.Not(), lb.Not(), out)
+	default:
+		panic(fmt.Sprintf("boolcirc: unknown node kind %d", n.kind))
+	}
+	c.nodeVar[ni] = v
+	return v
+}
+
+// Assert adds the constraint that r must be true.
+func (c *CNF) Assert(r Ref) {
+	switch r {
+	case True:
+		return
+	case False:
+		// Force unsatisfiability explicitly.
+		v := c.s.NewVar()
+		c.s.AddClause(sat.PosLit(v))
+		c.s.AddClause(sat.NegLit(v))
+		return
+	}
+	c.s.AddClause(c.LitFor(r))
+}
+
+// VarValue reads the model value of circuit variable id after a Sat solve.
+// Unconstrained variables default to false.
+func (c *CNF) VarValue(id int) bool {
+	v, ok := c.varVar[int32(id)]
+	if !ok {
+		return false
+	}
+	return c.s.Value(v)
+}

@@ -1,0 +1,295 @@
+package boolcirc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muppet/internal/sat"
+)
+
+func TestConstants(t *testing.T) {
+	f := New()
+	if f.And() != True {
+		t.Fatal("empty And should be true")
+	}
+	if f.Or() != False {
+		t.Fatal("empty Or should be false")
+	}
+	if True.Not() != False || False.Not() != True {
+		t.Fatal("constant complements broken")
+	}
+	if f.Bool(true) != True || f.Bool(false) != False {
+		t.Fatal("Bool constants broken")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	f := New()
+	x := f.Var()
+	cases := []struct {
+		got, want Ref
+		name      string
+	}{
+		{f.And(x, True), x, "x∧⊤=x"},
+		{f.And(x, False), False, "x∧⊥=⊥"},
+		{f.And(x, x), x, "x∧x=x"},
+		{f.And(x, x.Not()), False, "x∧¬x=⊥"},
+		{f.Or(x, False), x, "x∨⊥=x"},
+		{f.Or(x, True), True, "x∨⊤=⊤"},
+		{f.Or(x, x), x, "x∨x=x"},
+		{f.Or(x, x.Not()), True, "x∨¬x=⊤"},
+		{f.Implies(False, x), True, "⊥→x=⊤"},
+		{f.Implies(x, True), True, "x→⊤=⊤"},
+		{f.Iff(x, x), True, "x↔x=⊤"},
+		{f.Iff(x, x.Not()), False, "x↔¬x=⊥"},
+		{f.ITE(True, x, x.Not()), x, "ite(⊤,x,¬x)=x"},
+		{f.ITE(False, x, x.Not()), x.Not(), "ite(⊥,x,¬x)=¬x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	f := New()
+	x, y := f.Var(), f.Var()
+	a := f.And(x, y)
+	b := f.And(y, x)
+	if a != b {
+		t.Fatal("And(x,y) and And(y,x) should be the same node")
+	}
+	n := f.NumNodes()
+	f.And(x, y)
+	if f.NumNodes() != n {
+		t.Fatal("hash-consing failed to reuse node")
+	}
+	g := NewWithOptions(Options{NoHashCons: true})
+	u, v := g.Var(), g.Var()
+	g.And(u, v)
+	n2 := g.NumNodes()
+	g.And(u, v)
+	if g.NumNodes() == n2 {
+		t.Fatal("NoHashCons should allocate a fresh node")
+	}
+}
+
+func TestVarID(t *testing.T) {
+	f := New()
+	x, y := f.Var(), f.Var()
+	if f.VarID(x) != 0 || f.VarID(y) != 1 {
+		t.Fatalf("VarID: got %d,%d", f.VarID(x), f.VarID(y))
+	}
+	if !f.IsVar(x) || !f.IsVar(x.Not()) {
+		t.Fatal("IsVar should hold for variable edges")
+	}
+	if f.IsVar(f.And(x, y)) {
+		t.Fatal("IsVar should not hold for a gate")
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := New()
+	x, y, z := f.Var(), f.Var(), f.Var()
+	expr := f.Or(f.And(x, y.Not()), f.Iff(y, z))
+	for mask := 0; mask < 8; mask++ {
+		val := func(id int) bool { return mask>>id&1 == 1 }
+		vx, vy, vz := val(0), val(1), val(2)
+		want := (vx && !vy) || (vy == vz)
+		if got := f.Eval(expr, val); got != want {
+			t.Fatalf("mask %03b: got %v want %v", mask, got, want)
+		}
+	}
+}
+
+// randomCircuit builds a random expression over nVars variables and returns
+// the factory, variables, and root.
+func randomCircuit(rng *rand.Rand, f *Factory, nVars, depth int) Ref {
+	vars := make([]Ref, nVars)
+	for i := range vars {
+		vars[i] = f.Var()
+	}
+	var build func(d int) Ref
+	build = func(d int) Ref {
+		if d == 0 || rng.Intn(4) == 0 {
+			r := vars[rng.Intn(nVars)]
+			if rng.Intn(2) == 0 {
+				r = r.Not()
+			}
+			return r
+		}
+		a, b := build(d-1), build(d-1)
+		switch rng.Intn(4) {
+		case 0:
+			return f.And(a, b)
+		case 1:
+			return f.Or(a, b)
+		case 2:
+			return f.Implies(a, b)
+		default:
+			return f.Iff(a, b)
+		}
+	}
+	return build(depth)
+}
+
+func TestTseitinEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 2 + rng.Intn(6)
+		f := New()
+		root := randomCircuit(rng, f, nVars, 4)
+
+		// Brute-force: is the circuit satisfiable?
+		bfSat := false
+		for mask := 0; mask < 1<<nVars && !bfSat; mask++ {
+			if f.Eval(root, func(id int) bool { return mask>>id&1 == 1 }) {
+				bfSat = true
+			}
+		}
+
+		s := sat.New()
+		cnf := NewCNF(f, s)
+		cnf.Assert(root)
+		got := s.Solve()
+		if (got == sat.Sat) != bfSat {
+			t.Fatalf("iter %d: solver=%v brute=%v", iter, got, bfSat)
+		}
+		if got == sat.Sat {
+			// The extracted model must evaluate the circuit to true.
+			if !f.Eval(root, cnf.VarValue) {
+				t.Fatalf("iter %d: SAT model does not satisfy circuit", iter)
+			}
+		}
+	}
+}
+
+func TestTseitinQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(5)
+		f := New()
+		root := randomCircuit(rng, f, nVars, 5)
+		s := sat.New()
+		cnf := NewCNF(f, s)
+		cnf.Assert(root)
+		if s.Solve() == sat.Sat {
+			return f.Eval(root, cnf.VarValue)
+		}
+		for mask := 0; mask < 1<<nVars; mask++ {
+			if f.Eval(root, func(id int) bool { return mask>>id&1 == 1 }) {
+				return false // solver said UNSAT but a model exists
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssertConstants(t *testing.T) {
+	f := New()
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	cnf.Assert(True)
+	if s.Solve() != sat.Sat {
+		t.Fatal("asserting true should stay SAT")
+	}
+	cnf.Assert(False)
+	if s.Solve() != sat.Unsat {
+		t.Fatal("asserting false should be UNSAT")
+	}
+}
+
+func TestLitForSharing(t *testing.T) {
+	f := New()
+	x, y := f.Var(), f.Var()
+	g := f.And(x, y)
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	l1 := cnf.LitFor(g)
+	nVars := s.NumVars()
+	l2 := cnf.LitFor(g)
+	if l1 != l2 {
+		t.Fatal("LitFor should be memoised")
+	}
+	if s.NumVars() != nVars {
+		t.Fatal("second LitFor must not allocate solver variables")
+	}
+	if cnf.LitFor(g.Not()) != l1.Not() {
+		t.Fatal("complement edge should map to complement literal")
+	}
+}
+
+func TestIncrementalAssertions(t *testing.T) {
+	f := New()
+	x, y := f.Var(), f.Var()
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	cnf.Assert(f.Or(x, y))
+	if s.Solve() != sat.Sat {
+		t.Fatal("phase 1 SAT expected")
+	}
+	cnf.Assert(x.Not())
+	if s.Solve() != sat.Sat {
+		t.Fatal("phase 2 SAT expected")
+	}
+	if cnf.VarValue(f.VarID(x)) || !cnf.VarValue(f.VarID(y)) {
+		t.Fatal("phase 2 model wrong")
+	}
+	cnf.Assert(y.Not())
+	if s.Solve() != sat.Unsat {
+		t.Fatal("phase 3 UNSAT expected")
+	}
+}
+
+func TestAssumptionsViaLitFor(t *testing.T) {
+	f := New()
+	x := f.Var()
+	y := f.Var()
+	g := f.Implies(x, y)
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	cnf.Assert(g)
+	lx, ly := cnf.LitFor(x), cnf.LitFor(y)
+	if s.Solve(lx, ly.Not()) != sat.Unsat {
+		t.Fatal("x ∧ ¬y under x→y must be UNSAT")
+	}
+	if s.Solve(lx) != sat.Sat {
+		t.Fatal("x alone should be SAT")
+	}
+	if !s.Value(ly.Var()) {
+		t.Fatal("y must be forced true")
+	}
+}
+
+func BenchmarkBuildLargeCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := New()
+		vars := make([]Ref, 64)
+		for j := range vars {
+			vars[j] = f.Var()
+		}
+		acc := True
+		for j := 0; j+1 < len(vars); j++ {
+			acc = f.And(acc, f.Or(vars[j], vars[j+1].Not()))
+		}
+		_ = acc
+	}
+}
+
+func BenchmarkTseitinEmit(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	f := New()
+	root := randomCircuit(rng, f, 16, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		cnf := NewCNF(f, s)
+		cnf.Assert(root)
+	}
+}

@@ -1,0 +1,233 @@
+package encode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"muppet/internal/relational"
+)
+
+// This file renders envelope clauses in administrator-facing English — the
+// paper presents the Fig. 5 envelope both in Alloy syntax and as numbered
+// prose, and its Sec. 7 "Presentation" discussion asks how envelopes
+// should be shown to humans ("Would a textual translation (as in fig. 5)
+// help?"). The renderer pattern-matches the formula shapes this system's
+// own semantics produce; anything it does not recognise falls back to the
+// Alloy-like syntax, so the output is always complete.
+
+// English renders a formula as prose.
+func (sys *System) English(f relational.Formula) string {
+	switch g := f.(type) {
+	case *relational.QuantFormula:
+		if g.IsForall() {
+			header := "For all " + sys.englishDecls(g.Decls()) + ", "
+			if or, ok := g.Body().(*relational.NaryFormula); ok && or.Op() == relational.OpOr {
+				var b strings.Builder
+				b.WriteString(header)
+				b.WriteString("either:\n")
+				for i, d := range or.Operands() {
+					fmt.Fprintf(&b, "  (%d) %s", i+1, sys.englishClause(d))
+					if i < len(or.Operands())-1 {
+						b.WriteString("; or\n")
+					} else {
+						b.WriteString(".\n")
+					}
+				}
+				return b.String()
+			}
+			return header + sys.englishClause(g.Body()) + ".\n"
+		}
+	}
+	return sys.englishClause(f) + ".\n"
+}
+
+func (sys *System) englishDecls(decls []relational.Decl) string {
+	parts := make([]string, len(decls))
+	for i, d := range decls {
+		dom := "the mesh"
+		switch e := d.Domain().(type) {
+		case *relational.Relation:
+			dom = e.Name() + "s"
+			if e == sys.Service {
+				dom = "services"
+			}
+		case *relational.ConstExpr:
+			dom = sys.englishAtomSet(e)
+		}
+		parts[i] = d.Var().Name() + " in " + dom
+	}
+	return strings.Join(parts, " and ")
+}
+
+// englishClause renders one disjunct/conjunct.
+func (sys *System) englishClause(f relational.Formula) string {
+	// (1) "dst does not listen on port P": not (P in dst.active_ports)
+	if n, ok := f.(*relational.NotFormula); ok {
+		if s, matched := sys.matchListens(n.Inner()); matched {
+			return s.subject + " does not listen on " + s.object
+		}
+		if s, matched := sys.matchBlock(n.Inner()); matched {
+			return "it is not the case that " + s
+		}
+		return "it is not the case that " + sys.englishClause(n.Inner())
+	}
+	if s, matched := sys.matchListens(f); matched {
+		return s.subject + " listens on " + s.object
+	}
+	if s, matched := sys.matchBlock(f); matched {
+		return s
+	}
+	return f.String()
+}
+
+type listensMatch struct {
+	subject, object string
+}
+
+// matchListens recognises `P in (X.active_ports)`.
+func (sys *System) matchListens(f relational.Formula) (listensMatch, bool) {
+	cmp, ok := f.(*relational.CompFormula)
+	if !ok || !cmp.IsIn() {
+		return listensMatch{}, false
+	}
+	join, ok := cmp.Right().(*relational.BinExpr)
+	if !ok {
+		return listensMatch{}, false
+	}
+	if rel, isRel := join.Right().(*relational.Relation); !isRel || rel != sys.ActivePorts {
+		return listensMatch{}, false
+	}
+	return listensMatch{
+		subject: sys.englishExpr(join.Left()),
+		object:  sys.englishExpr(cmp.Left()),
+	}, true
+}
+
+// matchBlock recognises the explicit and implicit deny shapes over any of
+// the four policy tables (both parties).
+func (sys *System) matchBlock(f relational.Formula) (string, bool) {
+	// Explicit: item in pols.DENYREL
+	if cmp, ok := f.(*relational.CompFormula); ok && cmp.IsIn() {
+		if join, ok := cmp.Right().(*relational.BinExpr); ok {
+			if rel, isRel := join.Right().(*relational.Relation); isRel {
+				if sentence, known := sys.explicitSentence(rel, cmp.Left(), join.Left()); known {
+					return sentence, true
+				}
+			}
+		}
+	}
+	// Implicit: (some pols.ALLOWREL) and not (item in pols.ALLOWREL)
+	if and, ok := f.(*relational.NaryFormula); ok && and.Op() == relational.OpAnd && len(and.Operands()) == 2 {
+		someF, okSome := and.Operands()[0].(*relational.MultFormula)
+		notF, okNot := and.Operands()[1].(*relational.NotFormula)
+		if okSome && okNot && someF.Mult() == relational.MultSome {
+			if cmp, ok := notF.Inner().(*relational.CompFormula); ok && cmp.IsIn() {
+				if join, ok := cmp.Right().(*relational.BinExpr); ok {
+					if rel, isRel := join.Right().(*relational.Relation); isRel {
+						if sentence, known := sys.implicitSentence(rel, cmp.Left(), join.Left()); known {
+							return sentence, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func (sys *System) explicitSentence(rel *relational.Relation, item, pols relational.Expr) (string, bool) {
+	it := sys.englishExpr(item)
+	owner := sys.policyOwner(pols)
+	switch rel {
+	case sys.IDenyTo:
+		return fmt.Sprintf("%s is explicitly blocked from sending to %s by an Istio egress policy", owner, it), true
+	case sys.IDenyFrom:
+		return fmt.Sprintf("%s is explicitly blocked from receiving from %s by an Istio ingress policy", owner, it), true
+	case sys.KEgDeny:
+		return fmt.Sprintf("%s is explicitly blocked from sending to %s by a K8s egress rule", owner, it), true
+	case sys.KInDeny:
+		return fmt.Sprintf("%s is explicitly blocked from receiving on %s by a K8s ingress rule", owner, it), true
+	}
+	return "", false
+}
+
+func (sys *System) implicitSentence(rel *relational.Relation, item, pols relational.Expr) (string, bool) {
+	it := sys.englishExpr(item)
+	owner := sys.policyOwner(pols)
+	switch rel {
+	case sys.IAllowTo:
+		return fmt.Sprintf("%s is implicitly blocked from sending to %s, since it is explicitly allowed to send to some other port but not to this one", owner, it), true
+	case sys.IAllowFrom:
+		return fmt.Sprintf("%s is implicitly blocked from receiving from %s, since it is explicitly allowed to receive from some other service but not from this one", owner, it), true
+	case sys.KEgAllow:
+		return fmt.Sprintf("%s is implicitly blocked from sending to %s by a K8s egress allow-list that omits it", owner, it), true
+	case sys.KInAllow:
+		return fmt.Sprintf("%s is implicitly blocked from receiving on %s by a K8s ingress allow-list that omits it", owner, it), true
+	}
+	return "", false
+}
+
+// policyOwner extracts the service expression a policy comprehension
+// targets: {p: AuthPol | (p->X) in target} → "the X service".
+func (sys *System) policyOwner(pols relational.Expr) string {
+	comp, ok := pols.(*relational.ComprehensionExpr)
+	if !ok || len(comp.Decls()) != 1 {
+		return sys.englishExpr(pols)
+	}
+	cmp, ok := comp.Body().(*relational.CompFormula)
+	if !ok || !cmp.IsIn() {
+		return sys.englishExpr(pols)
+	}
+	prod, ok := cmp.Left().(*relational.BinExpr)
+	if !ok {
+		return sys.englishExpr(pols)
+	}
+	return sys.englishExpr(prod.Right())
+}
+
+// englishExpr names atoms and variables readably.
+func (sys *System) englishExpr(e relational.Expr) string {
+	switch g := e.(type) {
+	case *relational.Var:
+		return g.Name()
+	case *relational.ConstExpr:
+		return sys.englishAtomSet(g)
+	case *relational.Relation:
+		return g.Name()
+	}
+	return e.String()
+}
+
+func (sys *System) englishAtomSet(c *relational.ConstExpr) string {
+	ts := c.TupleSet()
+	var names []string
+	for _, t := range ts.Tuples() {
+		for _, a := range t {
+			names = append(names, sys.englishAtom(sys.Universe.Atom(a)))
+		}
+	}
+	switch len(names) {
+	case 0:
+		return "nothing"
+	case 1:
+		return names[0]
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+func (sys *System) englishAtom(atom string) string {
+	if strings.HasPrefix(atom, "port:") {
+		return "port " + strings.TrimPrefix(atom, "port:")
+	}
+	if strings.HasPrefix(atom, "np:") {
+		return "NetworkPolicy " + strings.TrimPrefix(atom, "np:")
+	}
+	if strings.HasPrefix(atom, "ap:") {
+		return "AuthorizationPolicy " + strings.TrimPrefix(atom, "ap:")
+	}
+	if _, err := strconv.Atoi(atom); err == nil {
+		return atom
+	}
+	return atom
+}

@@ -1,0 +1,101 @@
+package encode
+
+import (
+	"strings"
+	"testing"
+
+	"muppet/internal/goals"
+	"muppet/internal/relational"
+)
+
+// fig5Formula computes the substituted, simplified Fig. 5 clause.
+func fig5Formula(t *testing.T) (*System, relational.Formula) {
+	t.Helper()
+	sys := fig1System(t)
+	k8sCfg, _ := fig1Configs(t)
+	k8sGoals, err := goals.LoadK8sGoals("../../testdata/fig1/k8s_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := sys.CompileK8sGoals(k8sGoals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := relational.Substitute(fk, sys.SenderTupleSets(k8sCfg, nil, nil))
+	return sys, relational.Simplify(sub, sys.Universe)
+}
+
+func TestEnglishFig5(t *testing.T) {
+	sys, clause := fig5Formula(t)
+	got := sys.English(clause)
+
+	// The Fig. 5 caption's structure: a universally quantified "either"
+	// over five numbered sentences.
+	if !strings.HasPrefix(got, "For all ") || !strings.Contains(got, "either:") {
+		t.Fatalf("missing prose frame:\n%s", got)
+	}
+	for _, want := range []string{
+		"(1) dst does not listen on port 23",
+		"(2) src is explicitly blocked from sending to port 23 by an Istio egress policy",
+		"(3) src is implicitly blocked from sending to port 23, since it is explicitly allowed to send to some other port but not to this one",
+		"(4) dst is explicitly blocked from receiving from src by an Istio ingress policy",
+		"(5) dst is implicitly blocked from receiving from src, since it is explicitly allowed to receive from some other service but not from this one",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing sentence %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestEnglishFallback(t *testing.T) {
+	sys := fig1System(t)
+	// A shape the renderer does not know: equality of two relations.
+	f := relational.Equals(sys.IDenyTo, sys.IAllowTo)
+	got := sys.English(f)
+	if !strings.Contains(got, "deny_to_ports") {
+		t.Fatalf("fallback must preserve the Alloy syntax: %q", got)
+	}
+}
+
+func TestEnglishK8sSentences(t *testing.T) {
+	sys := fig1System(t)
+	src := relational.NewVar("src")
+	port := sys.PortConst(23)
+	explicit := sys.K8sEgressBlocked(src, port)
+	got := sys.English(relational.Forall(
+		[]relational.Decl{relational.NewDecl(src, sys.Service)}, explicit))
+	if !strings.Contains(got, "K8s egress rule") || !strings.Contains(got, "port 23") {
+		t.Fatalf("K8s explicit sentence missing:\n%s", got)
+	}
+	if !strings.Contains(got, "K8s egress allow-list") {
+		t.Fatalf("K8s implicit sentence missing:\n%s", got)
+	}
+}
+
+func TestEnglishListensPositive(t *testing.T) {
+	sys := fig1System(t)
+	dst := relational.NewVar("dst")
+	f := relational.Forall(
+		[]relational.Decl{relational.NewDecl(dst, sys.Service)},
+		sys.Listens(dst, sys.PortConst(25)))
+	got := sys.English(f)
+	if !strings.Contains(got, "dst listens on port 25") {
+		t.Fatalf("positive listens sentence missing:\n%s", got)
+	}
+}
+
+func TestEnglishAtomNames(t *testing.T) {
+	sys := fig1System(t)
+	if sys.englishAtom("port:23") != "port 23" {
+		t.Fatal("port atom naming")
+	}
+	if sys.englishAtom("np:cluster-default") != "NetworkPolicy cluster-default" {
+		t.Fatal("np atom naming")
+	}
+	if sys.englishAtom("ap:frontend-policy") != "AuthorizationPolicy frontend-policy" {
+		t.Fatal("ap atom naming")
+	}
+	if sys.englishAtom("test-db") != "test-db" {
+		t.Fatal("service atom naming")
+	}
+}

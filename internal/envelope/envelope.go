@@ -1,0 +1,291 @@
+// Package envelope implements the paper's central construct: the envelope
+// E_{A→B} (Alg. 3) — a necessary and sufficient set of predicates over
+// administrator B's configuration domain that B must satisfy for A's goals
+// to hold, modulo A's concrete configuration.
+//
+// Computation follows Alg. 3 literally: decompose φ_A into small
+// subformulas; keep those that mention B's domain; substitute A's concrete
+// settings for A's relations; apply elementary simplifications. The result
+// can be (1) checked against a candidate configuration of B's, (2) compared
+// against B's goals, or (3) asserted into a solver session to synthesize a
+// conforming configuration for B — the three uses Sec. 3 describes.
+package envelope
+
+import (
+	"sort"
+	"strings"
+
+	"muppet/internal/relational"
+)
+
+// Envelope is an E_{A→B}: a conjunction of simplified predicates over the
+// recipient's domain.
+type Envelope struct {
+	// From and To name the sender and recipient (display only).
+	From, To string
+	// Clauses are the envelope predicates; their conjunction is the
+	// envelope's meaning.
+	Clauses []relational.Formula
+
+	// SenderObligations are the decomposed goal parts that do not mention
+	// the recipient's domain and did not simplify to true under the
+	// sender's configuration: obligations that fall entirely on the
+	// sender's side ("parts of the goals may be satisfied entirely
+	// internally", Sec. 3). The envelope is exactly equivalent to the
+	// sender's goals when these hold.
+	SenderObligations []relational.Formula
+
+	universe *relational.Universe
+}
+
+// Options tune envelope computation.
+type Options struct {
+	// NoSimplify skips the elementary-simplification pass (ablation; the
+	// paper applies simplification both for readability and to mitigate
+	// configuration leakage, Sec. 7).
+	NoSimplify bool
+	// Shared gives the public shared structure's extents (Service, Port).
+	// See Compute.
+	Shared map[*relational.Relation]*relational.TupleSet
+}
+
+// Options.Shared carries the public shared structure (e.g. the Service and
+// Port inventories). It is used to fully ground sender obligations — parts
+// of the goals that never reach the recipient — so a sender whose own
+// settings contradict its goals is detected as Unsatisfiable. Envelope
+// clauses themselves keep the shared relations symbolic, preserving the
+// Fig. 5 presentation ("all src: Service, …").
+//
+// Compute implements Alg. 3: the envelope for the recipient to satisfy
+// goals, modulo the sender's fixed configuration senderConfig (relation →
+// concrete extent). recipientDomain is dom(B): the relations the recipient
+// configures.
+func Compute(
+	from, to string,
+	goals []relational.Formula,
+	senderConfig map[*relational.Relation]*relational.TupleSet,
+	recipientDomain []*relational.Relation,
+	u *relational.Universe,
+	opts Options,
+) *Envelope {
+	domB := make(map[*relational.Relation]bool, len(recipientDomain))
+	for _, r := range recipientDomain {
+		domB[r] = true
+	}
+	env := &Envelope{From: from, To: to, universe: u}
+	for _, g := range goals {
+		for _, phi := range relational.Decompose(g) {
+			// vars(φ) ∩ dom(B) ≠ ∅ filter.
+			mentions := false
+			for r := range relational.FreeRelations(phi) {
+				if domB[r] {
+					mentions = true
+					break
+				}
+			}
+			e := relational.Substitute(phi, senderConfig)
+			if !opts.NoSimplify {
+				e = relational.Simplify(e, u)
+			}
+			if c, ok := e.(*relational.ConstFormula); ok && c.Value() {
+				continue // satisfied entirely by the sender's settings
+			}
+			if !mentions {
+				if len(opts.Shared) > 0 {
+					e = relational.Substitute(e, opts.Shared)
+					if !opts.NoSimplify {
+						e = relational.Simplify(e, u)
+					}
+					if c, ok := e.(*relational.ConstFormula); ok && c.Value() {
+						continue
+					}
+				}
+				env.SenderObligations = append(env.SenderObligations, e)
+				continue
+			}
+			env.Clauses = append(env.Clauses, e)
+		}
+	}
+	return env
+}
+
+// Formula returns the envelope as a single conjunction.
+func (e *Envelope) Formula() relational.Formula {
+	return relational.And(e.Clauses...)
+}
+
+// Trivial reports whether the envelope imposes no obligations.
+func (e *Envelope) Trivial() bool { return len(e.Clauses) == 0 }
+
+// Unsatisfiable reports whether some clause or sender obligation
+// simplified to the constant false: the sender's goals cannot be met by
+// any recipient configuration given the sender's fixed settings.
+func (e *Envelope) Unsatisfiable() bool {
+	for _, set := range [][]relational.Formula{e.Clauses, e.SenderObligations} {
+		for _, c := range set {
+			if cf, ok := c.(*relational.ConstFormula); ok && !cf.Value() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Holds checks the envelope against a concrete instance (the recipient's
+// candidate configuration plus structure).
+func (e *Envelope) Holds(inst *relational.Instance) bool {
+	for _, c := range e.Clauses {
+		if !relational.Eval(c, inst) {
+			return false
+		}
+	}
+	return true
+}
+
+// Failing returns the clauses an instance violates — blame information for
+// the recipient's revision loop (Fig. 8).
+func (e *Envelope) Failing(inst *relational.Instance) []relational.Formula {
+	var out []relational.Formula
+	for _, c := range e.Clauses {
+		if !relational.Eval(c, inst) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the envelope in Alloy-like syntax, one clause per line —
+// the Fig. 5 presentation.
+func (e *Envelope) String() string {
+	if e.Trivial() {
+		return "// envelope " + e.Name() + " is trivially satisfied\n"
+	}
+	var b strings.Builder
+	b.WriteString("// envelope ")
+	b.WriteString(e.Name())
+	b.WriteByte('\n')
+	for _, c := range e.Clauses {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Name renders "E_{From→To}".
+func (e *Envelope) Name() string {
+	return "E_{" + e.From + "→" + e.To + "}"
+}
+
+// LeakedAtoms returns the sorted atom names that appear inside constant
+// expressions of the envelope clauses — the concrete fragments of the
+// sender's world the recipient learns. Sec. 7's configuration-privacy
+// discussion motivates measuring exactly this: the Fig. 5 envelope leaks
+// the special status of port 23 "but little else".
+func (e *Envelope) LeakedAtoms() []string {
+	set := make(map[string]bool)
+	for _, c := range e.Clauses {
+		leakF(c, e.universe, set)
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func leakF(f relational.Formula, u *relational.Universe, out map[string]bool) {
+	switch g := f.(type) {
+	case *relational.ConstFormula:
+	case *relational.CompFormula:
+		leakE(g.Left(), u, out)
+		leakE(g.Right(), u, out)
+	case *relational.MultFormula:
+		leakE(g.Expr(), u, out)
+	case *relational.NotFormula:
+		leakF(g.Inner(), u, out)
+	case *relational.NaryFormula:
+		for _, sub := range g.Operands() {
+			leakF(sub, u, out)
+		}
+	case *relational.QuantFormula:
+		for _, d := range g.Decls() {
+			leakE(d.Domain(), u, out)
+		}
+		leakF(g.Body(), u, out)
+	}
+}
+
+func leakE(e relational.Expr, u *relational.Universe, out map[string]bool) {
+	switch g := e.(type) {
+	case *relational.ConstExpr:
+		for _, t := range g.TupleSet().Tuples() {
+			for _, a := range t {
+				out[u.Atom(a)] = true
+			}
+		}
+	case *relational.BinExpr:
+		leakE(g.Left(), u, out)
+		leakE(g.Right(), u, out)
+	case *relational.TransposeExpr:
+		leakE(g.Inner(), u, out)
+	case *relational.ComprehensionExpr:
+		for _, d := range g.Decls() {
+			leakE(d.Domain(), u, out)
+		}
+		leakF(g.Body(), u, out)
+	}
+}
+
+// Size returns the total node count across clauses — a crude complexity
+// measure used by the simplification ablation.
+func (e *Envelope) Size() int {
+	n := 0
+	for _, c := range e.Clauses {
+		n += sizeF(c)
+	}
+	return n
+}
+
+func sizeF(f relational.Formula) int {
+	switch g := f.(type) {
+	case *relational.ConstFormula:
+		return 1
+	case *relational.CompFormula:
+		return 1 + sizeE(g.Left()) + sizeE(g.Right())
+	case *relational.MultFormula:
+		return 1 + sizeE(g.Expr())
+	case *relational.NotFormula:
+		return 1 + sizeF(g.Inner())
+	case *relational.NaryFormula:
+		n := 1
+		for _, sub := range g.Operands() {
+			n += sizeF(sub)
+		}
+		return n
+	case *relational.QuantFormula:
+		n := 1
+		for _, d := range g.Decls() {
+			n += sizeE(d.Domain())
+		}
+		return n + sizeF(g.Body())
+	}
+	return 1
+}
+
+func sizeE(e relational.Expr) int {
+	switch g := e.(type) {
+	case *relational.BinExpr:
+		return 1 + sizeE(g.Left()) + sizeE(g.Right())
+	case *relational.TransposeExpr:
+		return 1 + sizeE(g.Inner())
+	case *relational.ComprehensionExpr:
+		n := 1
+		for _, d := range g.Decls() {
+			n += sizeE(d.Domain())
+		}
+		return n + sizeF(g.Body())
+	default:
+		return 1
+	}
+}

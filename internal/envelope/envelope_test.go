@@ -1,0 +1,357 @@
+package envelope
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"muppet/internal/encode"
+	"muppet/internal/goals"
+	"muppet/internal/mesh"
+	"muppet/internal/relational"
+)
+
+func fig1System(t testing.TB) (*encode.System, *mesh.K8sConfig, *mesh.IstioConfig) {
+	t.Helper()
+	bundle, err := mesh.LoadFiles(
+		"../../testdata/fig1/mesh.yaml",
+		"../../testdata/fig1/k8s_current.yaml",
+		"../../testdata/fig1/istio_current.yaml",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := encode.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies,
+		[]int{23, 24, 25, 26, 10000, 12000, 14000, 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, bundle.K8s, bundle.Istio
+}
+
+// fig5Envelope computes E_{K8s→Istio} for the walkthrough: the Fig. 2 goal
+// against the K8s administrator's current (permissive) configuration.
+func fig5Envelope(t testing.TB, sys *encode.System, k8s *mesh.K8sConfig, opts Options) *Envelope {
+	t.Helper()
+	k8sGoals, err := goals.LoadK8sGoals("../../testdata/fig1/k8s_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := sys.CompileK8sGoals(k8sGoals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shared = sys.SharedTupleSets()
+	return Compute("K8s", "Istio",
+		[]relational.Formula{fk},
+		sys.SenderTupleSets(k8s, nil, nil),
+		sys.IstioRelations(),
+		sys.Universe, opts)
+}
+
+func TestFig5EnvelopeShape(t *testing.T) {
+	sys, k8s, _ := fig1System(t)
+	env := fig5Envelope(t, sys, k8s, Options{})
+	if env.Trivial() || env.Unsatisfiable() {
+		t.Fatalf("Fig. 5 envelope should be non-trivial and satisfiable:\n%s", env)
+	}
+	if len(env.Clauses) != 1 {
+		t.Fatalf("want a single ∀ clause, got %d:\n%s", len(env.Clauses), env)
+	}
+	// The envelope must be strictly in terms of the Istio domain: no K8s
+	// configuration relation survives substitution.
+	free := relational.FreeRelations(env.Formula())
+	for _, r := range sys.K8sRelations() {
+		if free[r] {
+			t.Fatalf("K8s relation %s leaked into the envelope:\n%s", r.Name(), env)
+		}
+	}
+	// All five Fig. 5 ingredient vocabularies appear.
+	s := env.String()
+	for _, want := range []string{"active_ports", "deny_to_ports", "allow_to_ports", "deny_from_service", "allow_from_service", "AuthPolicy"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("envelope missing %q:\n%s", want, s)
+		}
+	}
+	if env.Name() != "E_{K8s→Istio}" {
+		t.Fatalf("Name: %q", env.Name())
+	}
+}
+
+func TestFig5EnvelopeSemantics(t *testing.T) {
+	sys, k8s, istio := fig1System(t)
+	env := fig5Envelope(t, sys, k8s, Options{})
+
+	// The Istio administrator's current config exposes frontend:23 and
+	// admits backend→frontend — it must violate the envelope.
+	cur := sys.InstanceFor(k8s, istio, nil)
+	if env.Holds(cur) {
+		t.Fatal("current Istio config should violate E_{K8s→Istio}")
+	}
+	if len(env.Failing(cur)) == 0 {
+		t.Fatal("violation must produce blame clauses")
+	}
+
+	// Blocking port 23 via deny_to_ports on every egress satisfies it
+	// (Fig. 5 disjunct 2).
+	blocked := mesh.CloneIstio(istio)
+	for _, p := range blocked.Policies {
+		p.DenyToPorts = append(p.DenyToPorts, 23)
+	}
+	if !env.Holds(sys.InstanceFor(k8s, blocked, nil)) {
+		t.Fatal("deny_to_ports=23 everywhere should satisfy the envelope")
+	}
+
+	// Re-exposing the frontend away from port 23 satisfies it too
+	// (disjunct 1): no service listens on 23.
+	exposure := map[string][]int{
+		"test-frontend": {24},
+		"test-backend":  {25, 12000},
+		"test-db":       {16000},
+	}
+	if !env.Holds(sys.InstanceFor(k8s, istio, exposure)) {
+		t.Fatal("moving the frontend off port 23 should satisfy the envelope")
+	}
+
+	// Ingress-side blocking: nobody may send to the frontend (the only
+	// port-23 listener), via deny_from_service (disjunct 4).
+	denied := mesh.CloneIstio(istio)
+	denied.Policy("frontend-policy").AllowFromServices = nil
+	denied.Policy("frontend-policy").DenyFromServices = []string{"test-frontend", "test-backend", "test-db"}
+	if !env.Holds(sys.InstanceFor(k8s, denied, nil)) {
+		t.Fatal("denying all sources to the frontend should satisfy the envelope")
+	}
+}
+
+func TestEnvelopeTrivialWhenSenderEnforces(t *testing.T) {
+	// If the K8s configuration already denies port 23 everywhere, the
+	// goal is met internally and the envelope is trivial ("parts of the
+	// goals may be satisfied entirely internally", Sec. 3).
+	sys, k8s, _ := fig1System(t)
+	enforcing := mesh.CloneK8s(k8s)
+	enforcing.Policy("cluster-default").IngressDenyPorts = []int{23}
+	env := fig5Envelope(t, sys, enforcing, Options{})
+	if !env.Trivial() {
+		t.Fatalf("envelope should be trivial when the sender enforces internally:\n%s", env)
+	}
+}
+
+// TestEnvelopeSoundAndComplete is the paper's "necessary and sufficient"
+// property: for random recipient configurations, the envelope holds iff
+// the sender's goals hold on the composed system (given the sender's fixed
+// configuration and its own obligations).
+func TestEnvelopeSoundAndComplete(t *testing.T) {
+	sys, _, _ := fig1System(t)
+	rng := rand.New(rand.NewSource(99))
+
+	for iter := 0; iter < 40; iter++ {
+		// Random sender config and random goal table.
+		k8s := randomK8s(rng, sys)
+		gl := randomK8sGoals(rng, sys)
+		fk, err := sys.CompileK8sGoals(gl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := Compute("K8s", "Istio",
+			[]relational.Formula{fk},
+			sys.SenderTupleSets(k8s, nil, nil),
+			sys.IstioRelations(),
+			sys.Universe, Options{Shared: sys.SharedTupleSets()})
+
+		for trial := 0; trial < 15; trial++ {
+			istio, exposure := randomIstio(rng, sys)
+			inst := sys.InstanceFor(k8s, istio, exposure)
+			goalHolds := relational.Eval(fk, inst)
+			senderOK := true
+			for _, ob := range env.SenderObligations {
+				if !relational.Eval(ob, inst) {
+					senderOK = false
+					break
+				}
+			}
+			envHolds := env.Holds(inst) && senderOK
+			if goalHolds != envHolds {
+				t.Fatalf("iter %d trial %d: goals=%v envelope=%v\ngoals: %v\nenvelope:\n%s",
+					iter, trial, goalHolds, envHolds, gl, env)
+			}
+		}
+	}
+}
+
+func TestEnvelopeOtherDirection(t *testing.T) {
+	// E_{Istio→K8s}: the Istio goals, modulo the Istio config, in terms of
+	// the K8s domain — the paper's "envelope in the other direction".
+	sys, k8s, istio := fig1System(t)
+	istioGoals, err := goals.LoadIstioGoals("../../testdata/fig1/istio_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := sys.CompileIstioGoals(istioGoals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Compute("Istio", "K8s",
+		[]relational.Formula{fi},
+		sys.SenderTupleSets(nil, istio, nil),
+		sys.K8sRelations(),
+		sys.Universe, Options{Shared: sys.SharedTupleSets()})
+	if env.Trivial() {
+		t.Fatal("reachability goals must impose obligations on K8s")
+	}
+	// The permissive current K8s config satisfies it.
+	if !env.Holds(sys.InstanceFor(k8s, istio, nil)) {
+		t.Fatalf("permissive K8s config should satisfy E_{Istio→K8s}:\n%v", env.Failing(sys.InstanceFor(k8s, istio, nil)))
+	}
+	// The port-23 ban violates it (it breaks backend→frontend:23).
+	banned := mesh.CloneK8s(k8s)
+	banned.Policy("cluster-default").IngressDenyPorts = []int{23}
+	if env.Holds(sys.InstanceFor(banned, istio, nil)) {
+		t.Fatal("the port-23 ban must violate E_{Istio→K8s}")
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	sys, k8s, _ := fig1System(t)
+	env := fig5Envelope(t, sys, k8s, Options{})
+	leaked := env.LeakedAtoms()
+	hasPort23 := false
+	for _, a := range leaked {
+		if a == "port:23" {
+			hasPort23 = true
+		}
+		if strings.HasPrefix(a, "port:") && a != "port:23" {
+			t.Fatalf("envelope leaks unrelated port %s (leaked: %v)", a, leaked)
+		}
+		if strings.HasPrefix(a, "np:") {
+			t.Fatalf("envelope leaks K8s policy object %s", a)
+		}
+	}
+	if !hasPort23 {
+		t.Fatalf("the special status of port 23 should be visible: %v", leaked)
+	}
+}
+
+func TestSimplificationAblation(t *testing.T) {
+	sys, k8s, istio := fig1System(t)
+	simplified := fig5Envelope(t, sys, k8s, Options{})
+	raw := fig5Envelope(t, sys, k8s, Options{NoSimplify: true})
+	if raw.Size() <= simplified.Size() {
+		t.Fatalf("simplification should shrink the envelope: raw=%d simplified=%d", raw.Size(), simplified.Size())
+	}
+	// Both must agree semantically.
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		ic, exposure := randomIstio(rng, sys)
+		inst := sys.InstanceFor(k8s, ic, exposure)
+		if raw.Holds(inst) != simplified.Holds(inst) {
+			t.Fatal("simplification changed envelope semantics")
+		}
+	}
+	_ = istio
+}
+
+func TestUnsatisfiableEnvelope(t *testing.T) {
+	// A sender goal that no recipient configuration can meet: require
+	// traffic allowed to a destination while the sender's own config
+	// denies the port. ALLOW goal + sender ingress deny on the same port
+	// simplifies to false.
+	sys, k8s, _ := fig1System(t)
+	denying := mesh.CloneK8s(k8s)
+	denying.Policy("cluster-default").IngressDenyPorts = []int{16000}
+	f, err := sys.CompileK8sGoal(goals.K8sGoal{Port: 16000, Allow: true, Selector: map[string]string{"app": "db"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Compute("K8s", "Istio",
+		[]relational.Formula{f},
+		sys.SenderTupleSets(denying, nil, nil),
+		sys.IstioRelations(),
+		sys.Universe, Options{Shared: sys.SharedTupleSets()})
+	if !env.Unsatisfiable() {
+		t.Fatalf("self-contradicting sender should produce an unsatisfiable envelope:\n%s", env)
+	}
+}
+
+// --- helpers ---
+
+func randomK8s(rng *rand.Rand, sys *encode.System) *mesh.K8sConfig {
+	cfg := &mesh.K8sConfig{}
+	for _, shell := range sys.K8sShells {
+		p := &mesh.NetworkPolicy{Name: shell.Name, Selector: shell.Selector}
+		for _, port := range sys.PortList {
+			switch rng.Intn(8) {
+			case 0:
+				p.IngressDenyPorts = append(p.IngressDenyPorts, port)
+			case 1:
+				p.IngressAllowPorts = append(p.IngressAllowPorts, port)
+			case 2:
+				p.EgressDenyPorts = append(p.EgressDenyPorts, port)
+			case 3:
+				p.EgressAllowPorts = append(p.EgressAllowPorts, port)
+			}
+		}
+		cfg.Policies = append(cfg.Policies, p)
+	}
+	return cfg
+}
+
+func randomIstio(rng *rand.Rand, sys *encode.System) (*mesh.IstioConfig, map[string][]int) {
+	cfg := &mesh.IstioConfig{}
+	for _, shell := range sys.IstioShells {
+		p := &mesh.AuthorizationPolicy{Name: shell.Name, Target: shell.Target}
+		for _, port := range sys.PortList {
+			switch rng.Intn(8) {
+			case 0:
+				p.DenyToPorts = append(p.DenyToPorts, port)
+			case 1:
+				p.AllowToPorts = append(p.AllowToPorts, port)
+			}
+		}
+		for _, s := range sys.Mesh.Services {
+			switch rng.Intn(6) {
+			case 0:
+				p.DenyFromServices = append(p.DenyFromServices, s.Name)
+			case 1:
+				p.AllowFromServices = append(p.AllowFromServices, s.Name)
+			}
+		}
+		cfg.Policies = append(cfg.Policies, p)
+	}
+	exposure := make(map[string][]int)
+	for _, s := range sys.Mesh.Services {
+		for _, port := range sys.PortList {
+			if rng.Intn(3) == 0 {
+				exposure[s.Name] = append(exposure[s.Name], port)
+			}
+		}
+	}
+	return cfg, exposure
+}
+
+func randomK8sGoals(rng *rand.Rand, sys *encode.System) []goals.K8sGoal {
+	var out []goals.K8sGoal
+	n := 1 + rng.Intn(2)
+	selectors := []map[string]string{nil, {"app": "frontend"}, {"app": "backend"}, {"app": "db"}}
+	for i := 0; i < n; i++ {
+		out = append(out, goals.K8sGoal{
+			Port:     sys.PortList[rng.Intn(len(sys.PortList))],
+			Allow:    rng.Intn(4) == 0,
+			Selector: selectors[rng.Intn(len(selectors))],
+		})
+	}
+	return out
+}
+
+func BenchmarkFig5EnvelopeCompute(b *testing.B) {
+	sys, k8s, _ := fig1System(b)
+	k8sGoals, _ := goals.LoadK8sGoals("../../testdata/fig1/k8s_goals.csv")
+	fk, _ := sys.CompileK8sGoals(k8sGoals)
+	cfg := sys.SenderTupleSets(k8s, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := Compute("K8s", "Istio", []relational.Formula{fk}, cfg, sys.IstioRelations(), sys.Universe, Options{Shared: sys.SharedTupleSets()})
+		if env.Trivial() {
+			b.Fatal("unexpected trivial envelope")
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package goals implements Muppet's administrator goal language: CSV
+// tables of traffic requirements, as in the paper's Figs. 2–4.
+//
+// The K8s administrator states port-level goals (Fig. 2):
+//
+//	port,perm,selector
+//	23,DENY,*
+//
+// The Istio administrator states service-to-service reachability goals
+// (Figs. 3 and 4):
+//
+//	srcService,dstService,srcPort,dstPort
+//	test-frontend,test-backend,24,25
+//	test-backend,test-frontend,?y,?z
+//
+// Port cells may be concrete ports, `*` (any value acceptable, fresh
+// choice per row), or existential variables written `?name` (or `∃name`);
+// rows sharing a variable must agree on its value — Fig. 4's "variables
+// capturing which must be the same". An optional trailing `perm` column
+// (ALLOW/DENY) turns a row into a prohibition; it defaults to ALLOW, the
+// reachability reading of Fig. 3.
+package goals
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PortKind distinguishes the three port-cell forms.
+type PortKind uint8
+
+// Port cell kinds.
+const (
+	PortLit PortKind = iota // a concrete port number
+	PortAny                 // `*`: any value acceptable
+	PortVar                 // `?x`: existential variable shared by name
+)
+
+// PortTerm is one port cell of an Istio goal row.
+type PortTerm struct {
+	Kind PortKind
+	Port int    // valid when Kind == PortLit
+	Var  string // valid when Kind == PortVar
+}
+
+// LitPort builds a concrete port term.
+func LitPort(p int) PortTerm { return PortTerm{Kind: PortLit, Port: p} }
+
+// AnyPort builds the `*` term.
+func AnyPort() PortTerm { return PortTerm{Kind: PortAny} }
+
+// VarPort builds an existential variable term.
+func VarPort(name string) PortTerm { return PortTerm{Kind: PortVar, Var: name} }
+
+func (t PortTerm) String() string {
+	switch t.Kind {
+	case PortLit:
+		return strconv.Itoa(t.Port)
+	case PortAny:
+		return "*"
+	default:
+		return "?" + t.Var
+	}
+}
+
+// K8sGoal is one row of the K8s goal table (Fig. 2): traffic to the
+// selected services on Port must be allowed or denied.
+type K8sGoal struct {
+	Port     int
+	Allow    bool
+	Selector map[string]string // nil/empty = all services
+}
+
+func (g K8sGoal) String() string {
+	perm := "DENY"
+	if g.Allow {
+		perm = "ALLOW"
+	}
+	return fmt.Sprintf("%d,%s,%s", g.Port, perm, selectorString(g.Selector))
+}
+
+// IstioGoal is one row of the Istio goal table (Figs. 3 and 4).
+type IstioGoal struct {
+	Src, Dst         string // service names; "*" = all services
+	SrcPort, DstPort PortTerm
+	Allow            bool
+}
+
+func (g IstioGoal) String() string {
+	s := fmt.Sprintf("%s,%s,%s,%s", g.Src, g.Dst, g.SrcPort, g.DstPort)
+	if !g.Allow {
+		s += ",DENY"
+	}
+	return s
+}
+
+// Vars returns the distinct variable names used by the goal rows, sorted.
+func Vars(gs []IstioGoal) []string {
+	set := make(map[string]bool)
+	for _, g := range gs {
+		for _, t := range []PortTerm{g.SrcPort, g.DstPort} {
+			if t.Kind == PortVar {
+				set[t.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ports returns the concrete ports mentioned by goal rows, sorted.
+func Ports(k8s []K8sGoal, istio []IstioGoal) []int {
+	set := make(map[int]bool)
+	for _, g := range k8s {
+		set[g.Port] = true
+	}
+	for _, g := range istio {
+		for _, t := range []PortTerm{g.SrcPort, g.DstPort} {
+			if t.Kind == PortLit {
+				set[t.Port] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ParseK8sGoals reads the Fig. 2 CSV format. The header row is optional.
+func ParseK8sGoals(r io.Reader) ([]K8sGoal, error) {
+	rows, err := readRows(r, "k8s goals")
+	if err != nil {
+		return nil, err
+	}
+	var out []K8sGoal
+	for i, row := range rows {
+		if i == 0 && isHeader(row, "port") {
+			continue
+		}
+		if len(row) != 3 {
+			return nil, fmt.Errorf("goals: k8s row %d: want 3 columns (port,perm,selector), got %d", i+1, len(row))
+		}
+		port, err := strconv.Atoi(strings.TrimSpace(row[0]))
+		if err != nil || port <= 0 || port > 65535 {
+			return nil, fmt.Errorf("goals: k8s row %d: bad port %q", i+1, row[0])
+		}
+		allow, err := parsePerm(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("goals: k8s row %d: %w", i+1, err)
+		}
+		sel, err := parseSelector(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("goals: k8s row %d: %w", i+1, err)
+		}
+		out = append(out, K8sGoal{Port: port, Allow: allow, Selector: sel})
+	}
+	return out, nil
+}
+
+// ParseIstioGoals reads the Figs. 3/4 CSV format. The header row is
+// optional; a 5th perm column is optional per row.
+func ParseIstioGoals(r io.Reader) ([]IstioGoal, error) {
+	rows, err := readRows(r, "istio goals")
+	if err != nil {
+		return nil, err
+	}
+	var out []IstioGoal
+	for i, row := range rows {
+		if i == 0 && isHeader(row, "srcservice") {
+			continue
+		}
+		if len(row) != 4 && len(row) != 5 {
+			return nil, fmt.Errorf("goals: istio row %d: want 4 or 5 columns, got %d", i+1, len(row))
+		}
+		g := IstioGoal{
+			Src:   strings.TrimSpace(row[0]),
+			Dst:   strings.TrimSpace(row[1]),
+			Allow: true,
+		}
+		if g.Src == "" || g.Dst == "" {
+			return nil, fmt.Errorf("goals: istio row %d: empty service name", i+1)
+		}
+		if g.SrcPort, err = parsePortTerm(row[2]); err != nil {
+			return nil, fmt.Errorf("goals: istio row %d srcPort: %w", i+1, err)
+		}
+		if g.DstPort, err = parsePortTerm(row[3]); err != nil {
+			return nil, fmt.Errorf("goals: istio row %d dstPort: %w", i+1, err)
+		}
+		if len(row) == 5 {
+			if g.Allow, err = parsePerm(row[4]); err != nil {
+				return nil, fmt.Errorf("goals: istio row %d: %w", i+1, err)
+			}
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// LoadK8sGoals reads a Fig. 2 CSV file.
+func LoadK8sGoals(path string) ([]K8sGoal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gs, err := ParseK8sGoals(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return gs, nil
+}
+
+// LoadIstioGoals reads a Figs. 3/4 CSV file.
+func LoadIstioGoals(path string) ([]IstioGoal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gs, err := ParseIstioGoals(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return gs, nil
+}
+
+func readRows(r io.Reader, what string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("goals: reading %s: %w", what, err)
+	}
+	return rows, nil
+}
+
+func isHeader(row []string, firstCol string) bool {
+	return len(row) > 0 && strings.EqualFold(strings.TrimSpace(row[0]), firstCol)
+}
+
+func parsePerm(s string) (bool, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "ALLOW":
+		return true, nil
+	case "DENY":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad perm %q (want ALLOW or DENY)", s)
+}
+
+func parsePortTerm(s string) (PortTerm, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "*":
+		return AnyPort(), nil
+	case strings.HasPrefix(s, "?"):
+		name := s[1:]
+		if name == "" {
+			return PortTerm{}, fmt.Errorf("empty variable name")
+		}
+		return VarPort(name), nil
+	case strings.HasPrefix(s, "∃"):
+		name := strings.TrimPrefix(s, "∃")
+		if name == "" {
+			return PortTerm{}, fmt.Errorf("empty variable name")
+		}
+		return VarPort(name), nil
+	}
+	p, err := strconv.Atoi(s)
+	if err != nil || p <= 0 || p > 65535 {
+		return PortTerm{}, fmt.Errorf("bad port %q", s)
+	}
+	return LitPort(p), nil
+}
+
+// parseSelector parses "*" or space-separated k=v pairs ("app=db tier=x").
+func parseSelector(s string) (map[string]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "*" || s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Fields(s) {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad selector pair %q", pair)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}
+
+func selectorString(sel map[string]string) string {
+	if len(sel) == 0 {
+		return "*"
+	}
+	keys := make([]string, 0, len(sel))
+	for k := range sel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + sel[k]
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,219 @@
+package goals
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseK8sGoalsFig2(t *testing.T) {
+	gs, err := LoadK8sGoals("../../testdata/fig1/k8s_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 {
+		t.Fatalf("want 1 goal, got %d", len(gs))
+	}
+	g := gs[0]
+	if g.Port != 23 || g.Allow || g.Selector != nil {
+		t.Fatalf("Fig. 2 goal mismatch: %+v", g)
+	}
+	if g.String() != "23,DENY,*" {
+		t.Fatalf("String: %q", g.String())
+	}
+}
+
+func TestParseIstioGoalsFig3(t *testing.T) {
+	gs, err := LoadIstioGoals("../../testdata/fig1/istio_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []IstioGoal{
+		{Src: "test-frontend", Dst: "test-backend", SrcPort: LitPort(24), DstPort: LitPort(25), Allow: true},
+		{Src: "test-backend", Dst: "test-frontend", SrcPort: LitPort(26), DstPort: LitPort(23), Allow: true},
+		{Src: "test-backend", Dst: "test-db", SrcPort: LitPort(14000), DstPort: LitPort(16000), Allow: true},
+		{Src: "test-db", Dst: "test-backend", SrcPort: LitPort(10000), DstPort: LitPort(12000), Allow: true},
+	}
+	if !reflect.DeepEqual(gs, want) {
+		t.Fatalf("got %+v\nwant %+v", gs, want)
+	}
+}
+
+func TestParseIstioGoalsFig4Variables(t *testing.T) {
+	gs, err := LoadIstioGoals("../../testdata/fig1/istio_goals_revised.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].SrcPort != VarPort("w") || gs[0].DstPort != VarPort("x") {
+		t.Fatalf("row 1 variables: %+v", gs[0])
+	}
+	if gs[1].SrcPort != VarPort("y") || gs[1].DstPort != VarPort("z") {
+		t.Fatalf("row 2 variables: %+v", gs[1])
+	}
+	if gs[2].DstPort != LitPort(16000) {
+		t.Fatalf("row 3: %+v", gs[2])
+	}
+	if got := Vars(gs); !reflect.DeepEqual(got, []string{"w", "x", "y", "z"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+}
+
+func TestUnicodeExistsSyntax(t *testing.T) {
+	gs, err := ParseIstioGoals(strings.NewReader("a,b,∃w,∃x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].SrcPort != VarPort("w") || gs[0].DstPort != VarPort("x") {
+		t.Fatalf("got %+v", gs[0])
+	}
+}
+
+func TestWildcardAndPerm(t *testing.T) {
+	gs, err := ParseIstioGoals(strings.NewReader(
+		"srcService,dstService,srcPort,dstPort,perm\n*,test-db,*,16000,DENY\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gs[0]
+	if g.Src != "*" || g.Allow || g.SrcPort.Kind != PortAny || g.DstPort != LitPort(16000) {
+		t.Fatalf("got %+v", g)
+	}
+	if g.String() != "*,test-db,*,16000,DENY" {
+		t.Fatalf("String: %q", g.String())
+	}
+}
+
+func TestSelectorParsing(t *testing.T) {
+	gs, err := ParseK8sGoals(strings.NewReader("8080,ALLOW,app=web tier=edge\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"app": "web", "tier": "edge"}
+	if !reflect.DeepEqual(gs[0].Selector, want) {
+		t.Fatalf("selector %v", gs[0].Selector)
+	}
+	if !gs[0].Allow {
+		t.Fatal("perm ALLOW not parsed")
+	}
+}
+
+func TestPortsHelper(t *testing.T) {
+	k := []K8sGoal{{Port: 23}}
+	i := []IstioGoal{
+		{SrcPort: LitPort(24), DstPort: LitPort(25)},
+		{SrcPort: VarPort("w"), DstPort: LitPort(23)},
+	}
+	if got := Ports(k, i); !reflect.DeepEqual(got, []int{23, 24, 25}) {
+		t.Fatalf("Ports = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	k8sCases := []string{
+		"notaport,DENY,*",
+		"0,DENY,*",
+		"70000,DENY,*",
+		"23,MAYBE,*",
+		"23,DENY,badselector",
+		"23,DENY",
+	}
+	for _, src := range k8sCases {
+		if _, err := ParseK8sGoals(strings.NewReader(src)); err == nil {
+			t.Errorf("k8s %q: expected error", src)
+		}
+	}
+	istioCases := []string{
+		"a,b,24",
+		"a,b,24,25,26,27",
+		"a,b,?,25",
+		"a,b,24,notaport",
+		"a,b,24,25,MAYBE",
+		",b,24,25",
+	}
+	for _, src := range istioCases {
+		if _, err := ParseIstioGoals(strings.NewReader(src)); err == nil {
+			t.Errorf("istio %q: expected error", src)
+		}
+	}
+}
+
+func TestHeaderOptional(t *testing.T) {
+	with, err := ParseK8sGoals(strings.NewReader("port,perm,selector\n23,DENY,*\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ParseK8sGoals(strings.NewReader("23,DENY,*\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(with, without) {
+		t.Fatalf("header handling differs: %v vs %v", with, without)
+	}
+}
+
+func TestPortTermString(t *testing.T) {
+	if LitPort(23).String() != "23" || AnyPort().String() != "*" || VarPort("w").String() != "?w" {
+		t.Fatal("PortTerm rendering broken")
+	}
+}
+
+// TestRoundTripQuick: rendering a goal row and re-parsing it yields the
+// same row (testing/quick over randomized rows).
+func TestRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	k8sProp := func(port uint16, allow bool, selIdx uint8) bool {
+		p := int(port)
+		if p == 0 {
+			p = 1
+		}
+		selectors := []map[string]string{nil, {"app": "db"}, {"app": "db", "tier": "x"}}
+		g := K8sGoal{Port: p, Allow: allow, Selector: selectors[int(selIdx)%3]}
+		parsed, err := ParseK8sGoals(strings.NewReader(g.String() + "\n"))
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		got := parsed[0]
+		if got.Port != g.Port || got.Allow != g.Allow {
+			return false
+		}
+		if len(g.Selector) == 0 {
+			return got.Selector == nil
+		}
+		return reflect.DeepEqual(got.Selector, g.Selector)
+	}
+	if err := quick.Check(k8sProp, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	istioProp := func(sp, dp uint16, kindS, kindD uint8, allow bool) bool {
+		mk := func(kind uint8, port uint16, name string) PortTerm {
+			switch kind % 3 {
+			case 0:
+				p := int(port)
+				if p == 0 {
+					p = 1
+				}
+				return LitPort(p)
+			case 1:
+				return AnyPort()
+			default:
+				return VarPort(name)
+			}
+		}
+		g := IstioGoal{
+			Src: "svc-a", Dst: "svc-b",
+			SrcPort: mk(kindS, sp, "w"),
+			DstPort: mk(kindD, dp, "z"),
+			Allow:   allow,
+		}
+		parsed, err := ParseIstioGoals(strings.NewReader(g.String() + "\n"))
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(parsed[0], g)
+	}
+	if err := quick.Check(istioProp, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

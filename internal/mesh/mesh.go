@@ -1,0 +1,461 @@
+// Package mesh models the microservices configuration domain of the Muppet
+// paper (Sec. 5): a set of Services with labels and listening ports,
+// Kubernetes NetworkPolicies controlling traffic by service selector and
+// port, and Istio AuthorizationPolicies controlling traffic across services
+// and ports.
+//
+// The package also provides a direct, solver-free evaluator for the
+// composed traffic semantics ("is this flow allowed?"). The logic encoding
+// in package encode must agree with this evaluator — that agreement is
+// checked by differential property tests, and it is what makes envelopes
+// trustworthy: the formulas Muppet manipulates mean exactly what the
+// runtime semantics say.
+//
+// Semantics follow the paper's Fig. 5:
+//   - a flow reaches only a port its destination listens on;
+//   - a deny entry always blocks (deny overrides);
+//   - a non-empty allow list implicitly blocks anything not in the union
+//     of applicable allow lists;
+//   - K8s and Istio verdicts compose conjunctively: if either denies, the
+//     flow is denied (Sec. 2).
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Service is a mesh workload: a name, a label set, and the ports it
+// listens on ("active ports" in the paper's Fig. 5).
+type Service struct {
+	Name   string
+	Labels map[string]string
+	Ports  []int
+}
+
+// Listens reports whether the service listens on port.
+func (s *Service) Listens(port int) bool {
+	for _, p := range s.Ports {
+		if p == port {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLabels reports whether every key/value pair of sel appears in the
+// service's labels. An empty selector matches every service.
+func (s *Service) HasLabels(sel map[string]string) bool {
+	for k, v := range sel {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mesh is the shared system structure both administrators configure
+// against: the service inventory. It is derived from production YAML and is
+// not itself negotiable.
+type Mesh struct {
+	Services []*Service
+}
+
+// Service returns the named service, or nil.
+func (m *Mesh) Service(name string) *Service {
+	for _, s := range m.Services {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ServiceNames returns the service names in declaration order.
+func (m *Mesh) ServiceNames() []string {
+	out := make([]string, len(m.Services))
+	for i, s := range m.Services {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Validate checks structural sanity: unique non-empty service names and
+// positive ports.
+func (m *Mesh) Validate() error {
+	seen := make(map[string]bool)
+	for _, s := range m.Services {
+		if s.Name == "" {
+			return fmt.Errorf("mesh: service with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("mesh: duplicate service %q", s.Name)
+		}
+		seen[s.Name] = true
+		for _, p := range s.Ports {
+			if p <= 0 || p > 65535 {
+				return fmt.Errorf("mesh: service %q has invalid port %d", s.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Ports returns the sorted union of all service listening ports.
+func (m *Mesh) Ports() []int {
+	set := make(map[int]bool)
+	for _, s := range m.Services {
+		for _, p := range s.Ports {
+			set[p] = true
+		}
+	}
+	return sortedPorts(set)
+}
+
+// NetworkPolicy is the modelled subset of a Kubernetes NetworkPolicy: it
+// selects services by label and permits or prohibits traffic to and from
+// them by destination port. Deny overrides allow; a non-empty allow list
+// implicitly denies unlisted ports.
+type NetworkPolicy struct {
+	Name     string
+	Selector map[string]string // empty selects all services
+
+	// Ingress rules constrain ports on which selected services may
+	// receive traffic.
+	IngressDenyPorts  []int
+	IngressAllowPorts []int
+
+	// Egress rules constrain destination ports to which selected services
+	// may send traffic.
+	EgressDenyPorts  []int
+	EgressAllowPorts []int
+}
+
+// Selects reports whether the policy applies to the service.
+func (p *NetworkPolicy) Selects(s *Service) bool { return s.HasLabels(p.Selector) }
+
+// AuthorizationPolicy is the modelled subset of an Istio
+// AuthorizationPolicy (the paper's Fig. 5 shape): it targets services by
+// label; in the egress direction it constrains destination ports
+// (deny_to_ports / allow_to_ports), and in the ingress direction it
+// constrains source services (deny_from_service / allow_from_service).
+type AuthorizationPolicy struct {
+	Name   string
+	Target map[string]string // empty targets all services
+
+	DenyToPorts  []int
+	AllowToPorts []int
+
+	DenyFromServices  []string
+	AllowFromServices []string
+}
+
+// Targets reports whether the policy applies to the service.
+func (p *AuthorizationPolicy) Targets(s *Service) bool { return s.HasLabels(p.Target) }
+
+// K8sConfig is the Kubernetes administrator's configuration.
+type K8sConfig struct {
+	Policies []*NetworkPolicy
+}
+
+// Policy returns the named policy, or nil.
+func (c *K8sConfig) Policy(name string) *NetworkPolicy {
+	for _, p := range c.Policies {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// IstioConfig is the Istio administrator's configuration.
+type IstioConfig struct {
+	Policies []*AuthorizationPolicy
+}
+
+// Policy returns the named policy, or nil.
+func (c *IstioConfig) Policy(name string) *AuthorizationPolicy {
+	for _, p := range c.Policies {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Flow is one service-to-service packet flow, as in the paper's goal
+// tables (Figs. 1, 3, 4). Policies in this model constrain the destination
+// port and the endpoint services; the source port participates in goals
+// but not in policy admission.
+type Flow struct {
+	Src, Dst         string
+	SrcPort, DstPort int
+}
+
+func (f Flow) String() string {
+	return fmt.Sprintf("%s:%d -> %s:%d", f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// Verdict explains the outcome of evaluating one flow.
+type Verdict struct {
+	Allowed bool
+	// Reason names the first blocking check when Allowed is false.
+	Reason string
+}
+
+// K8sEgressBlocks reports whether K8s policy blocks src from sending to
+// dstPort: an applicable egress deny lists the port, or some applicable
+// egress allow list exists and none lists the port.
+func K8sEgressBlocks(m *Mesh, c *K8sConfig, src *Service, dstPort int) bool {
+	anyAllow, allowed := false, false
+	for _, p := range c.Policies {
+		if !p.Selects(src) {
+			continue
+		}
+		if containsPort(p.EgressDenyPorts, dstPort) {
+			return true
+		}
+		if len(p.EgressAllowPorts) > 0 {
+			anyAllow = true
+			if containsPort(p.EgressAllowPorts, dstPort) {
+				allowed = true
+			}
+		}
+	}
+	return anyAllow && !allowed
+}
+
+// K8sIngressBlocks reports whether K8s policy blocks dst from receiving on
+// dstPort.
+func K8sIngressBlocks(m *Mesh, c *K8sConfig, dst *Service, dstPort int) bool {
+	anyAllow, allowed := false, false
+	for _, p := range c.Policies {
+		if !p.Selects(dst) {
+			continue
+		}
+		if containsPort(p.IngressDenyPorts, dstPort) {
+			return true
+		}
+		if len(p.IngressAllowPorts) > 0 {
+			anyAllow = true
+			if containsPort(p.IngressAllowPorts, dstPort) {
+				allowed = true
+			}
+		}
+	}
+	return anyAllow && !allowed
+}
+
+// IstioEgressBlocks reports whether Istio policy blocks src from sending to
+// dstPort (Fig. 5 disjuncts 2 and 3).
+func IstioEgressBlocks(m *Mesh, c *IstioConfig, src *Service, dstPort int) bool {
+	anyAllow, allowed := false, false
+	for _, p := range c.Policies {
+		if !p.Targets(src) {
+			continue
+		}
+		if containsPort(p.DenyToPorts, dstPort) {
+			return true
+		}
+		if len(p.AllowToPorts) > 0 {
+			anyAllow = true
+			if containsPort(p.AllowToPorts, dstPort) {
+				allowed = true
+			}
+		}
+	}
+	return anyAllow && !allowed
+}
+
+// IstioIngressBlocks reports whether Istio policy blocks dst from receiving
+// from src (Fig. 5 disjuncts 4 and 5).
+func IstioIngressBlocks(m *Mesh, c *IstioConfig, dst *Service, srcName string) bool {
+	anyAllow, allowed := false, false
+	for _, p := range c.Policies {
+		if !p.Targets(dst) {
+			continue
+		}
+		if containsString(p.DenyFromServices, srcName) {
+			return true
+		}
+		if len(p.AllowFromServices) > 0 {
+			anyAllow = true
+			if containsString(p.AllowFromServices, srcName) {
+				allowed = true
+			}
+		}
+	}
+	return anyAllow && !allowed
+}
+
+// Evaluate decides a flow under the composed K8s + Istio configuration,
+// explaining the first blocking check on denial.
+func Evaluate(m *Mesh, k8s *K8sConfig, istio *IstioConfig, f Flow) Verdict {
+	src := m.Service(f.Src)
+	dst := m.Service(f.Dst)
+	if src == nil {
+		return Verdict{Reason: fmt.Sprintf("unknown source service %q", f.Src)}
+	}
+	if dst == nil {
+		return Verdict{Reason: fmt.Sprintf("unknown destination service %q", f.Dst)}
+	}
+	switch {
+	case !dst.Listens(f.DstPort):
+		return Verdict{Reason: fmt.Sprintf("%s does not listen on port %d", dst.Name, f.DstPort)}
+	case K8sEgressBlocks(m, k8s, src, f.DstPort):
+		return Verdict{Reason: fmt.Sprintf("K8s egress policy blocks %s sending to port %d", src.Name, f.DstPort)}
+	case K8sIngressBlocks(m, k8s, dst, f.DstPort):
+		return Verdict{Reason: fmt.Sprintf("K8s ingress policy blocks %s receiving on port %d", dst.Name, f.DstPort)}
+	case IstioEgressBlocks(m, istio, src, f.DstPort):
+		return Verdict{Reason: fmt.Sprintf("Istio egress policy blocks %s sending to port %d", src.Name, f.DstPort)}
+	case IstioIngressBlocks(m, istio, dst, src.Name):
+		return Verdict{Reason: fmt.Sprintf("Istio ingress policy blocks %s receiving from %s", dst.Name, src.Name)}
+	}
+	return Verdict{Allowed: true}
+}
+
+// Allowed is Evaluate without the explanation.
+func Allowed(m *Mesh, k8s *K8sConfig, istio *IstioConfig, f Flow) bool {
+	return Evaluate(m, k8s, istio, f).Allowed
+}
+
+// ReachabilityMatrix returns, for every ordered service pair, the sorted
+// destination ports on which traffic is allowed. Keys are "src->dst".
+func ReachabilityMatrix(m *Mesh, k8s *K8sConfig, istio *IstioConfig) map[string][]int {
+	out := make(map[string][]int)
+	for _, src := range m.Services {
+		for _, dst := range m.Services {
+			var ports []int
+			for _, p := range dst.Ports {
+				if Allowed(m, k8s, istio, Flow{Src: src.Name, Dst: dst.Name, SrcPort: 0, DstPort: p}) {
+					ports = append(ports, p)
+				}
+			}
+			sort.Ints(ports)
+			out[src.Name+"->"+dst.Name] = ports
+		}
+	}
+	return out
+}
+
+// CloneK8s deep-copies a K8s configuration.
+func CloneK8s(c *K8sConfig) *K8sConfig {
+	out := &K8sConfig{}
+	for _, p := range c.Policies {
+		out.Policies = append(out.Policies, &NetworkPolicy{
+			Name:              p.Name,
+			Selector:          cloneMap(p.Selector),
+			IngressDenyPorts:  clonePorts(p.IngressDenyPorts),
+			IngressAllowPorts: clonePorts(p.IngressAllowPorts),
+			EgressDenyPorts:   clonePorts(p.EgressDenyPorts),
+			EgressAllowPorts:  clonePorts(p.EgressAllowPorts),
+		})
+	}
+	return out
+}
+
+// CloneIstio deep-copies an Istio configuration.
+func CloneIstio(c *IstioConfig) *IstioConfig {
+	out := &IstioConfig{}
+	for _, p := range c.Policies {
+		out.Policies = append(out.Policies, &AuthorizationPolicy{
+			Name:              p.Name,
+			Target:            cloneMap(p.Target),
+			DenyToPorts:       clonePorts(p.DenyToPorts),
+			AllowToPorts:      clonePorts(p.AllowToPorts),
+			DenyFromServices:  append([]string(nil), p.DenyFromServices...),
+			AllowFromServices: append([]string(nil), p.AllowFromServices...),
+		})
+	}
+	return out
+}
+
+// DescribeK8s renders a K8s configuration compactly, one policy per line.
+func DescribeK8s(c *K8sConfig) string {
+	var b strings.Builder
+	for _, p := range c.Policies {
+		fmt.Fprintf(&b, "NetworkPolicy %s selector=%s ingressDeny=%v ingressAllow=%v egressDeny=%v egressAllow=%v\n",
+			p.Name, describeSelector(p.Selector),
+			sortedCopy(p.IngressDenyPorts), sortedCopy(p.IngressAllowPorts),
+			sortedCopy(p.EgressDenyPorts), sortedCopy(p.EgressAllowPorts))
+	}
+	return b.String()
+}
+
+// DescribeIstio renders an Istio configuration compactly.
+func DescribeIstio(c *IstioConfig) string {
+	var b strings.Builder
+	for _, p := range c.Policies {
+		from := append([]string(nil), p.AllowFromServices...)
+		sort.Strings(from)
+		denyFrom := append([]string(nil), p.DenyFromServices...)
+		sort.Strings(denyFrom)
+		fmt.Fprintf(&b, "AuthorizationPolicy %s target=%s denyTo=%v allowTo=%v denyFrom=%v allowFrom=%v\n",
+			p.Name, describeSelector(p.Target),
+			sortedCopy(p.DenyToPorts), sortedCopy(p.AllowToPorts), denyFrom, from)
+	}
+	return b.String()
+}
+
+func describeSelector(sel map[string]string) string {
+	if len(sel) == 0 {
+		return "*"
+	}
+	keys := make([]string, 0, len(sel))
+	for k := range sel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + sel[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func containsPort(ports []int, p int) bool {
+	for _, q := range ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(ss []string, s string) bool {
+	for _, q := range ss {
+		if q == s {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func clonePorts(ps []int) []int { return append([]int(nil), ps...) }
+
+func sortedCopy(ps []int) []int {
+	out := clonePorts(ps)
+	sort.Ints(out)
+	return out
+}
+
+func sortedPorts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,486 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fig1 builds the paper's Figure 1 mesh in code.
+func fig1() *Mesh {
+	return &Mesh{Services: []*Service{
+		{Name: "test-frontend", Labels: map[string]string{"app": "frontend"}, Ports: []int{23}},
+		{Name: "test-backend", Labels: map[string]string{"app": "backend"}, Ports: []int{25, 12000}},
+		{Name: "test-db", Labels: map[string]string{"app": "db"}, Ports: []int{16000}},
+	}}
+}
+
+func emptyConfigs() (*K8sConfig, *IstioConfig) {
+	return &K8sConfig{}, &IstioConfig{}
+}
+
+func TestServiceBasics(t *testing.T) {
+	m := fig1()
+	fe := m.Service("test-frontend")
+	if fe == nil || !fe.Listens(23) || fe.Listens(80) {
+		t.Fatal("frontend port lookup broken")
+	}
+	if m.Service("nope") != nil {
+		t.Fatal("unknown service should be nil")
+	}
+	if !fe.HasLabels(map[string]string{"app": "frontend"}) {
+		t.Fatal("label match broken")
+	}
+	if fe.HasLabels(map[string]string{"app": "backend"}) {
+		t.Fatal("label mismatch should fail")
+	}
+	if !fe.HasLabels(nil) {
+		t.Fatal("empty selector must match everything")
+	}
+	want := []string{"test-frontend", "test-backend", "test-db"}
+	if !reflect.DeepEqual(m.ServiceNames(), want) {
+		t.Fatalf("names %v", m.ServiceNames())
+	}
+	if !reflect.DeepEqual(m.Ports(), []int{23, 25, 12000, 16000}) {
+		t.Fatalf("ports %v", m.Ports())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := fig1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Mesh{Services: []*Service{{Name: "a"}, {Name: "a"}}}
+	if bad.Validate() == nil {
+		t.Fatal("duplicate names must fail validation")
+	}
+	bad = &Mesh{Services: []*Service{{Name: ""}}}
+	if bad.Validate() == nil {
+		t.Fatal("empty name must fail validation")
+	}
+	bad = &Mesh{Services: []*Service{{Name: "a", Ports: []int{0}}}}
+	if bad.Validate() == nil {
+		t.Fatal("port 0 must fail validation")
+	}
+	bad = &Mesh{Services: []*Service{{Name: "a", Ports: []int{70000}}}}
+	if bad.Validate() == nil {
+		t.Fatal("port 70000 must fail validation")
+	}
+}
+
+func TestOpenMeshAllowsListeningPortsOnly(t *testing.T) {
+	m := fig1()
+	k8s, istio := emptyConfigs()
+	if !Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", SrcPort: 26, DstPort: 23}) {
+		t.Fatal("open mesh should allow backend→frontend:23")
+	}
+	v := Evaluate(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", SrcPort: 26, DstPort: 80})
+	if v.Allowed || v.Reason == "" {
+		t.Fatalf("non-listening port must be blocked with a reason, got %+v", v)
+	}
+}
+
+func TestUnknownServices(t *testing.T) {
+	m := fig1()
+	k8s, istio := emptyConfigs()
+	if Evaluate(m, k8s, istio, Flow{Src: "ghost", Dst: "test-backend", DstPort: 25}).Allowed {
+		t.Fatal("unknown source must be denied")
+	}
+	if Evaluate(m, k8s, istio, Flow{Src: "test-backend", Dst: "ghost", DstPort: 25}).Allowed {
+		t.Fatal("unknown destination must be denied")
+	}
+}
+
+func TestK8sDenyOverrides(t *testing.T) {
+	m := fig1()
+	istio := &IstioConfig{}
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:              "ban-telnet",
+		IngressDenyPorts:  []int{23},
+		IngressAllowPorts: []int{23}, // deny wins even when also allowed
+	}}}
+	if Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("deny must override allow")
+	}
+}
+
+func TestK8sImplicitDeny(t *testing.T) {
+	m := fig1()
+	istio := &IstioConfig{}
+	// Allow-list on backend ingress: only port 25.
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:              "backend-ports",
+		Selector:          map[string]string{"app": "backend"},
+		IngressAllowPorts: []int{25},
+	}}}
+	if !Allowed(m, k8s, istio, Flow{Src: "test-frontend", Dst: "test-backend", DstPort: 25}) {
+		t.Fatal("allowed port should pass")
+	}
+	if Allowed(m, k8s, istio, Flow{Src: "test-db", Dst: "test-backend", DstPort: 12000}) {
+		t.Fatal("unlisted port must be implicitly denied")
+	}
+	// Other services unaffected by the selector.
+	if !Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("selector must scope the implicit deny")
+	}
+}
+
+func TestK8sAllowUnionAcrossPolicies(t *testing.T) {
+	m := fig1()
+	istio := &IstioConfig{}
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{
+		{Name: "p1", Selector: map[string]string{"app": "backend"}, IngressAllowPorts: []int{25}},
+		{Name: "p2", Selector: map[string]string{"app": "backend"}, IngressAllowPorts: []int{12000}},
+	}}
+	// The implicit-deny check is against the union of allow lists.
+	if !Allowed(m, k8s, istio, Flow{Src: "test-db", Dst: "test-backend", DstPort: 12000}) {
+		t.Fatal("port in another policy's allow list should pass")
+	}
+}
+
+func TestK8sEgress(t *testing.T) {
+	m := fig1()
+	istio := &IstioConfig{}
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:            "frontend-egress",
+		Selector:        map[string]string{"app": "frontend"},
+		EgressDenyPorts: []int{25},
+	}}}
+	if Allowed(m, k8s, istio, Flow{Src: "test-frontend", Dst: "test-backend", DstPort: 25}) {
+		t.Fatal("egress deny must block")
+	}
+	if !Allowed(m, k8s, istio, Flow{Src: "test-db", Dst: "test-backend", DstPort: 25}) {
+		t.Fatal("egress deny must only bind selected sources")
+	}
+}
+
+func TestIstioEgressSemantics(t *testing.T) {
+	m := fig1()
+	k8s := &K8sConfig{}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{
+		Name:         "backend-egress",
+		Target:       map[string]string{"app": "backend"},
+		AllowToPorts: []int{23},
+	}}}
+	if !Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("allowed to-port should pass")
+	}
+	if Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-db", DstPort: 16000}) {
+		t.Fatal("implicit deny: 16000 not in allow_to_ports")
+	}
+	istio.Policies[0].DenyToPorts = []int{23}
+	if Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("deny_to_ports must override allow")
+	}
+}
+
+func TestIstioIngressSemantics(t *testing.T) {
+	m := fig1()
+	k8s := &K8sConfig{}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{
+		Name:              "frontend-ingress",
+		Target:            map[string]string{"app": "frontend"},
+		AllowFromServices: []string{"test-backend"},
+	}}}
+	if !Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("allowed source should pass")
+	}
+	if Allowed(m, k8s, istio, Flow{Src: "test-db", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("implicit deny: db not in allow_from_service")
+	}
+	istio.Policies[0].DenyFromServices = []string{"test-backend"}
+	if Allowed(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", DstPort: 23}) {
+		t.Fatal("deny_from_service must override allow")
+	}
+}
+
+func TestComposedConjunction(t *testing.T) {
+	// Sec. 2: if either party denies, the flow is denied even if the other
+	// explicitly allows it.
+	m := fig1()
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:             "ban-23",
+		IngressDenyPorts: []int{23},
+	}}}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{
+		Name:         "fe-allow",
+		Target:       map[string]string{"app": "backend"},
+		AllowToPorts: []int{23},
+	}}}
+	v := Evaluate(m, k8s, istio, Flow{Src: "test-backend", Dst: "test-frontend", SrcPort: 26, DstPort: 23})
+	if v.Allowed {
+		t.Fatal("K8s deny must win over Istio allow")
+	}
+	if v.Reason == "" {
+		t.Fatal("denial must carry a reason")
+	}
+}
+
+func TestFig1WalkthroughConflict(t *testing.T) {
+	// The Sec. 3 story: the Istio mesh works; the K8s admin pushes a global
+	// port-23 ban; frontend reachability breaks.
+	bundle, err := LoadFiles("../../testdata/fig1/mesh.yaml", "../../testdata/fig1/istio_current.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, istio := bundle.Mesh, bundle.Istio
+	k8sBefore := &K8sConfig{}
+	flows := []Flow{
+		{Src: "test-frontend", Dst: "test-backend", SrcPort: 24, DstPort: 25},
+		{Src: "test-backend", Dst: "test-frontend", SrcPort: 26, DstPort: 23},
+		{Src: "test-backend", Dst: "test-db", SrcPort: 14000, DstPort: 16000},
+		{Src: "test-db", Dst: "test-backend", SrcPort: 10000, DstPort: 12000},
+	}
+	for _, f := range flows {
+		if !Allowed(m, k8sBefore, istio, f) {
+			t.Fatalf("before the ban, %v must be allowed", f)
+		}
+	}
+	k8sAfter := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:             "ban-telnet",
+		IngressDenyPorts: []int{23},
+	}}}
+	broken := Flow{Src: "test-backend", Dst: "test-frontend", SrcPort: 26, DstPort: 23}
+	if Allowed(m, k8sAfter, istio, broken) {
+		t.Fatal("the ban must break backend→frontend:23")
+	}
+	for _, f := range flows[:1] {
+		if !Allowed(m, k8sAfter, istio, f) {
+			t.Fatalf("unrelated flow %v must survive the ban", f)
+		}
+	}
+}
+
+func TestReachabilityMatrix(t *testing.T) {
+	bundle, err := LoadFiles("../../testdata/fig1/mesh.yaml", "../../testdata/fig1/istio_current.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReachabilityMatrix(bundle.Mesh, &K8sConfig{}, bundle.Istio)
+	want := map[string][]int{
+		"test-backend->test-frontend": {23},
+		"test-frontend->test-backend": {25, 12000},
+		"test-db->test-backend":       {25, 12000},
+		"test-backend->test-db":       {16000},
+	}
+	for k, ports := range want {
+		if !reflect.DeepEqual(got[k], ports) {
+			t.Errorf("%s: got %v want %v", k, got[k], ports)
+		}
+	}
+	// Flows not admitted by the ingress allow lists must be empty.
+	for _, k := range []string{"test-frontend->test-db", "test-db->test-frontend", "test-frontend->test-frontend"} {
+		if len(got[k]) != 0 {
+			t.Errorf("%s should be unreachable, got %v", k, got[k])
+		}
+	}
+}
+
+func TestYAMLRoundTrip(t *testing.T) {
+	bundle, err := LoadFiles(
+		"../../testdata/fig1/mesh.yaml",
+		"../../testdata/fig1/k8s_current.yaml",
+		"../../testdata/fig1/istio_current.yaml",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Mesh.Services) != 3 {
+		t.Fatalf("want 3 services, got %d", len(bundle.Mesh.Services))
+	}
+	if len(bundle.K8s.Policies) != 1 || bundle.K8s.Policies[0].Name != "cluster-default" {
+		t.Fatalf("k8s policies: %+v", bundle.K8s.Policies)
+	}
+	if len(bundle.Istio.Policies) != 3 {
+		t.Fatalf("want 3 istio policies, got %d", len(bundle.Istio.Policies))
+	}
+	be := bundle.Mesh.Service("test-backend")
+	if be == nil || !reflect.DeepEqual(be.Ports, []int{25, 12000}) {
+		t.Fatalf("backend ports: %+v", be)
+	}
+	fp := bundle.Istio.Policy("frontend-policy")
+	if fp == nil || fp.Target["app"] != "frontend" || !reflect.DeepEqual(fp.AllowFromServices, []string{"test-backend"}) {
+		t.Fatalf("frontend policy: %+v", fp)
+	}
+}
+
+func TestParseAllRejectsUnknownKind(t *testing.T) {
+	_, err := ParseAll([]byte("kind: Deployment\nmetadata:\n  name: x\n"))
+	if err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestParseK8sPortMapsForm(t *testing.T) {
+	b, err := ParseAll([]byte(`
+kind: Service
+metadata:
+  name: svc
+spec:
+  ports:
+    - port: 80
+    - port: 443
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Mesh.Services[0].Ports, []int{80, 443}) {
+		t.Fatalf("ports %v", b.Mesh.Services[0].Ports)
+	}
+}
+
+func TestParseNetworkPolicyRules(t *testing.T) {
+	b, err := ParseAll([]byte(`
+kind: NetworkPolicy
+metadata:
+  name: np
+spec:
+  podSelector:
+    matchLabels:
+      app: db
+  ingress:
+    denyPorts: [23]
+    allowPorts: [16000]
+  egress:
+    denyPorts: [1]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.K8s.Policies[0]
+	if p.Selector["app"] != "db" ||
+		!reflect.DeepEqual(p.IngressDenyPorts, []int{23}) ||
+		!reflect.DeepEqual(p.IngressAllowPorts, []int{16000}) ||
+		!reflect.DeepEqual(p.EgressDenyPorts, []int{1}) ||
+		p.EgressAllowPorts != nil {
+		t.Fatalf("policy %+v", p)
+	}
+}
+
+func TestClones(t *testing.T) {
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name: "p", Selector: map[string]string{"a": "b"}, IngressDenyPorts: []int{23},
+	}}}
+	c := CloneK8s(k8s)
+	c.Policies[0].IngressDenyPorts[0] = 99
+	c.Policies[0].Selector["a"] = "z"
+	if k8s.Policies[0].IngressDenyPorts[0] != 23 || k8s.Policies[0].Selector["a"] != "b" {
+		t.Fatal("CloneK8s must deep-copy")
+	}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{
+		Name: "q", AllowFromServices: []string{"x"},
+	}}}
+	ci := CloneIstio(istio)
+	ci.Policies[0].AllowFromServices[0] = "y"
+	if istio.Policies[0].AllowFromServices[0] != "x" {
+		t.Fatal("CloneIstio must deep-copy")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{Name: "p", IngressDenyPorts: []int{23}}}}
+	if s := DescribeK8s(k8s); s == "" || !contains(s, "p") || !contains(s, "23") {
+		t.Fatalf("DescribeK8s: %q", s)
+	}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{Name: "q", AllowFromServices: []string{"svc"}}}}
+	if s := DescribeIstio(istio); !contains(s, "q") || !contains(s, "svc") {
+		t.Fatalf("DescribeIstio: %q", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestReachabilityMatrixAgreesWithEvaluate(t *testing.T) {
+	// Property: the matrix is exactly the set of allowed (src,dst,port)
+	// triples over listening ports.
+	m := fig1()
+	k8s := &K8sConfig{Policies: []*NetworkPolicy{{
+		Name:             "mixed",
+		Selector:         map[string]string{"app": "backend"},
+		IngressDenyPorts: []int{25},
+		EgressDenyPorts:  []int{23},
+	}}}
+	istio := &IstioConfig{Policies: []*AuthorizationPolicy{{
+		Name:              "fe",
+		Target:            map[string]string{"app": "frontend"},
+		AllowFromServices: []string{"test-db"},
+	}}}
+	reach := ReachabilityMatrix(m, k8s, istio)
+	for _, src := range m.Services {
+		for _, dst := range m.Services {
+			allowedPorts := map[int]bool{}
+			for _, p := range reach[src.Name+"->"+dst.Name] {
+				allowedPorts[p] = true
+			}
+			for _, p := range dst.Ports {
+				want := Allowed(m, k8s, istio, Flow{Src: src.Name, Dst: dst.Name, DstPort: p})
+				if allowedPorts[p] != want {
+					t.Fatalf("%s->%s:%d matrix=%v evaluate=%v", src.Name, dst.Name, p, allowedPorts[p], want)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadAllErrors(t *testing.T) {
+	if _, err := LoadAll("does-not-exist.yaml"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := LoadFiles("does-not-exist.yaml"); err == nil {
+		t.Fatal("missing file must error (LoadFiles)")
+	}
+	if _, err := ParseAll([]byte("kind: Service\n")); err == nil {
+		t.Fatal("service without metadata.name must error")
+	}
+	if _, err := ParseAll([]byte("not yaml: [")); err == nil {
+		t.Fatal("bad yaml must error")
+	}
+	if _, err := ParseAll([]byte("kind: Service\nmetadata:\n  name: a\nspec:\n  ports: nope\n")); err == nil {
+		t.Fatal("bad ports must error")
+	}
+	if _, err := ParseAll([]byte("kind: NetworkPolicy\nmetadata:\n  name: p\nspec:\n  ingress:\n    denyPorts: [x]\n")); err == nil {
+		t.Fatal("non-integer port must error")
+	}
+	if _, err := ParseAll([]byte("kind: AuthorizationPolicy\nmetadata:\n  name: p\nspec:\n  selector: 3\n")); err == nil {
+		t.Fatal("bad selector must error")
+	}
+	// Duplicate service across files fails validation.
+	if _, err := ParseAll([]byte("kind: Service\nmetadata:\n  name: a\n---\nkind: Service\nmetadata:\n  name: a\n")); err == nil {
+		t.Fatal("duplicate services must error")
+	}
+}
+
+func TestAuthorizationPolicyPortMapsForm(t *testing.T) {
+	b, err := ParseAll([]byte(`
+kind: AuthorizationPolicy
+metadata:
+  name: ap
+spec:
+  egress:
+    denyToPorts: 23
+    allowToPorts: [80, 443]
+  ingress:
+    denyFromServices: alpha
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Istio.Policies[0]
+	if len(p.DenyToPorts) != 1 || p.DenyToPorts[0] != 23 {
+		t.Fatalf("single-int promotion: %v", p.DenyToPorts)
+	}
+	if len(p.AllowToPorts) != 2 || len(p.DenyFromServices) != 1 {
+		t.Fatalf("lists: %+v", p)
+	}
+}

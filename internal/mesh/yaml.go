@@ -1,0 +1,234 @@
+package mesh
+
+import (
+	"fmt"
+	"os"
+
+	"muppet/internal/yamllite"
+)
+
+// This file decodes the production-style YAML that Muppet consumes to model
+// system structure (paper Sec. 3: "Muppet consumes the YAML files that K8s
+// and Istio administrators use in production"). The shapes follow the real
+// CRDs where the modelled subset overlaps them (kind, metadata.name,
+// labels, selectors); the rule bodies are the paper's modelled subset
+// (Sec. 5): port allow/deny for NetworkPolicy, to-ports and from-services
+// allow/deny for AuthorizationPolicy.
+
+// Bundle is everything found in a YAML stream, split by document kind.
+type Bundle struct {
+	Mesh  *Mesh
+	K8s   *K8sConfig
+	Istio *IstioConfig
+}
+
+// ParseAll decodes a multi-document YAML stream, dispatching on `kind`:
+// Service documents populate the mesh, NetworkPolicy the K8s configuration,
+// AuthorizationPolicy the Istio configuration.
+func ParseAll(data []byte) (*Bundle, error) {
+	docs, err := yamllite.Documents(data)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{Mesh: &Mesh{}, K8s: &K8sConfig{}, Istio: &IstioConfig{}}
+	for i, doc := range docs {
+		kind, err := yamllite.StringAt(doc, "kind")
+		if err != nil {
+			return nil, fmt.Errorf("mesh: document %d: %w", i+1, err)
+		}
+		switch kind {
+		case "Service":
+			s, err := decodeService(doc)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: document %d: %w", i+1, err)
+			}
+			b.Mesh.Services = append(b.Mesh.Services, s)
+		case "NetworkPolicy":
+			p, err := decodeNetworkPolicy(doc)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: document %d: %w", i+1, err)
+			}
+			b.K8s.Policies = append(b.K8s.Policies, p)
+		case "AuthorizationPolicy":
+			p, err := decodeAuthorizationPolicy(doc)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: document %d: %w", i+1, err)
+			}
+			b.Istio.Policies = append(b.Istio.Policies, p)
+		default:
+			return nil, fmt.Errorf("mesh: document %d: unsupported kind %q", i+1, kind)
+		}
+	}
+	if err := b.Mesh.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LoadAll reads and decodes a YAML file (or several concatenated with ---).
+func LoadAll(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// LoadFiles decodes several YAML files into one bundle.
+func LoadFiles(paths ...string) (*Bundle, error) {
+	out := &Bundle{Mesh: &Mesh{}, K8s: &K8sConfig{}, Istio: &IstioConfig{}}
+	for _, path := range paths {
+		b, err := LoadAll(path)
+		if err != nil {
+			return nil, err
+		}
+		out.Mesh.Services = append(out.Mesh.Services, b.Mesh.Services...)
+		out.K8s.Policies = append(out.K8s.Policies, b.K8s.Policies...)
+		out.Istio.Policies = append(out.Istio.Policies, b.Istio.Policies...)
+	}
+	if err := out.Mesh.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeService(doc yamllite.Value) (*Service, error) {
+	name, err := yamllite.StringAt(doc, "metadata", "name")
+	if err != nil {
+		return nil, err
+	}
+	labels, err := yamllite.StringMapAt(doc, "metadata", "labels")
+	if err != nil {
+		return nil, err
+	}
+	ports, err := decodePorts(doc)
+	if err != nil {
+		return nil, fmt.Errorf("service %s: %w", name, err)
+	}
+	return &Service{Name: name, Labels: labels, Ports: ports}, nil
+}
+
+// decodePorts accepts both the simplified form (spec.ports: [80, 443]) and
+// the Kubernetes form (spec.ports: [{port: 80}, …]).
+func decodePorts(doc yamllite.Value) ([]int, error) {
+	raw, ok := yamllite.Get(doc, "spec", "ports")
+	if !ok || raw == nil {
+		return nil, nil
+	}
+	list, ok := yamllite.AsList(raw)
+	if !ok {
+		if n, isInt := yamllite.AsInt(raw); isInt {
+			return []int{int(n)}, nil
+		}
+		return nil, fmt.Errorf("spec.ports is %T, want list", raw)
+	}
+	out := make([]int, 0, len(list))
+	for i, item := range list {
+		if n, isInt := yamllite.AsInt(item); isInt {
+			out = append(out, int(n))
+			continue
+		}
+		if _, isMap := yamllite.AsMap(item); isMap {
+			n, ok := yamllite.Get(item, "port")
+			if !ok {
+				return nil, fmt.Errorf("spec.ports[%d]: missing port", i)
+			}
+			v, isInt := yamllite.AsInt(n)
+			if !isInt {
+				return nil, fmt.Errorf("spec.ports[%d].port is %T, want integer", i, n)
+			}
+			out = append(out, int(v))
+			continue
+		}
+		return nil, fmt.Errorf("spec.ports[%d] is %T, want integer or mapping", i, item)
+	}
+	return out, nil
+}
+
+// decodeSelector accepts {} (match all), a flat label map, or the
+// Kubernetes matchLabels wrapper.
+func decodeSelector(doc yamllite.Value, path ...string) (map[string]string, error) {
+	raw, ok := yamllite.Get(doc, path...)
+	if !ok || raw == nil {
+		return map[string]string{}, nil
+	}
+	if inner, ok := yamllite.Get(raw, "matchLabels"); ok {
+		m, isMap := yamllite.AsMap(inner)
+		if !isMap {
+			return nil, fmt.Errorf("%v.matchLabels is not a mapping", path)
+		}
+		return stringMap(m, append(path, "matchLabels"))
+	}
+	m, isMap := yamllite.AsMap(raw)
+	if !isMap {
+		return nil, fmt.Errorf("%v is not a mapping", path)
+	}
+	return stringMap(m, path)
+}
+
+func stringMap(m map[string]yamllite.Value, path []string) (map[string]string, error) {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		s, ok := yamllite.AsString(v)
+		if !ok {
+			return nil, fmt.Errorf("%v.%s is %T, want string", path, k, v)
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+func decodeNetworkPolicy(doc yamllite.Value) (*NetworkPolicy, error) {
+	name, err := yamllite.StringAt(doc, "metadata", "name")
+	if err != nil {
+		return nil, err
+	}
+	sel, err := decodeSelector(doc, "spec", "podSelector")
+	if err != nil {
+		return nil, fmt.Errorf("policy %s: %w", name, err)
+	}
+	p := &NetworkPolicy{Name: name, Selector: sel}
+	for _, f := range []struct {
+		dst  *[]int
+		path []string
+	}{
+		{&p.IngressDenyPorts, []string{"spec", "ingress", "denyPorts"}},
+		{&p.IngressAllowPorts, []string{"spec", "ingress", "allowPorts"}},
+		{&p.EgressDenyPorts, []string{"spec", "egress", "denyPorts"}},
+		{&p.EgressAllowPorts, []string{"spec", "egress", "allowPorts"}},
+	} {
+		ports, err := yamllite.IntListAt(doc, f.path...)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+		*f.dst = ports
+	}
+	return p, nil
+}
+
+func decodeAuthorizationPolicy(doc yamllite.Value) (*AuthorizationPolicy, error) {
+	name, err := yamllite.StringAt(doc, "metadata", "name")
+	if err != nil {
+		return nil, err
+	}
+	target, err := decodeSelector(doc, "spec", "selector")
+	if err != nil {
+		return nil, fmt.Errorf("policy %s: %w", name, err)
+	}
+	p := &AuthorizationPolicy{Name: name, Target: target}
+	var errs [4]error
+	p.DenyToPorts, errs[0] = yamllite.IntListAt(doc, "spec", "egress", "denyToPorts")
+	p.AllowToPorts, errs[1] = yamllite.IntListAt(doc, "spec", "egress", "allowToPorts")
+	p.DenyFromServices, errs[2] = yamllite.StringListAt(doc, "spec", "ingress", "denyFromServices")
+	p.AllowFromServices, errs[3] = yamllite.StringListAt(doc, "spec", "ingress", "allowFromServices")
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+	}
+	return p, nil
+}

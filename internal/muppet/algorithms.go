@@ -1,0 +1,238 @@
+package muppet
+
+import (
+	"fmt"
+	"strings"
+
+	"muppet/internal/encode"
+	"muppet/internal/envelope"
+	"muppet/internal/relational"
+	"muppet/internal/sat"
+)
+
+// Edit is one flip of a soft-constrained knob: the minimal-edit feedback
+// of Sec. 4.3.
+type Edit struct {
+	Party string
+	Knob  encode.Knob
+	Add   bool // true: add the entry; false: remove it
+}
+
+func (e Edit) String() string {
+	verb := "remove"
+	if e.Add {
+		verb = "add"
+	}
+	return fmt.Sprintf("%s: %s %s", e.Party, verb, e.Knob)
+}
+
+// Feedback explains a failed check: an unsatisfiable core naming the goals
+// and configuration fragments in conflict (Sec. 4.3's "unsatisfiable core
+// with blame information").
+type Feedback struct {
+	Core []string
+}
+
+func (f *Feedback) String() string {
+	if f == nil || len(f.Core) == 0 {
+		return "no feedback"
+	}
+	return "conflicting constraints:\n  " + strings.Join(f.Core, "\n  ")
+}
+
+// Result is the outcome of a consistency or reconciliation query.
+type Result struct {
+	OK bool
+	// Instance is a satisfying completion (valid when OK).
+	Instance *relational.Instance
+	// Edits lists soft preferences the solver had to override to succeed.
+	Edits []Edit
+	// Feedback carries blame on failure.
+	Feedback *Feedback
+}
+
+// LocalConsistency implements Alg. 1: can the subject's partial offer be
+// completed — with every other party fully free — so that the subject's
+// own goals hold? On success the returned instance is one such completion,
+// chosen to deviate minimally from the subject's soft preferences. On
+// failure the feedback core blames goal rows and fixed configuration
+// groups.
+func LocalConsistency(sys *encode.System, subject *Party, others []*Party) *Result {
+	specs := []partySpec{{party: subject, enforceFixed: true, includeGoals: true}}
+	for _, o := range others {
+		specs = append(specs, partySpec{party: o})
+	}
+	ws := newWorkspace(sys, specs)
+	if st := ws.solve(); st != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	ws.harden()
+	res := ws.minimize()
+	if res.Status != sat.Sat {
+		// Cannot happen: harden preserves the satisfiable assumption set.
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+}
+
+// Reconcile implements Alg. 2: complete every party's partial offer so
+// that the union of configurations satisfies the union of goals. On
+// success the instance assigns every party's relations, deviating
+// minimally from all soft preferences; the per-party configurations are
+// recovered with the parties' adopt/decode helpers. On failure the
+// feedback core names the conflicting goals and configuration groups of
+// all parties — the cross-party blame that distinguishes multi-party
+// reconciliation from single-party synthesis (Fig. 6).
+func Reconcile(sys *encode.System, parties []*Party) *Result {
+	specs := make([]partySpec, len(parties))
+	for i, p := range parties {
+		specs[i] = partySpec{party: p, enforceFixed: true, includeGoals: true}
+	}
+	ws := newWorkspace(sys, specs)
+	if st := ws.solve(); st != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	ws.harden()
+	res := ws.minimize()
+	if res.Status != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+}
+
+// ComputeEnvelope implements Alg. 3 for one recipient: the conjunction of
+// every other party's goals, modulo those parties' concrete settings,
+// expressed over the recipient's domain. With one sender this is the
+// paper's E_{A→B}; with several it is the Sec. 7 joint envelope
+// E_{A,B,…→C}, obtained by multiple passes of substitution (here: one
+// substitution under the merged senders' settings).
+func ComputeEnvelope(sys *encode.System, recipient *Party, senders []*Party) *envelope.Envelope {
+	merged := make(map[*relational.Relation]*relational.TupleSet)
+	var goalFs []relational.Formula
+	var names []string
+	for _, s := range senders {
+		names = append(names, s.Name)
+		goalFs = append(goalFs, s.GoalFormulas()...)
+		for r, ts := range s.Fixed() {
+			merged[r] = ts
+		}
+	}
+	// Never substitute the recipient's own relations, even if a sender's
+	// map mentions them (e.g. shared structure adjacent to exposure).
+	for _, r := range recipient.Domain {
+		delete(merged, r)
+	}
+	return envelope.Compute(
+		strings.Join(names, ","), recipient.Name,
+		goalFs, merged, recipient.Domain, sys.Universe,
+		envelope.Options{Shared: sys.SharedTupleSets()},
+	)
+}
+
+// CheckCandidate implements the first half of the Fig. 8 revision aid: does
+// the party's current concrete configuration satisfy the received envelope
+// — and, when withOwnGoals is set, its own goals on the composed system
+// formed with the other parties' current configurations? It returns the
+// failing formulas as blame.
+func CheckCandidate(sys *encode.System, p *Party, env *envelope.Envelope, withOwnGoals bool, others ...*Party) (bool, []relational.Formula) {
+	inst := instanceFor(sys, append([]*Party{p}, others...)...)
+	failing := env.Failing(inst)
+	if withOwnGoals {
+		for _, g := range p.Goals {
+			if !relational.Eval(g.Formula, inst) {
+				failing = append(failing, g.Formula)
+			}
+		}
+	}
+	return len(failing) == 0, failing
+}
+
+// instanceFor builds the concrete instance of structure plus the given
+// parties' current configurations (all other relations empty).
+func instanceFor(sys *encode.System, parties ...*Party) *relational.Instance {
+	b := sys.NewBounds()
+	inst := relational.NewInstance(sys.Universe)
+	for _, r := range b.Relations() {
+		inst.Set(r, b.Lower(r))
+	}
+	for _, p := range parties {
+		for r, ts := range p.Fixed() {
+			inst.Set(r, ts)
+		}
+	}
+	return inst
+}
+
+// MinimalEdit implements the second half of Fig. 8: complete the party's
+// offer to satisfy the given constraints (typically a received envelope
+// plus the party's own goals), minimising deviation from the party's soft
+// preferences. The party's fixed settings are enforced, as are the other
+// parties' standing offers (their fixed knobs; their soft knobs and holes
+// stay open); on failure the core blames the conflicting fragments.
+func MinimalEdit(sys *encode.System, p *Party, constraints []relational.Formula, others ...*Party) *Result {
+	specs := []partySpec{{party: p, enforceFixed: true, includeGoals: false}}
+	for _, o := range others {
+		specs = append(specs, partySpec{party: o, enforceFixed: true, includeGoals: false})
+	}
+	ws := newWorkspace(sys, specs)
+	for i, c := range constraints {
+		ws.addNamed(fmt.Sprintf("%s/constraint[%d]", p.Name, i), ws.ss.Lit(c))
+	}
+	if st := ws.solve(); st != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	ws.harden()
+	res := ws.minimize()
+	if res.Status != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+}
+
+// GoalsCompatible implements the second envelope use of Sec. 3: comparing
+// a received envelope with the recipient's goals (rather than its
+// configuration). It asks whether ANY configuration of the recipient's
+// domain satisfies both the envelope and the recipient's goals, given the
+// senders' current settings (which are substituted into the recipient's
+// goals, mirroring Alg. 3). If not, the recipient's goals themselves must
+// change — the situation that forces the Fig. 4 revision — and the core
+// blames the irreconcilable parts.
+func GoalsCompatible(sys *encode.System, recipient *Party, env *envelope.Envelope, senders ...*Party) *Result {
+	merged := make(map[*relational.Relation]*relational.TupleSet)
+	for _, s := range senders {
+		for r, ts := range s.Fixed() {
+			merged[r] = ts
+		}
+	}
+	for _, r := range recipient.Domain {
+		delete(merged, r)
+	}
+	ws := newWorkspace(sys, []partySpec{{party: recipient}}) // fully free
+	ws.addNamed(recipient.Name+"/envelope", ws.ss.Lit(env.Formula()))
+	for _, g := range recipient.Goals {
+		f := relational.Substitute(g.Formula, merged)
+		ws.addNamed(recipient.Name+"/"+g.Name, ws.ss.Lit(f))
+	}
+	if st := ws.solve(); st != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	return &Result{OK: true, Instance: ws.instance()}
+}
+
+// SynthesizeMonolithic is the Fig. 6 baseline: traditional single-step
+// synthesis over the union of all parties' goals, with every setting a
+// hole and no notion of offers, softness, envelopes or negotiation. On the
+// paper's running conflict it simply fails (the union of the property sets
+// is unsatisfiable, Sec. 2) — the behaviour the multi-party workflows are
+// designed to improve on.
+func SynthesizeMonolithic(sys *encode.System, parties []*Party) *Result {
+	specs := make([]partySpec, len(parties))
+	for i, p := range parties {
+		specs[i] = partySpec{party: p, includeGoals: true}
+	}
+	ws := newWorkspace(sys, specs)
+	if st := ws.solve(); st != sat.Sat {
+		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	}
+	return &Result{OK: true, Instance: ws.instance()}
+}

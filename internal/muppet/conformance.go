@@ -1,0 +1,74 @@
+package muppet
+
+import (
+	"muppet/internal/encode"
+	"muppet/internal/envelope"
+	"muppet/internal/relational"
+)
+
+// ConformanceOutcome records one run of the Fig. 7 solver-aided
+// conformance workflow between an inflexible provider A and a tenant B.
+type ConformanceOutcome struct {
+	// ProviderConsistent is Alg. 1 on A's offer.
+	ProviderConsistent bool
+	// Envelope is E_{A→B}, computed once (Fig. 7: "the envelope E_{A→B}
+	// need never be recomputed").
+	Envelope *envelope.Envelope
+	// CandidateOK reports whether B's original configuration already
+	// satisfied the envelope (first branch of Fig. 8).
+	CandidateOK bool
+	// Edits are the minimal changes B's revision made (Fig. 8).
+	Edits []Edit
+	// Reconciled is the final Alg. 2 verdict on the delivered pair.
+	Reconciled bool
+	// Feedback explains the failing step, if any.
+	Feedback *Feedback
+	// FailedStep names the step that failed ("local-consistency",
+	// "revision", "reconcile"), empty on success.
+	FailedStep string
+}
+
+// RunConformance drives the Fig. 7 workflow: check A's local consistency,
+// compute E_{A→B}, let B revise via the Fig. 8 aid (checking its candidate
+// and, if needed, computing a minimal edit satisfying the envelope and its
+// own goals), then reconcile the offers. On success both parties adopt the
+// delivered configurations.
+func RunConformance(sys *encode.System, provider, tenant *Party) *ConformanceOutcome {
+	out := &ConformanceOutcome{}
+
+	lc := LocalConsistency(sys, provider, []*Party{tenant})
+	out.ProviderConsistent = lc.OK
+	if !lc.OK {
+		out.Feedback = lc.Feedback
+		out.FailedStep = "local-consistency"
+		return out
+	}
+
+	out.Envelope = ComputeEnvelope(sys, tenant, []*Party{provider})
+
+	// Fig. 8: does the tenant's current configuration already conform?
+	ok, _ := CheckCandidate(sys, tenant, out.Envelope, true, provider)
+	out.CandidateOK = ok
+	if !ok {
+		constraints := append([]relational.Formula{out.Envelope.Formula()}, tenant.GoalFormulas()...)
+		revision := MinimalEdit(sys, tenant, constraints, provider)
+		if !revision.OK {
+			out.Feedback = revision.Feedback
+			out.FailedStep = "revision"
+			return out
+		}
+		out.Edits = revision.Edits
+		tenant.adopt(revision.Instance)
+	}
+
+	rec := Reconcile(sys, []*Party{provider, tenant})
+	out.Reconciled = rec.OK
+	if !rec.OK {
+		out.Feedback = rec.Feedback
+		out.FailedStep = "reconcile"
+		return out
+	}
+	provider.adopt(rec.Instance)
+	tenant.adopt(rec.Instance)
+	return out
+}

@@ -1,0 +1,139 @@
+package muppet
+
+import (
+	"muppet/internal/encode"
+	"muppet/internal/envelope"
+	"muppet/internal/relational"
+)
+
+// Negotiation drives the Fig. 9 solver-aided negotiation workflow: all
+// parties register offers and goals up front; after an initial
+// reconciliation attempt, parties take round-robin turns receiving an
+// envelope from the rest and revising their offer into a minimally-edited
+// counter-offer. The paper motivates round-robin over simultaneous
+// envelope broadcast "to avoid forcing administrators to accommodate a
+// potentially moving target" (Sec. 4.2); Sec. 7's N-party extension simply
+// lengthens the cycle, which this implementation supports directly.
+type Negotiation struct {
+	sys     *encode.System
+	parties []*Party
+	turn    int
+	// MaxRounds bounds the number of revision turns (default 2 cycles).
+	MaxRounds int
+}
+
+// RoundReport records one revision turn.
+type RoundReport struct {
+	Round    int
+	Party    string
+	Envelope *envelope.Envelope
+	// ConformedAlready is set when the party's current offer satisfied the
+	// envelope and its own goals without edits.
+	ConformedAlready bool
+	// Revised is set when the party produced a counter-offer.
+	Revised bool
+	Edits   []Edit
+	// Stuck is set when no revision of this party's offer can satisfy the
+	// envelope together with its own goals — direct communication between
+	// administrators is needed (Sec. 4.2).
+	Stuck    bool
+	Feedback *Feedback
+	// Reconciled reports the Alg. 2 attempt after the revision.
+	Reconciled bool
+}
+
+// NegotiationOutcome summarises a Run.
+type NegotiationOutcome struct {
+	Reconciled bool
+	// InitialReconcile is true when the registered offers reconciled
+	// immediately (top of Fig. 9).
+	InitialReconcile bool
+	Rounds           []*RoundReport
+	// Feedback explains the terminal failure, if any.
+	Feedback *Feedback
+}
+
+// NewNegotiation registers parties for negotiation. Order fixes the
+// round-robin cycle.
+func NewNegotiation(sys *encode.System, parties ...*Party) *Negotiation {
+	return &Negotiation{sys: sys, parties: parties, MaxRounds: 2 * len(parties)}
+}
+
+// others returns all parties except index i.
+func (n *Negotiation) others(i int) []*Party {
+	out := make([]*Party, 0, len(n.parties)-1)
+	for j, p := range n.parties {
+		if j != i {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run executes the workflow until reconciliation succeeds, every party in
+// a full cycle is stuck, or MaxRounds turns elapse. Successful runs adopt
+// the reconciled configurations into every party.
+func (n *Negotiation) Run() *NegotiationOutcome {
+	out := &NegotiationOutcome{}
+
+	// Reconcile initial offers (top of Fig. 9).
+	rec := Reconcile(n.sys, n.parties)
+	if rec.OK {
+		n.adoptAll(rec.Instance)
+		out.Reconciled = true
+		out.InitialReconcile = true
+		return out
+	}
+	out.Feedback = rec.Feedback
+
+	stuckStreak := 0
+	for round := 1; round <= n.MaxRounds; round++ {
+		i := n.turn % len(n.parties)
+		n.turn++
+		p := n.parties[i]
+		rep := &RoundReport{Round: round, Party: p.Name}
+		out.Rounds = append(out.Rounds, rep)
+
+		rep.Envelope = ComputeEnvelope(n.sys, p, n.others(i))
+
+		// Fig. 8 aid for this party's revision phase.
+		if ok, _ := CheckCandidate(n.sys, p, rep.Envelope, true, n.others(i)...); ok {
+			rep.ConformedAlready = true
+		} else {
+			constraints := append([]relational.Formula{rep.Envelope.Formula()}, p.GoalFormulas()...)
+			revision := MinimalEdit(n.sys, p, constraints, n.others(i)...)
+			if !revision.OK {
+				rep.Stuck = true
+				rep.Feedback = revision.Feedback
+				out.Feedback = revision.Feedback
+				stuckStreak++
+				if stuckStreak >= len(n.parties) {
+					return out // a full cycle of stuck parties: humans must talk
+				}
+				continue
+			}
+			rep.Revised = true
+			rep.Edits = revision.Edits
+			p.adopt(revision.Instance)
+		}
+		stuckStreak = 0
+
+		rec := Reconcile(n.sys, n.parties)
+		rep.Reconciled = rec.OK
+		if rec.OK {
+			n.adoptAll(rec.Instance)
+			out.Reconciled = true
+			out.Feedback = nil
+			return out
+		}
+		rep.Feedback = rec.Feedback
+		out.Feedback = rec.Feedback
+	}
+	return out
+}
+
+func (n *Negotiation) adoptAll(inst *relational.Instance) {
+	for _, p := range n.parties {
+		p.adopt(inst)
+	}
+}

@@ -1,0 +1,195 @@
+// Package muppet implements the paper's solver-aided multi-party
+// configuration workflows: local consistency (Alg. 1), reconciliation
+// (Alg. 2), envelope computation (Alg. 3 via package envelope), the
+// conformance workflow (Fig. 7) with its revision aid (Fig. 8), and the
+// round-robin negotiation workflow (Fig. 9), generalised to N ≥ 2 parties
+// as Sec. 7 sketches.
+//
+// The algorithms are domain-generic over a Party abstraction; constructors
+// for the paper's two concrete administrators (Kubernetes and Istio over a
+// shared service mesh) are provided.
+package muppet
+
+import (
+	"fmt"
+
+	"muppet/internal/encode"
+	"muppet/internal/goals"
+	"muppet/internal/mesh"
+	"muppet/internal/relational"
+)
+
+// NamedGoal pairs a goal formula with the display name used in blame
+// feedback (typically the CSV row it came from).
+type NamedGoal struct {
+	Name    string
+	Formula relational.Formula
+}
+
+// Party is one administrator in a multi-party configuration workflow. A
+// party owns a configuration domain (a set of relations), a goal set, and
+// an offer: a concrete configuration plus the leeway (soft/hole knobs)
+// granted to the solver. Parties are mutable across negotiation rounds —
+// revisions replace goals and offers.
+type Party struct {
+	Name string
+
+	// Goals are the party's behavioural requirements φ.
+	Goals []NamedGoal
+
+	// Domain is dom(party): the relations this party configures.
+	Domain []*relational.Relation
+
+	// bindFree binds the party's configurable relations fully free in the
+	// bounds and classifies each knob per the current offer.
+	bindFree func(*relational.Bounds) *encode.OfferMap
+
+	// fixed returns the party's concrete settings (plus its private
+	// structure) for envelope substitution.
+	fixed func() map[*relational.Relation]*relational.TupleSet
+
+	// adopt replaces the party's concrete configuration from a solved
+	// instance (used when delivering results and for counter-offers).
+	adopt func(*relational.Instance)
+
+	// describe renders the party's current concrete configuration.
+	describe func() string
+}
+
+// Fixed exposes the party's concrete settings for envelope computation.
+func (p *Party) Fixed() map[*relational.Relation]*relational.TupleSet { return p.fixed() }
+
+// Adopt installs a solved instance as the party's concrete configuration
+// (the "Deliver C_A, C_B" step of Figs. 7 and 9).
+func (p *Party) Adopt(inst *relational.Instance) { p.adopt(inst) }
+
+// Describe renders the party's current concrete configuration.
+func (p *Party) Describe() string { return p.describe() }
+
+// GoalFormulas returns the bare formulas of the party's goals.
+func (p *Party) GoalFormulas() []relational.Formula {
+	out := make([]relational.Formula, len(p.Goals))
+	for i, g := range p.Goals {
+		out[i] = g.Formula
+	}
+	return out
+}
+
+// inDomain reports whether r belongs to the party's domain.
+func (p *Party) inDomain(r *relational.Relation) bool {
+	for _, d := range p.Domain {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// K8sPartyState is the mutable state behind a Kubernetes party.
+type K8sPartyState struct {
+	Sys    *encode.System
+	Config *mesh.K8sConfig
+	Offer  encode.Offer
+}
+
+// NewK8sParty builds the Kubernetes administrator party from goal rows, a
+// concrete configuration and an offer. The returned state allows revising
+// the configuration/offer between rounds.
+func NewK8sParty(sys *encode.System, cfg *mesh.K8sConfig, offer encode.Offer, rows []goals.K8sGoal) (*Party, *K8sPartyState, error) {
+	st := &K8sPartyState{Sys: sys, Config: mesh.CloneK8s(cfg), Offer: offer}
+	p := &Party{
+		Name:   "K8s",
+		Domain: sys.K8sRelations(),
+		bindFree: func(b *relational.Bounds) *encode.OfferMap {
+			return sys.BindK8sFree(b, st.Config, st.Offer)
+		},
+		fixed: func() map[*relational.Relation]*relational.TupleSet {
+			return sys.SenderTupleSets(st.Config, nil, nil)
+		},
+		adopt: func(inst *relational.Instance) {
+			st.Config = sys.DecodeK8s(inst)
+		},
+		describe: func() string { return mesh.DescribeK8s(st.Config) },
+	}
+	for _, row := range rows {
+		f, err := sys.CompileK8sGoal(row)
+		if err != nil {
+			return nil, nil, fmt.Errorf("muppet: K8s goal %s: %w", row, err)
+		}
+		p.Goals = append(p.Goals, NamedGoal{Name: "k8s-goal[" + row.String() + "]", Formula: f})
+	}
+	return p, st, nil
+}
+
+// IstioPartyState is the mutable state behind an Istio party. Exposure
+// (service listening ports) is part of the Istio domain; nil means the
+// mesh's current ports.
+type IstioPartyState struct {
+	Sys      *encode.System
+	Config   *mesh.IstioConfig
+	Exposure map[string][]int
+	Offer    encode.Offer
+}
+
+// NewIstioParty builds the Istio administrator party. Goal rows are
+// compiled as one joint formula, because existential port variables span
+// rows (Fig. 4).
+func NewIstioParty(sys *encode.System, cfg *mesh.IstioConfig, offer encode.Offer, rows []goals.IstioGoal) (*Party, *IstioPartyState, error) {
+	st := &IstioPartyState{Sys: sys, Config: mesh.CloneIstio(cfg), Offer: offer}
+	p := &Party{
+		Name:   "Istio",
+		Domain: sys.IstioRelations(),
+		bindFree: func(b *relational.Bounds) *encode.OfferMap {
+			om := sys.BindIstioFree(b, st.Config, st.Offer)
+			if st.Exposure != nil {
+				// Re-derive exposure knob desires from the override.
+				for i := range om.Infos {
+					ki := &om.Infos[i]
+					if ki.Knob.Field == encode.FieldExposure {
+						ki.Desired = exposureHas(st.Exposure, ki.Knob.Policy, ki.Knob.Key)
+					}
+				}
+			}
+			return om
+		},
+		fixed: func() map[*relational.Relation]*relational.TupleSet {
+			return sys.SenderTupleSets(nil, st.Config, st.Exposure)
+		},
+		adopt: func(inst *relational.Instance) {
+			st.Config = sys.DecodeIstio(inst)
+			st.Exposure = sys.DecodeExposure(inst)
+		},
+		describe: func() string {
+			s := mesh.DescribeIstio(st.Config)
+			if st.Exposure != nil {
+				s += fmt.Sprintf("exposure: %v\n", st.Exposure)
+			}
+			return s
+		},
+	}
+	if len(rows) > 0 {
+		f, err := sys.CompileIstioGoals(rows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("muppet: Istio goals: %w", err)
+		}
+		name := "istio-goals["
+		for i, r := range rows {
+			if i > 0 {
+				name += "; "
+			}
+			name += r.String()
+		}
+		name += "]"
+		p.Goals = append(p.Goals, NamedGoal{Name: name, Formula: f})
+	}
+	return p, st, nil
+}
+
+func exposureHas(exposure map[string][]int, svc, key string) bool {
+	for _, p := range exposure[svc] {
+		if fmt.Sprintf("%d", p) == key {
+			return true
+		}
+	}
+	return false
+}

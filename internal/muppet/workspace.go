@@ -1,0 +1,182 @@
+package muppet
+
+import (
+	"fmt"
+	"sort"
+
+	"muppet/internal/encode"
+	"muppet/internal/relational"
+	"muppet/internal/sat"
+	"muppet/internal/target"
+	"muppet/internal/ucore"
+)
+
+// partySpec selects how a party participates in one solving workspace.
+type partySpec struct {
+	party        *Party
+	enforceFixed bool // enforce the offer's fixed knobs (via selectors)
+	includeGoals bool // assert the party's goals (via selectors)
+}
+
+// workspace is one solving context: bounds with every configurable tuple
+// free, goals and fixed-knob groups attached to retractable selector
+// literals (so unsat cores can blame them), and soft-knob target literals
+// for minimal-edit search.
+type workspace struct {
+	sys   *encode.System
+	ss    *relational.Session
+	specs []partySpec
+	oms   map[*Party]*encode.OfferMap
+
+	named    []ucore.Named // goal + config-group selectors
+	assumps  []sat.Lit
+	softLits []sat.Lit // literal polarity == desired value
+	softInfo []softRef
+}
+
+type softRef struct {
+	party *Party
+	info  encode.KnobInfo
+}
+
+func newWorkspace(sys *encode.System, specs []partySpec) *workspace {
+	b := sys.NewBounds()
+	ws := &workspace{sys: sys, specs: specs, oms: make(map[*Party]*encode.OfferMap)}
+	for _, sp := range specs {
+		ws.oms[sp.party] = sp.party.bindFree(b)
+	}
+	ws.ss = relational.NewSession(b)
+
+	for _, sp := range specs {
+		if sp.includeGoals {
+			for _, g := range sp.party.Goals {
+				lit := ws.ss.Lit(g.Formula)
+				ws.addNamed(sp.party.Name+"/"+g.Name, lit)
+			}
+		}
+		om := ws.oms[sp.party]
+		if sp.enforceFixed {
+			ws.enforceFixed(sp.party, om)
+		}
+		for _, ki := range om.SoftInfos() {
+			lit, ok := ws.ss.TupleLit(ki.Rel, ki.Tuple)
+			if !ok {
+				continue
+			}
+			if !ki.Desired {
+				lit = lit.Not()
+			}
+			ws.softLits = append(ws.softLits, lit)
+			ws.softInfo = append(ws.softInfo, softRef{party: sp.party, info: ki})
+		}
+	}
+	return ws
+}
+
+// enforceFixed groups a party's fixed knobs by (policy, field) and guards
+// each group with one selector, giving blame at the granularity an
+// administrator actually edits.
+func (ws *workspace) enforceFixed(p *Party, om *encode.OfferMap) {
+	type groupKey struct {
+		policy string
+		field  encode.Field
+	}
+	groups := make(map[groupKey][]encode.KnobInfo)
+	var order []groupKey
+	for _, ki := range om.Infos {
+		if ki.State != encode.StateFixed {
+			continue
+		}
+		k := groupKey{ki.Knob.Policy, ki.Knob.Field}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], ki)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].policy != order[j].policy {
+			return order[i].policy < order[j].policy
+		}
+		return order[i].field < order[j].field
+	})
+	for _, k := range order {
+		sel := sat.PosLit(ws.ss.Solver().NewVar())
+		for _, ki := range groups[k] {
+			lit, ok := ws.ss.TupleLit(ki.Rel, ki.Tuple)
+			if !ok {
+				continue
+			}
+			if !ki.Desired {
+				lit = lit.Not()
+			}
+			ws.ss.Solver().AddClause(sel.Not(), lit)
+		}
+		ws.addNamed(fmt.Sprintf("%s/config[%s.%s]", p.Name, k.policy, k.field), sel)
+	}
+}
+
+func (ws *workspace) addNamed(name string, lit sat.Lit) {
+	ws.named = append(ws.named, ucore.Named{Name: name, Lit: lit})
+	ws.assumps = append(ws.assumps, lit)
+}
+
+// solve checks satisfiability under all named assumptions.
+func (ws *workspace) solve() sat.Status {
+	return ws.ss.Solve(ws.assumps...)
+}
+
+// harden turns the named assumptions into permanent clauses, enabling
+// minimisation (which solves without assumptions).
+func (ws *workspace) harden() {
+	for _, l := range ws.assumps {
+		ws.ss.Solver().AddClause(l)
+	}
+}
+
+// assertHard grounds and permanently asserts extra formulas (e.g. a
+// received envelope).
+func (ws *workspace) assertHard(fs ...relational.Formula) {
+	for _, f := range fs {
+		ws.ss.Assert(f)
+	}
+}
+
+// minimize finds the model closest to the soft-knob preferences. Call
+// after harden (or when there are no assumptions).
+func (ws *workspace) minimize() target.Result {
+	return target.Minimize(ws.ss.Solver(), ws.softLits, target.Options{})
+}
+
+// edits reports which soft preferences the current solver model overrides.
+func (ws *workspace) edits(model []bool) []Edit {
+	var out []Edit
+	for i, lit := range ws.softLits {
+		got := model[lit.Var()] != lit.Neg()
+		if !got {
+			ref := ws.softInfo[i]
+			out = append(out, Edit{
+				Party: ref.party.Name,
+				Knob:  ref.info.Knob,
+				Add:   !ref.info.Desired,
+			})
+		}
+	}
+	return out
+}
+
+// instance decodes the current model.
+func (ws *workspace) instance() *relational.Instance { return ws.ss.Instance() }
+
+// core extracts a minimised blame core over the named constraints.
+func (ws *workspace) core() []string {
+	core := ucore.Find(ws.ss.Solver(), ws.named)
+	if core == nil {
+		return nil
+	}
+	names := make([]string, len(core))
+	for i, n := range core {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}

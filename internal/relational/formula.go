@@ -1,0 +1,339 @@
+package relational
+
+import (
+	"strings"
+)
+
+// Formula is a bounded first-order relational formula. Formulas are
+// immutable values; envelope extraction rewrites them structurally.
+type Formula interface {
+	// String renders the formula in an Alloy-like concrete syntax.
+	String() string
+
+	formulaNode()
+}
+
+// ConstFormula is a boolean constant formula.
+type ConstFormula struct{ val bool }
+
+// TrueF and FalseF are the constant formulas.
+var (
+	trueF  = &ConstFormula{val: true}
+	falseF = &ConstFormula{val: false}
+)
+
+// TrueFormula returns the constant true formula.
+func TrueFormula() Formula { return trueF }
+
+// FalseFormula returns the constant false formula.
+func FalseFormula() Formula { return falseF }
+
+// Value returns the constant's truth value.
+func (c *ConstFormula) Value() bool { return c.val }
+
+func (c *ConstFormula) String() string {
+	if c.val {
+		return "true"
+	}
+	return "false"
+}
+func (c *ConstFormula) formulaNode() {}
+
+// compOp enumerates expression comparison operators.
+type compOp uint8
+
+const (
+	opIn compOp = iota
+	opEquals
+)
+
+// CompFormula compares two expressions (subset or equality).
+type CompFormula struct {
+	op   compOp
+	l, r Expr
+}
+
+// In returns the subset formula l in r.
+func In(l, r Expr) Formula {
+	sameArity(l, r, "subset comparison")
+	return &CompFormula{op: opIn, l: l, r: r}
+}
+
+// Equals returns the equality formula l = r.
+func Equals(l, r Expr) Formula {
+	sameArity(l, r, "equality comparison")
+	return &CompFormula{op: opEquals, l: l, r: r}
+}
+
+// IsIn reports whether this is a subset (rather than equality) comparison.
+func (c *CompFormula) IsIn() bool { return c.op == opIn }
+
+// Left returns the left operand.
+func (c *CompFormula) Left() Expr { return c.l }
+
+// Right returns the right operand.
+func (c *CompFormula) Right() Expr { return c.r }
+
+func (c *CompFormula) String() string {
+	sym := " in "
+	if c.op == opEquals {
+		sym = " = "
+	}
+	return c.l.String() + sym + c.r.String()
+}
+func (c *CompFormula) formulaNode() {}
+
+// Mult enumerates multiplicity tests on expressions.
+type Mult uint8
+
+// Multiplicity constants.
+const (
+	MultSome Mult = iota // at least one tuple
+	MultNo               // empty
+	MultOne              // exactly one tuple
+	MultLone             // at most one tuple
+)
+
+// MultFormula applies a multiplicity test to an expression.
+type MultFormula struct {
+	mult Mult
+	e    Expr
+}
+
+// Some returns the formula "some e" (e is non-empty).
+func Some(e Expr) Formula { return &MultFormula{mult: MultSome, e: e} }
+
+// No returns the formula "no e" (e is empty).
+func No(e Expr) Formula { return &MultFormula{mult: MultNo, e: e} }
+
+// One returns the formula "one e" (e has exactly one tuple).
+func One(e Expr) Formula { return &MultFormula{mult: MultOne, e: e} }
+
+// Lone returns the formula "lone e" (e has at most one tuple).
+func Lone(e Expr) Formula { return &MultFormula{mult: MultLone, e: e} }
+
+// Mult returns the multiplicity being tested.
+func (m *MultFormula) Mult() Mult { return m.mult }
+
+// Expr returns the tested expression.
+func (m *MultFormula) Expr() Expr { return m.e }
+
+func (m *MultFormula) String() string {
+	var kw string
+	switch m.mult {
+	case MultSome:
+		kw = "some"
+	case MultNo:
+		kw = "no"
+	case MultOne:
+		kw = "one"
+	case MultLone:
+		kw = "lone"
+	}
+	return kw + " " + m.e.String()
+}
+func (m *MultFormula) formulaNode() {}
+
+// NotFormula is logical negation.
+type NotFormula struct{ f Formula }
+
+// Not returns ¬f, folding double negation and constants.
+func Not(f Formula) Formula {
+	switch g := f.(type) {
+	case *NotFormula:
+		return g.f
+	case *ConstFormula:
+		if g.val {
+			return falseF
+		}
+		return trueF
+	}
+	return &NotFormula{f: f}
+}
+
+// Inner returns the negated formula.
+func (n *NotFormula) Inner() Formula { return n.f }
+
+func (n *NotFormula) String() string { return "not (" + n.f.String() + ")" }
+func (n *NotFormula) formulaNode()   {}
+
+// NaryOp enumerates n-ary/binary connectives.
+type NaryOp uint8
+
+// Connective constants.
+const (
+	OpAnd NaryOp = iota
+	OpOr
+	OpImplies
+	OpIff
+)
+
+// NaryFormula is a conjunction, disjunction, implication or equivalence.
+// Implication and equivalence have exactly two operands.
+type NaryFormula struct {
+	op NaryOp
+	fs []Formula
+}
+
+// And returns the conjunction of fs, flattening nested conjunctions and
+// folding constants.
+func And(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *ConstFormula:
+			if !g.val {
+				return falseF
+			}
+		case *NaryFormula:
+			if g.op == OpAnd {
+				flat = append(flat, g.fs...)
+				continue
+			}
+			flat = append(flat, f)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return trueF
+	case 1:
+		return flat[0]
+	}
+	return &NaryFormula{op: OpAnd, fs: flat}
+}
+
+// Or returns the disjunction of fs, flattening nested disjunctions and
+// folding constants.
+func Or(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *ConstFormula:
+			if g.val {
+				return trueF
+			}
+		case *NaryFormula:
+			if g.op == OpOr {
+				flat = append(flat, g.fs...)
+				continue
+			}
+			flat = append(flat, f)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return falseF
+	case 1:
+		return flat[0]
+	}
+	return &NaryFormula{op: OpOr, fs: flat}
+}
+
+// Implies returns a → b.
+func Implies(a, b Formula) Formula {
+	if c, ok := a.(*ConstFormula); ok {
+		if c.val {
+			return b
+		}
+		return trueF
+	}
+	if c, ok := b.(*ConstFormula); ok {
+		if c.val {
+			return trueF
+		}
+		return Not(a)
+	}
+	return &NaryFormula{op: OpImplies, fs: []Formula{a, b}}
+}
+
+// Iff returns a ↔ b.
+func Iff(a, b Formula) Formula {
+	if c, ok := a.(*ConstFormula); ok {
+		if c.val {
+			return b
+		}
+		return Not(b)
+	}
+	if c, ok := b.(*ConstFormula); ok {
+		if c.val {
+			return a
+		}
+		return Not(a)
+	}
+	return &NaryFormula{op: OpIff, fs: []Formula{a, b}}
+}
+
+// Op returns the connective.
+func (n *NaryFormula) Op() NaryOp { return n.op }
+
+// Operands returns the operand formulas (do not mutate).
+func (n *NaryFormula) Operands() []Formula { return n.fs }
+
+func (n *NaryFormula) String() string {
+	var sym string
+	switch n.op {
+	case OpAnd:
+		sym = " and "
+	case OpOr:
+		sym = " or "
+	case OpImplies:
+		sym = " implies "
+	case OpIff:
+		sym = " iff "
+	}
+	parts := make([]string, len(n.fs))
+	for i, f := range n.fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, sym) + ")"
+}
+func (n *NaryFormula) formulaNode() {}
+
+// QuantFormula is a universally or existentially quantified formula.
+type QuantFormula struct {
+	forall bool
+	decls  []Decl
+	body   Formula
+}
+
+// Forall returns ∀ decls | body.
+func Forall(decls []Decl, body Formula) Formula {
+	if len(decls) == 0 {
+		return body
+	}
+	return &QuantFormula{forall: true, decls: decls, body: body}
+}
+
+// Exists returns ∃ decls | body.
+func Exists(decls []Decl, body Formula) Formula {
+	if len(decls) == 0 {
+		return body
+	}
+	return &QuantFormula{forall: false, decls: decls, body: body}
+}
+
+// IsForall reports whether this is a universal quantifier.
+func (q *QuantFormula) IsForall() bool { return q.forall }
+
+// Decls returns the quantified declarations.
+func (q *QuantFormula) Decls() []Decl { return q.decls }
+
+// Body returns the quantified body.
+func (q *QuantFormula) Body() Formula { return q.body }
+
+func (q *QuantFormula) String() string {
+	kw := "all"
+	if !q.forall {
+		kw = "some"
+	}
+	parts := make([]string, len(q.decls))
+	for i, d := range q.decls {
+		parts[i] = d.String()
+	}
+	return kw + " " + strings.Join(parts, ", ") + " | " + q.body.String()
+}
+func (q *QuantFormula) formulaNode() {}

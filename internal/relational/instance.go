@@ -1,0 +1,247 @@
+package relational
+
+import (
+	"sort"
+	"strings"
+)
+
+// Instance assigns a concrete tuple-set extent to each relation. Instances
+// are what the solver returns and what the evaluator consumes.
+type Instance struct {
+	u *Universe
+	m map[*Relation]*TupleSet
+}
+
+// NewInstance creates an empty instance over a universe.
+func NewInstance(u *Universe) *Instance {
+	return &Instance{u: u, m: make(map[*Relation]*TupleSet)}
+}
+
+// Universe returns the instance's universe.
+func (in *Instance) Universe() *Universe { return in.u }
+
+// Set assigns r's extent (a copy is stored).
+func (in *Instance) Set(r *Relation, ts *TupleSet) {
+	if ts.arity != r.arity {
+		panic("relational: instance arity mismatch for " + r.name)
+	}
+	in.m[r] = ts.Clone()
+}
+
+// Get returns r's extent, defaulting to the empty set.
+func (in *Instance) Get(r *Relation) *TupleSet {
+	if ts, ok := in.m[r]; ok {
+		return ts
+	}
+	return NewTupleSet(in.u, r.arity)
+}
+
+// Relations returns the relations with assigned extents, sorted by name.
+func (in *Instance) Relations() []*Relation {
+	out := make([]*Relation, 0, len(in.m))
+	for r := range in.m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	c := NewInstance(in.u)
+	for r, ts := range in.m {
+		c.m[r] = ts.Clone()
+	}
+	return c
+}
+
+// String renders the instance one relation per line.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, r := range in.Relations() {
+		b.WriteString(r.name)
+		b.WriteString(" = ")
+		b.WriteString(in.m[r].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Eval evaluates a closed formula under an instance.
+func Eval(f Formula, in *Instance) bool {
+	return evalFormula(f, in, env{})
+}
+
+// EvalExpr evaluates a closed expression under an instance.
+func EvalExpr(e Expr, in *Instance) *TupleSet {
+	return evalExpr(e, in, env{})
+}
+
+func evalFormula(f Formula, in *Instance, e env) bool {
+	switch g := f.(type) {
+	case *ConstFormula:
+		return g.val
+
+	case *CompFormula:
+		l := evalExpr(g.l, in, e)
+		r := evalExpr(g.r, in, e)
+		if g.op == opIn {
+			return r.ContainsAll(l)
+		}
+		return l.Equal(r)
+
+	case *MultFormula:
+		n := evalExpr(g.e, in, e).Len()
+		switch g.mult {
+		case MultSome:
+			return n > 0
+		case MultNo:
+			return n == 0
+		case MultOne:
+			return n == 1
+		case MultLone:
+			return n <= 1
+		}
+		panic("relational: unknown multiplicity")
+
+	case *NotFormula:
+		return !evalFormula(g.f, in, e)
+
+	case *NaryFormula:
+		switch g.op {
+		case OpAnd:
+			for _, sub := range g.fs {
+				if !evalFormula(sub, in, e) {
+					return false
+				}
+			}
+			return true
+		case OpOr:
+			for _, sub := range g.fs {
+				if evalFormula(sub, in, e) {
+					return true
+				}
+			}
+			return false
+		case OpImplies:
+			return !evalFormula(g.fs[0], in, e) || evalFormula(g.fs[1], in, e)
+		case OpIff:
+			return evalFormula(g.fs[0], in, e) == evalFormula(g.fs[1], in, e)
+		}
+		panic("relational: unknown connective")
+
+	case *QuantFormula:
+		return evalQuant(g, g.decls, in, e)
+
+	default:
+		panic("relational: unknown formula in Eval")
+	}
+}
+
+func evalQuant(q *QuantFormula, decls []Decl, in *Instance, e env) bool {
+	if len(decls) == 0 {
+		return evalFormula(q.body, in, e)
+	}
+	d := decls[0]
+	dom := evalExpr(d.domain, in, e)
+	for _, t := range dom.Tuples() {
+		held := evalQuant(q, decls[1:], in, e.extend(d.v, t[0]))
+		if q.forall && !held {
+			return false
+		}
+		if !q.forall && held {
+			return true
+		}
+	}
+	return q.forall
+}
+
+func evalExpr(ex Expr, in *Instance, e env) *TupleSet {
+	switch g := ex.(type) {
+	case *Relation:
+		return in.Get(g)
+
+	case *Var:
+		atom, ok := e[g]
+		if !ok {
+			panic("relational: unbound variable " + g.name + " in Eval")
+		}
+		return NewTupleSet(in.u, 1).Add(Tuple{atom})
+
+	case *ConstExpr:
+		return g.ts.Clone()
+
+	case *BinExpr:
+		l := evalExpr(g.l, in, e)
+		r := evalExpr(g.r, in, e)
+		switch g.op {
+		case opUnion:
+			return l.Clone().UnionWith(r)
+		case opIntersect:
+			out := NewTupleSet(in.u, l.arity)
+			for _, t := range l.Tuples() {
+				if r.Contains(t) {
+					out.Add(t)
+				}
+			}
+			return out
+		case opDiff:
+			out := NewTupleSet(in.u, l.arity)
+			for _, t := range l.Tuples() {
+				if !r.Contains(t) {
+					out.Add(t)
+				}
+			}
+			return out
+		case opProduct:
+			out := NewTupleSet(in.u, l.arity+r.arity)
+			for _, a := range l.Tuples() {
+				for _, b := range r.Tuples() {
+					out.Add(a.Concat(b))
+				}
+			}
+			return out
+		case opJoin:
+			out := NewTupleSet(in.u, l.arity+r.arity-2)
+			for _, a := range l.Tuples() {
+				for _, b := range r.Tuples() {
+					if a[len(a)-1] == b[0] {
+						out.Add(a[:len(a)-1].Concat(b[1:]))
+					}
+				}
+			}
+			return out
+		}
+		panic("relational: unknown binary expression in Eval")
+
+	case *TransposeExpr:
+		inSet := evalExpr(g.e, in, e)
+		out := NewTupleSet(in.u, 2)
+		for _, t := range inSet.Tuples() {
+			out.Add(Tuple{t[1], t[0]})
+		}
+		return out
+
+	case *ComprehensionExpr:
+		out := NewTupleSet(in.u, len(g.decls))
+		evalComprehension(g, g.decls, nil, in, e, out)
+		return out
+
+	default:
+		panic("relational: unknown expression in Eval")
+	}
+}
+
+func evalComprehension(c *ComprehensionExpr, decls []Decl, prefix Tuple, in *Instance, e env, out *TupleSet) {
+	if len(decls) == 0 {
+		if evalFormula(c.body, in, e) {
+			out.Add(prefix)
+		}
+		return
+	}
+	d := decls[0]
+	dom := evalExpr(d.domain, in, e)
+	for _, t := range dom.Tuples() {
+		evalComprehension(c, decls[1:], prefix.Concat(t), in, e.extend(d.v, t[0]), out)
+	}
+}

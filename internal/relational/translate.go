@@ -1,0 +1,454 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"muppet/internal/boolcirc"
+)
+
+// matrix is the boolean-matrix denotation of an expression during
+// translation: each possibly-present tuple maps to a circuit edge. Tuples
+// that are definitely absent are simply missing from the map.
+type matrix struct {
+	arity int
+	cells map[string]mcell
+}
+
+type mcell struct {
+	t Tuple
+	r boolcirc.Ref
+}
+
+func newMatrix(arity int) *matrix {
+	return &matrix{arity: arity, cells: make(map[string]mcell)}
+}
+
+func (m *matrix) set(t Tuple, r boolcirc.Ref) {
+	if r == boolcirc.False {
+		return
+	}
+	m.cells[t.key()] = mcell{t: t, r: r}
+}
+
+func (m *matrix) get(t Tuple) boolcirc.Ref {
+	if c, ok := m.cells[t.key()]; ok {
+		return c.r
+	}
+	return boolcirc.False
+}
+
+// RelVar associates a free tuple of a relation (in its upper but not lower
+// bound) with the circuit variable that decides its presence.
+type RelVar struct {
+	Tuple Tuple
+	Ref   boolcirc.Ref
+}
+
+// Translator grounds formulas over fixed bounds into boolean circuits.
+// One translator may ground many formulas; relation variables are shared,
+// so the resulting circuit edges can be combined (e.g. asserted separately,
+// used as assumptions, or targeted by package target).
+type Translator struct {
+	factory *boolcirc.Factory
+	bounds  *Bounds
+	relVars map[*Relation][]RelVar
+	relMats map[*Relation]*matrix
+
+	// Memoisation: grounding re-enters the same subterm under many
+	// quantifier bindings, but a subterm's denotation depends only on the
+	// bindings of its free variables. Caching on (node, free-var bindings)
+	// turns the naive exponential re-translation into Kodkod-style sharing.
+	varIDs    map[*Var]int
+	freeE     map[Expr]map[*Var]bool
+	freeF     map[Formula]map[*Var]bool
+	exprCache map[exprKey]*matrix
+	formCache map[formKey]boolcirc.Ref
+}
+
+type exprKey struct {
+	e   Expr
+	env string
+}
+
+type formKey struct {
+	f   Formula
+	env string
+}
+
+// NewTranslator creates a translator over the given bounds, allocating one
+// circuit variable per free tuple of each bound relation.
+func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
+	tr := &Translator{
+		factory:   f,
+		bounds:    b,
+		relVars:   make(map[*Relation][]RelVar),
+		relMats:   make(map[*Relation]*matrix),
+		varIDs:    make(map[*Var]int),
+		freeE:     make(map[Expr]map[*Var]bool),
+		freeF:     make(map[Formula]map[*Var]bool),
+		exprCache: make(map[exprKey]*matrix),
+		formCache: make(map[formKey]boolcirc.Ref),
+	}
+	for _, r := range b.Relations() {
+		m := newMatrix(r.arity)
+		lower := b.Lower(r)
+		var vars []RelVar
+		for _, t := range b.Upper(r).Tuples() {
+			if lower.Contains(t) {
+				m.set(t, boolcirc.True)
+				continue
+			}
+			v := f.Var()
+			m.set(t, v)
+			vars = append(vars, RelVar{Tuple: t, Ref: v})
+		}
+		tr.relVars[r] = vars
+		tr.relMats[r] = m
+	}
+	return tr
+}
+
+// Factory returns the circuit factory.
+func (tr *Translator) Factory() *boolcirc.Factory { return tr.factory }
+
+// Bounds returns the translation bounds.
+func (tr *Translator) Bounds() *Bounds { return tr.bounds }
+
+// RelationVars returns the free-tuple variables of r in deterministic order.
+func (tr *Translator) RelationVars(r *Relation) []RelVar { return tr.relVars[r] }
+
+// env maps quantified variables to the atom they are currently bound to.
+type env map[*Var]int
+
+func (e env) extend(v *Var, atom int) env {
+	n := make(env, len(e)+1)
+	for k, val := range e {
+		n[k] = val
+	}
+	n[v] = atom
+	return n
+}
+
+// Formula grounds f into a circuit edge that is true exactly in the models
+// of f within the translator's bounds.
+func (tr *Translator) Formula(f Formula) boolcirc.Ref {
+	return tr.formula(f, env{})
+}
+
+// varID assigns stable identifiers to quantified variables for cache keys.
+func (tr *Translator) varID(v *Var) int {
+	if id, ok := tr.varIDs[v]; ok {
+		return id
+	}
+	id := len(tr.varIDs)
+	tr.varIDs[v] = id
+	return id
+}
+
+// envKeyFor serialises the bindings of the given free variables.
+func (tr *Translator) envKeyFor(free map[*Var]bool, e env) string {
+	if len(free) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(free))
+	byID := make(map[int]int, len(free))
+	for v := range free {
+		atom, ok := e[v]
+		if !ok {
+			// Unbound free variable: fall through — translation will
+			// report it; do not cache.
+			return "?unbound"
+		}
+		id := tr.varID(v)
+		ids = append(ids, id)
+		byID[id] = atom
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d=%d;", id, byID[id])
+	}
+	return b.String()
+}
+
+func (tr *Translator) formula(f Formula, e env) boolcirc.Ref {
+	free, ok := tr.freeF[f]
+	if !ok {
+		free = FreeVarsFormula(f)
+		tr.freeF[f] = free
+	}
+	ek := tr.envKeyFor(free, e)
+	if ek != "?unbound" {
+		key := formKey{f: f, env: ek}
+		if r, hit := tr.formCache[key]; hit {
+			return r
+		}
+		r := tr.formulaUncached(f, e)
+		tr.formCache[key] = r
+		return r
+	}
+	return tr.formulaUncached(f, e)
+}
+
+func (tr *Translator) formulaUncached(f Formula, e env) boolcirc.Ref {
+	switch g := f.(type) {
+	case *ConstFormula:
+		return tr.factory.Bool(g.val)
+
+	case *CompFormula:
+		lm := tr.expr(g.l, e)
+		rm := tr.expr(g.r, e)
+		sub := func(a, b *matrix) boolcirc.Ref {
+			conj := make([]boolcirc.Ref, 0, len(a.cells))
+			for _, c := range a.cells {
+				conj = append(conj, tr.factory.Implies(c.r, b.get(c.t)))
+			}
+			return tr.factory.And(conj...)
+		}
+		if g.op == opIn {
+			return sub(lm, rm)
+		}
+		return tr.factory.And(sub(lm, rm), sub(rm, lm))
+
+	case *MultFormula:
+		m := tr.expr(g.e, e)
+		refs := make([]boolcirc.Ref, 0, len(m.cells))
+		for _, c := range orderedCells(m) {
+			refs = append(refs, c.r)
+		}
+		some := tr.factory.Or(refs...)
+		switch g.mult {
+		case MultSome:
+			return some
+		case MultNo:
+			return some.Not()
+		case MultOne:
+			return tr.factory.And(some, tr.atMostOne(refs))
+		case MultLone:
+			return tr.atMostOne(refs)
+		}
+		panic("relational: unknown multiplicity")
+
+	case *NotFormula:
+		return tr.formula(g.f, e).Not()
+
+	case *NaryFormula:
+		switch g.op {
+		case OpAnd:
+			refs := make([]boolcirc.Ref, len(g.fs))
+			for i, sub := range g.fs {
+				refs[i] = tr.formula(sub, e)
+			}
+			return tr.factory.And(refs...)
+		case OpOr:
+			refs := make([]boolcirc.Ref, len(g.fs))
+			for i, sub := range g.fs {
+				refs[i] = tr.formula(sub, e)
+			}
+			return tr.factory.Or(refs...)
+		case OpImplies:
+			return tr.factory.Implies(tr.formula(g.fs[0], e), tr.formula(g.fs[1], e))
+		case OpIff:
+			return tr.factory.Iff(tr.formula(g.fs[0], e), tr.formula(g.fs[1], e))
+		}
+		panic("relational: unknown connective")
+
+	case *QuantFormula:
+		return tr.quant(g, g.decls, e)
+
+	default:
+		panic(fmt.Sprintf("relational: unknown formula %T", f))
+	}
+}
+
+// quant grounds one quantifier declaration at a time, so later domains may
+// mention earlier variables.
+func (tr *Translator) quant(q *QuantFormula, decls []Decl, e env) boolcirc.Ref {
+	if len(decls) == 0 {
+		return tr.formula(q.body, e)
+	}
+	d := decls[0]
+	dom := tr.expr(d.domain, e)
+	parts := make([]boolcirc.Ref, 0, len(dom.cells))
+	for _, c := range orderedCells(dom) {
+		inner := tr.quant(q, decls[1:], e.extend(d.v, c.t[0]))
+		if q.forall {
+			parts = append(parts, tr.factory.Implies(c.r, inner))
+		} else {
+			parts = append(parts, tr.factory.And(c.r, inner))
+		}
+	}
+	if q.forall {
+		return tr.factory.And(parts...)
+	}
+	return tr.factory.Or(parts...)
+}
+
+// atMostOne encodes pairwise mutual exclusion over the given edges.
+func (tr *Translator) atMostOne(refs []boolcirc.Ref) boolcirc.Ref {
+	conj := make([]boolcirc.Ref, 0, len(refs)*(len(refs)-1)/2)
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			conj = append(conj, tr.factory.And(refs[i], refs[j]).Not())
+		}
+	}
+	return tr.factory.And(conj...)
+}
+
+func (tr *Translator) expr(ex Expr, e env) *matrix {
+	free, ok := tr.freeE[ex]
+	if !ok {
+		free = FreeVars(ex)
+		tr.freeE[ex] = free
+	}
+	ek := tr.envKeyFor(free, e)
+	if ek != "?unbound" {
+		key := exprKey{e: ex, env: ek}
+		if m, hit := tr.exprCache[key]; hit {
+			return m
+		}
+		m := tr.exprUncached(ex, e)
+		tr.exprCache[key] = m
+		return m
+	}
+	return tr.exprUncached(ex, e)
+}
+
+func (tr *Translator) exprUncached(ex Expr, e env) *matrix {
+	switch g := ex.(type) {
+	case *Relation:
+		m, ok := tr.relMats[g]
+		if !ok {
+			panic(fmt.Sprintf("relational: relation %s has no bounds", g.name))
+		}
+		return m
+
+	case *Var:
+		atom, ok := e[g]
+		if !ok {
+			panic(fmt.Sprintf("relational: unbound variable %s", g.name))
+		}
+		m := newMatrix(1)
+		m.set(Tuple{atom}, boolcirc.True)
+		return m
+
+	case *ConstExpr:
+		m := newMatrix(g.ts.arity)
+		for _, t := range g.ts.Tuples() {
+			m.set(t, boolcirc.True)
+		}
+		return m
+
+	case *BinExpr:
+		lm := tr.expr(g.l, e)
+		rm := tr.expr(g.r, e)
+		switch g.op {
+		case opUnion:
+			m := newMatrix(lm.arity)
+			for _, c := range lm.cells {
+				m.set(c.t, c.r)
+			}
+			for _, c := range rm.cells {
+				m.set(c.t, tr.factory.Or(m.get(c.t), c.r))
+			}
+			return m
+		case opIntersect:
+			m := newMatrix(lm.arity)
+			for _, c := range lm.cells {
+				m.set(c.t, tr.factory.And(c.r, rm.get(c.t)))
+			}
+			return m
+		case opDiff:
+			m := newMatrix(lm.arity)
+			for _, c := range lm.cells {
+				m.set(c.t, tr.factory.And(c.r, rm.get(c.t).Not()))
+			}
+			return m
+		case opProduct:
+			m := newMatrix(lm.arity + rm.arity)
+			for _, a := range lm.cells {
+				for _, b := range rm.cells {
+					m.set(a.t.Concat(b.t), tr.factory.And(a.r, b.r))
+				}
+			}
+			return m
+		case opJoin:
+			m := newMatrix(lm.arity + rm.arity - 2)
+			// Group right cells by leading atom for the middle sum.
+			byHead := make(map[int][]mcell)
+			for _, b := range rm.cells {
+				byHead[b.t[0]] = append(byHead[b.t[0]], b)
+			}
+			acc := make(map[string][]boolcirc.Ref)
+			tuples := make(map[string]Tuple)
+			for _, a := range lm.cells {
+				mid := a.t[len(a.t)-1]
+				for _, b := range byHead[mid] {
+					t := a.t[: len(a.t)-1 : len(a.t)-1].Concat(b.t[1:])
+					k := t.key()
+					acc[k] = append(acc[k], tr.factory.And(a.r, b.r))
+					tuples[k] = t
+				}
+			}
+			for k, refs := range acc {
+				m.set(tuples[k], tr.factory.Or(refs...))
+			}
+			return m
+		}
+		panic("relational: unknown binary expression")
+
+	case *TransposeExpr:
+		im := tr.expr(g.e, e)
+		m := newMatrix(2)
+		for _, c := range im.cells {
+			m.set(Tuple{c.t[1], c.t[0]}, c.r)
+		}
+		return m
+
+	case *ComprehensionExpr:
+		return tr.comprehension(g, g.decls, nil, boolcirc.True, e)
+
+	default:
+		panic(fmt.Sprintf("relational: unknown expression %T", ex))
+	}
+}
+
+// comprehension enumerates candidate bindings for the declarations,
+// accumulating membership guards, and emits one cell per full binding.
+func (tr *Translator) comprehension(c *ComprehensionExpr, decls []Decl, prefix Tuple, guard boolcirc.Ref, e env) *matrix {
+	if len(decls) == 0 {
+		m := newMatrix(len(c.decls))
+		m.set(prefix, tr.factory.And(guard, tr.formula(c.body, e)))
+		return m
+	}
+	d := decls[0]
+	dom := tr.expr(d.domain, e)
+	out := newMatrix(len(c.decls))
+	for _, cell := range orderedCells(dom) {
+		sub := tr.comprehension(c, decls[1:],
+			prefix.Concat(cell.t),
+			tr.factory.And(guard, cell.r),
+			e.extend(d.v, cell.t[0]))
+		for _, sc := range sub.cells {
+			out.set(sc.t, tr.factory.Or(out.get(sc.t), sc.r))
+		}
+	}
+	return out
+}
+
+// orderedCells returns a matrix's cells in deterministic tuple order, so
+// translation output is reproducible run to run.
+func orderedCells(m *matrix) []mcell {
+	keys := make([]string, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]mcell, len(keys))
+	for i, k := range keys {
+		out[i] = m.cells[k]
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TupleSet is a set of equal-arity tuples over a universe.
+type TupleSet struct {
+	u     *Universe
+	arity int
+	m     map[string]Tuple
+}
+
+// NewTupleSet creates an empty tuple set of the given arity.
+func NewTupleSet(u *Universe, arity int) *TupleSet {
+	if arity < 1 {
+		panic("relational: tuple set arity must be ≥ 1")
+	}
+	return &TupleSet{u: u, arity: arity, m: make(map[string]Tuple)}
+}
+
+// TupleSetOf builds a tuple set from atom-name rows. All rows must share
+// one arity.
+func TupleSetOf(u *Universe, rows ...[]string) *TupleSet {
+	if len(rows) == 0 {
+		panic("relational: TupleSetOf needs at least one row; use NewTupleSet for empty sets")
+	}
+	ts := NewTupleSet(u, len(rows[0]))
+	for _, row := range rows {
+		t := make(Tuple, len(row))
+		for i, name := range row {
+			t[i] = u.MustIndex(name)
+		}
+		ts.Add(t)
+	}
+	return ts
+}
+
+// AllTuples returns the full arity-ary cross product of the universe.
+func AllTuples(u *Universe, arity int) *TupleSet {
+	ts := NewTupleSet(u, arity)
+	t := make(Tuple, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			ts.Add(t)
+			return
+		}
+		for a := 0; a < u.Size(); a++ {
+			t[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return ts
+}
+
+// Universe returns the backing universe.
+func (ts *TupleSet) Universe() *Universe { return ts.u }
+
+// Arity returns the tuple arity.
+func (ts *TupleSet) Arity() int { return ts.arity }
+
+// Len returns the number of tuples.
+func (ts *TupleSet) Len() int { return len(ts.m) }
+
+// Add inserts a copy of t.
+func (ts *TupleSet) Add(t Tuple) *TupleSet {
+	if len(t) != ts.arity {
+		panic(fmt.Sprintf("relational: arity mismatch: adding %d-tuple to %d-ary set", len(t), ts.arity))
+	}
+	for _, a := range t {
+		if a < 0 || a >= ts.u.Size() {
+			panic(fmt.Sprintf("relational: atom index %d out of universe", a))
+		}
+	}
+	c := make(Tuple, len(t))
+	copy(c, t)
+	ts.m[c.key()] = c
+	return ts
+}
+
+// AddNames inserts a tuple given by atom names.
+func (ts *TupleSet) AddNames(names ...string) *TupleSet {
+	t := make(Tuple, len(names))
+	for i, n := range names {
+		t[i] = ts.u.MustIndex(n)
+	}
+	return ts.Add(t)
+}
+
+// Contains reports membership.
+func (ts *TupleSet) Contains(t Tuple) bool {
+	_, ok := ts.m[t.key()]
+	return ok
+}
+
+// Remove deletes t if present.
+func (ts *TupleSet) Remove(t Tuple) { delete(ts.m, t.key()) }
+
+// Tuples returns the tuples in a deterministic (sorted-key) order.
+func (ts *TupleSet) Tuples() []Tuple {
+	keys := make([]string, 0, len(ts.m))
+	for k := range ts.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = ts.m[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (ts *TupleSet) Clone() *TupleSet {
+	c := NewTupleSet(ts.u, ts.arity)
+	for k, t := range ts.m {
+		c.m[k] = t
+	}
+	return c
+}
+
+// UnionWith adds all tuples of o.
+func (ts *TupleSet) UnionWith(o *TupleSet) *TupleSet {
+	if o.arity != ts.arity {
+		panic("relational: union arity mismatch")
+	}
+	for k, t := range o.m {
+		ts.m[k] = t
+	}
+	return ts
+}
+
+// ContainsAll reports whether every tuple of o is in ts.
+func (ts *TupleSet) ContainsAll(o *TupleSet) bool {
+	for k := range o.m {
+		if _, ok := ts.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (ts *TupleSet) Equal(o *TupleSet) bool {
+	return ts.arity == o.arity && len(ts.m) == len(o.m) && ts.ContainsAll(o)
+}
+
+// String renders the set as {(a, b), …}.
+func (ts *TupleSet) String() string {
+	parts := make([]string, 0, len(ts.m))
+	for _, t := range ts.Tuples() {
+		parts = append(parts, t.String(ts.u))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Relation is a declared relation: a name and an arity. Its extent in any
+// instance is constrained by Bounds. Relations are compared by identity.
+type Relation struct {
+	name  string
+	arity int
+}
+
+// NewRelation declares a relation.
+func NewRelation(name string, arity int) *Relation {
+	if arity < 1 {
+		panic("relational: relation arity must be ≥ 1")
+	}
+	return &Relation{name: name, arity: arity}
+}
+
+// Name returns the relation's declared name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Bounds assigns every relation a lower bound (tuples that must be present)
+// and an upper bound (tuples that may be present). The solver chooses an
+// extent between the two for each relation.
+type Bounds struct {
+	u     *Universe
+	order []*Relation
+	lower map[*Relation]*TupleSet
+	upper map[*Relation]*TupleSet
+}
+
+// NewBounds creates empty bounds over a universe.
+func NewBounds(u *Universe) *Bounds {
+	return &Bounds{
+		u:     u,
+		lower: make(map[*Relation]*TupleSet),
+		upper: make(map[*Relation]*TupleSet),
+	}
+}
+
+// Universe returns the bounds' universe.
+func (b *Bounds) Universe() *Universe { return b.u }
+
+// Bound sets lower and upper bounds for r. lower must be a subset of upper.
+func (b *Bounds) Bound(r *Relation, lower, upper *TupleSet) {
+	if lower.arity != r.arity || upper.arity != r.arity {
+		panic(fmt.Sprintf("relational: bound arity mismatch for %s", r.name))
+	}
+	if !upper.ContainsAll(lower) {
+		panic(fmt.Sprintf("relational: lower bound of %s not contained in upper bound", r.name))
+	}
+	if _, seen := b.lower[r]; !seen {
+		b.order = append(b.order, r)
+	}
+	b.lower[r] = lower.Clone()
+	b.upper[r] = upper.Clone()
+}
+
+// BoundExactly fixes r's extent to exactly ts.
+func (b *Bounds) BoundExactly(r *Relation, ts *TupleSet) { b.Bound(r, ts, ts) }
+
+// Lower returns r's lower bound (nil if unbound).
+func (b *Bounds) Lower(r *Relation) *TupleSet { return b.lower[r] }
+
+// Upper returns r's upper bound (nil if unbound).
+func (b *Bounds) Upper(r *Relation) *TupleSet { return b.upper[r] }
+
+// Relations returns the bound relations in declaration order.
+func (b *Bounds) Relations() []*Relation {
+	out := make([]*Relation, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// Clone deep-copies the bounds.
+func (b *Bounds) Clone() *Bounds {
+	c := NewBounds(b.u)
+	for _, r := range b.order {
+		c.Bound(r, b.lower[r], b.upper[r])
+	}
+	return c
+}

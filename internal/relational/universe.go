@@ -1,0 +1,113 @@
+// Package relational implements a bounded relational logic in the style of
+// the Kodkod model finder: a finite universe of atoms, relations bounded
+// above and below by tuple sets, a relational expression and first-order
+// formula language, and a translator that grounds problems into boolean
+// circuits (package boolcirc) for SAT solving.
+//
+// This package is the logical substrate that the Muppet paper builds on
+// (Pardinus extends Kodkod; package target layers the target-oriented mode
+// on top of the translation produced here). Formulas are pure values and
+// can be inspected, substituted and simplified — which is exactly what
+// envelope extraction (Alg. 3 of the paper) requires.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Universe is an ordered finite set of named atoms. Atom identity is the
+// index; names are for display and lookup.
+type Universe struct {
+	atoms []string
+	index map[string]int
+}
+
+// NewUniverse builds a universe from distinct atom names.
+func NewUniverse(atoms ...string) *Universe {
+	u := &Universe{index: make(map[string]int, len(atoms))}
+	for _, a := range atoms {
+		if _, dup := u.index[a]; dup {
+			panic(fmt.Sprintf("relational: duplicate atom %q", a))
+		}
+		u.index[a] = len(u.atoms)
+		u.atoms = append(u.atoms, a)
+	}
+	return u
+}
+
+// Size returns the number of atoms.
+func (u *Universe) Size() int { return len(u.atoms) }
+
+// Atom returns the name of atom i.
+func (u *Universe) Atom(i int) string { return u.atoms[i] }
+
+// Index returns the index of the named atom, or -1 if absent.
+func (u *Universe) Index(name string) int {
+	if i, ok := u.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on unknown atoms.
+func (u *Universe) MustIndex(name string) int {
+	i := u.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relational: unknown atom %q", name))
+	}
+	return i
+}
+
+// Atoms returns a copy of the atom names in order.
+func (u *Universe) Atoms() []string {
+	out := make([]string, len(u.atoms))
+	copy(out, u.atoms)
+	return out
+}
+
+// Tuple is an ordered sequence of atom indices.
+type Tuple []int
+
+// key encodes a tuple as a map key.
+func (t Tuple) key() string {
+	var b strings.Builder
+	for i, a := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(a))
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the concatenation t ++ o.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// String renders the tuple against a universe as (a, b, …).
+func (t Tuple) String(u *Universe) string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = u.Atom(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

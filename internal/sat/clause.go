@@ -1,0 +1,20 @@
+package sat
+
+// clause is a disjunction of literals. The first two literals are the
+// watched pair (except in naive-propagation mode, where watches are unused).
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int32
+	learnt   bool
+	deleted  bool
+}
+
+func (c *clause) size() int { return len(c.lits) }
+
+// watcher pairs a watching clause with a "blocker" literal: if the blocker
+// is already true the clause is satisfied and need not be inspected.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}

@@ -1,0 +1,106 @@
+package sat
+
+// varHeap is a binary max-heap of variables ordered by VSIDS activity,
+// with position indices for O(log n) decrease/increase-key. It backs the
+// branching heuristic.
+type varHeap struct {
+	heap     []Var   // heap[i] = variable at heap position i
+	indices  []int32 // indices[v] = position of v in heap, -1 if absent
+	activity *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{activity: act}
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) grow(n int) {
+	for len(h.indices) < n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v Var) {
+	if h.contains(v) {
+		return
+	}
+	h.grow(int(v) + 1)
+	h.indices[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[v] = -1
+	if len(h.heap) > 1 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.up(int(h.indices[v]))
+	}
+}
+
+// rebuild re-heapifies after a global activity rescale (order unchanged by
+// uniform scaling, but kept for decay implementations that renormalise).
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(h.heap[r], h.heap[l]) {
+			child = r
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = int32(i)
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}

@@ -1,0 +1,118 @@
+package sat
+
+// propagate performs unit propagation over all enqueued assignments.
+// It returns the conflicting clause, or nil if no conflict arose.
+func (s *Solver) propagate() *clause {
+	if s.opts.NaivePropagation {
+		return s.propagateNaive()
+	}
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
+		s.qhead++
+		s.Stats.Propagations++
+		falseLit := p.Not()
+		ws := s.watches[falseLit]
+		out := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue // purge lazily
+			}
+			if s.value(w.blocker) == lTrue {
+				out = append(out, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				out = append(out, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			out = append(out, w)
+			if s.value(first) == lFalse {
+				// Conflict: copy remaining watchers back and bail out.
+				out = append(out, ws[i+1:]...)
+				s.watches[falseLit] = out
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[falseLit] = out
+	}
+	return nil
+}
+
+// propagateNaive is the ablation propagation mode: for each newly false
+// literal it scans every clause containing it, checking satisfaction and
+// unit status by full traversal.
+func (s *Solver) propagateNaive() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		falseLit := p.Not()
+		occ := s.occs[falseLit]
+		live := occ[:0]
+		for _, c := range occ {
+			if c.deleted {
+				continue
+			}
+			live = append(live, c)
+			var unit Lit = LitUndef
+			nUndef := 0
+			sat := false
+			for _, l := range c.lits {
+				switch s.value(l) {
+				case lTrue:
+					sat = true
+				case lUndef:
+					nUndef++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch nUndef {
+			case 0:
+				s.occs[falseLit] = append(live, occ[len(live):]...)
+				s.qhead = len(s.trail)
+				return c
+			case 1:
+				// Conflict analysis expects the asserting literal of a
+				// reason clause at position 0.
+				for k, l := range c.lits {
+					if l == unit {
+						c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+						break
+					}
+				}
+				s.uncheckedEnqueue(unit, c)
+			}
+		}
+		s.occs[falseLit] = live
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// analyze derives a first-UIP learnt clause from a conflict. It returns the
+// learnt literals (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, LitUndef) // slot for the asserting literal
+	pathC := 0
+	var p Lit = LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		if confl == nil {
+			msg := fmt.Sprintf("analyze: nil reason; pathC=%d p=%v level(p)=%d dl=%d trail=%d learntSoFar=%v",
+				pathC, p, s.level[p.Var()], s.decisionLevel(), len(s.trail), learnt)
+			panic(msg)
+		}
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1 // skip the asserting literal of the reason clause
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = 1
+			s.varBump(v)
+			if s.level[v] >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next seen literal on the trail.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Snapshot the variables whose seen flags must be cleared: the in-place
+	// compaction below overwrites dropped literals (MiniSat keeps a separate
+	// analyze_toclear list for the same reason).
+	toClear := make([]Var, len(learnt))
+	for i, l := range learnt {
+		toClear[i] = l.Var()
+	}
+
+	// Conflict-clause minimisation: drop literals implied by the rest.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.reason[v] == nil || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	minimized := learnt[:j]
+
+	for _, v := range toClear {
+		s.seen[v] = 0
+	}
+
+	btLevel := int32(0)
+	if len(minimized) > 1 {
+		// Move the highest-level non-asserting literal to position 1.
+		maxI := 1
+		for i := 2; i < len(minimized); i++ {
+			if s.level[minimized[i].Var()] > s.level[minimized[maxI].Var()] {
+				maxI = i
+			}
+		}
+		minimized[1], minimized[maxI] = minimized[maxI], minimized[1]
+		btLevel = s.level[minimized[1].Var()]
+	}
+	s.analyzeBuf = learnt[:0]
+	out := make([]Lit, len(minimized))
+	copy(out, minimized)
+	return out, btLevel
+}
+
+// litRedundant reports whether l is implied by the other literals of the
+// learnt clause via its reason clause (MiniSat's ccmin_mode=1 local
+// minimisation: every antecedent literal must itself be seen or at level 0).
+func (s *Solver) litRedundant(l Lit) bool {
+	c := s.reason[l.Var()]
+	for _, q := range c.lits[1:] {
+		v := q.Var()
+		if s.seen[v] == 0 && s.level[v] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// computeLBD returns the number of distinct decision levels among a
+// clause's literals — the "literal block distance" quality measure.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	levels := map[int32]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(levels))
+}
+
+// analyzeFinal computes the set of assumption literals responsible for
+// forcing p false, storing their negations in s.conflict.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflict = s.conflict[:0]
+	s.conflict = append(s.conflict, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// Decision ⇒ assumption at this point of the search.
+			s.conflict = append(s.conflict, s.trail[i].Not())
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring high-LBD,
+// low-activity ones. Glue clauses (LBD ≤ 2) and reason clauses survive.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return b.lbd <= 2 // glue clauses last (kept)
+		}
+		return a.activity < b.activity
+	})
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assigns[v] != lUndef && s.reason[v] == c
+	}
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit && c.lbd > 2 && !locked(c) && len(c.lits) > 2 {
+			s.detach(c)
+			s.Stats.Removed++
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	s.learnts = keep
+}
+
+// luby computes the i-th element (1-based) of the Luby restart sequence
+// scaled by base.
+func luby(base int64, i int64) int64 {
+	// Find the finite subsequence containing index i.
+	var k uint = 1
+	for (int64(1)<<k)-1 < i {
+		k++
+	}
+	for (int64(1)<<k)-1 != i {
+		i -= (int64(1) << (k - 1)) - 1
+		k = 1
+		for (int64(1)<<k)-1 < i {
+			k++
+		}
+	}
+	return base << (k - 1)
+}
+
+// search runs CDCL until a model, a conflict budget exhaustion, or an
+// assumption failure. nConflicts bounds this restart's conflicts (<0: none).
+func (s *Solver) search(nConflicts int64) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsatLevel0 = true
+				s.conflict = s.conflict[:0]
+				return Unsat
+			}
+			if s.opts.DisableLearning {
+				// Chronological backtracking: flip the most recent decision
+				// by learning only the negation of the current decisions.
+				decs := make([]Lit, 0, s.decisionLevel())
+				for _, ti := range s.trailLim {
+					d := s.trail[ti].Not()
+					// Dummy assumption levels duplicate the next decision.
+					if n := len(decs); n == 0 || decs[n-1] != d {
+						decs = append(decs, d)
+					}
+				}
+				s.cancelUntil(s.decisionLevel() - 1)
+				if len(decs) == 1 {
+					s.uncheckedEnqueue(decs[0], nil)
+				} else {
+					c := &clause{lits: decs, learnt: true, lbd: s.computeLBD(decs)}
+					// Order for watching: asserting literal first.
+					last := len(decs) - 1
+					c.lits[0], c.lits[last] = c.lits[last], c.lits[0]
+					s.learnts = append(s.learnts, c)
+					s.attach(c)
+					s.uncheckedEnqueue(c.lits[0], c)
+				}
+				s.varDecay()
+				continue
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learnt++
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varDecay()
+			s.claDecay()
+			continue
+		}
+
+		if nConflicts >= 0 && conflicts >= nConflicts {
+			s.cancelUntil(s.assumptionLevel())
+			return Unknown // restart
+		}
+		if s.opts.MaxConflicts > 0 && s.Stats.Conflicts >= s.opts.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if !s.opts.DisableLearning && float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		// Assumptions first, then free decisions.
+		next := LitUndef
+		for int(s.decisionLevel()) < len(s.assumptions) {
+			a := s.assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.newDecisionLevel() // already satisfied; dummy level
+				continue
+			case lFalse:
+				s.analyzeFinal(a.Not())
+				return Unsat
+			}
+			next = a
+			break
+		}
+		if next == LitUndef {
+			next = s.pickBranchVar()
+			if next == LitUndef {
+				return Sat // all variables assigned
+			}
+			s.Stats.Decisions++
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// assumptionLevel is the decision level up to which assumptions are pinned;
+// restarts must not undo assumption decisions blindly (we conservatively
+// restart to level 0 and re-apply, which is simplest and correct).
+func (s *Solver) assumptionLevel() int32 { return 0 }
+
+// Solve determines satisfiability of the clause set under the given
+// assumption literals. On Sat, Model/Value expose the assignment; on Unsat,
+// Core exposes the failed assumptions. Solve may be called repeatedly,
+// interleaved with AddClause and NewVar.
+func (s *Solver) Solve(assumps ...Lit) Status {
+	if s.unsatLevel0 {
+		s.conflict = s.conflict[:0]
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if confl := s.propagate(); confl != nil {
+		s.unsatLevel0 = true
+		s.conflict = s.conflict[:0]
+		return Unsat
+	}
+	s.assumptions = assumps
+	defer func() { s.assumptions = nil }()
+
+	s.maxLearnts = float64(len(s.clauses)) / 3
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+
+	var restart int64 = 1
+	for {
+		budget := int64(-1)
+		if !s.opts.DisableRestarts {
+			budget = luby(100, restart)
+		}
+		st := s.search(budget)
+		switch st {
+		case Sat:
+			s.model = make([]bool, len(s.assigns))
+			for v := range s.assigns {
+				s.model[v] = s.assigns[v] == lTrue
+			}
+			s.cancelUntil(0)
+			return Sat
+		case Unsat:
+			s.cancelUntil(0)
+			return Unsat
+		}
+		if s.opts.MaxConflicts > 0 && s.Stats.Conflicts >= s.opts.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		s.Stats.Restarts++
+		restart++
+		s.maxLearnts *= s.learntGrowth
+	}
+}
+
+// Okay reports whether the clause set is still possibly satisfiable (no
+// empty clause has been derived at level 0).
+func (s *Solver) Okay() bool { return !s.unsatLevel0 }

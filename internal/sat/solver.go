@@ -1,0 +1,311 @@
+package sat
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; read it with Value/Model.
+	Sat
+	// Unsat means no satisfying assignment exists under the assumptions;
+	// the failed assumptions are available via Core.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options tune solver behaviour. The zero value is the recommended default
+// configuration; the toggles exist for the ablation benchmarks.
+type Options struct {
+	// DisableLearning turns the solver into chronological-backtracking DPLL:
+	// conflicts still backtrack, but no learnt clauses are retained.
+	DisableLearning bool
+	// NaivePropagation replaces two-watched-literal propagation with full
+	// occurrence-list clause scans.
+	NaivePropagation bool
+	// DisablePhaseSaving makes decisions always try the negative phase first.
+	DisablePhaseSaving bool
+	// DisableRestarts switches Luby restarts off.
+	DisableRestarts bool
+	// MaxConflicts, when positive, bounds the total number of conflicts per
+	// Solve call; exceeding it yields Unknown.
+	MaxConflicts int64
+}
+
+// Solver is an incremental CDCL SAT solver. Create one with New, introduce
+// variables with NewVar, add clauses with AddClause, and call Solve —
+// possibly repeatedly, with further clauses and differing assumptions
+// between calls. Solver is not safe for concurrent use.
+type Solver struct {
+	opts Options
+
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+
+	watches [][]watcher // indexed by literal: clauses watching that literal
+	occs    [][]*clause // naive mode: occurrence lists per literal
+
+	assigns  []lbool // per variable
+	level    []int32 // decision level per variable
+	reason   []*clause
+	trail    []Lit
+	trailLim []int32 // trail index at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // saved phase: last assigned sign per variable
+
+	seen       []byte
+	analyzeBuf []Lit
+
+	claInc       float64
+	maxLearnts   float64
+	learntGrowth float64
+
+	unsatLevel0 bool // empty clause derived; all future Solves are Unsat
+	model       []bool
+	conflict    []Lit // failed assumptions (negated), valid after Unsat
+
+	assumptions []Lit
+
+	// Stats accumulates counters across Solve calls.
+	Stats Stats
+}
+
+// Stats reports solver work counters.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+}
+
+// New creates an empty solver with default options.
+func New() *Solver { return NewWithOptions(Options{}) }
+
+// NewWithOptions creates an empty solver with the given options.
+func NewWithOptions(opts Options) *Solver {
+	s := &Solver{
+		opts:         opts,
+		varInc:       1,
+		claInc:       1,
+		maxLearnts:   0,
+		learntGrowth: 1.3,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false branch first
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	if s.opts.NaivePropagation {
+		s.occs = append(s.occs, nil, nil)
+	}
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	return s.assigns[l.Var()].xorSign(l.Neg())
+}
+
+// Value returns v's value in the most recent satisfying model.
+// Only meaningful after Solve returned Sat.
+func (s *Solver) Value(v Var) bool { return s.model[v] }
+
+// Model returns a copy of the most recent satisfying assignment, indexed by
+// variable. Only meaningful after Solve returned Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	copy(m, s.model)
+	return m
+}
+
+// Core returns the failed assumptions from the last Unsat Solve: a subset A'
+// of the assumptions such that the clauses together with A' are
+// unsatisfiable. Literals are returned in their assumption polarity.
+func (s *Solver) Core() []Lit {
+	core := make([]Lit, len(s.conflict))
+	for i, l := range s.conflict {
+		core[i] = l.Not() // conflict stores negations of failed assumptions
+	}
+	return core
+}
+
+// AddClause adds a disjunction of literals. It returns false if the clause
+// set is now known unsatisfiable at level 0 (an empty clause was derived).
+// Duplicate literals are merged and tautologies are dropped.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatLevel0 {
+		return false
+	}
+	s.cancelUntil(0)
+
+	// Normalise: sort-free dedupe, drop level-0-false lits, detect tautology
+	// and level-0-true lits.
+	out := lits[:0:0] // fresh backing array; callers may reuse lits
+	for _, l := range lits {
+		if l.Var() < 0 || int(l.Var()) >= len(s.assigns) {
+			panic("sat: AddClause literal for unknown variable")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+
+	switch len(out) {
+	case 0:
+		s.unsatLevel0 = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsatLevel0 = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	if s.opts.NaivePropagation {
+		for _, l := range c.lits {
+			s.occs[l] = append(s.occs[l], c)
+		}
+		return
+	}
+	// Watch the first two literals; the watch list for a literal holds
+	// clauses in which that literal is watched, visited when it goes false.
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watcher{c, c.lits[1]})
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, c.lits[0]})
+}
+
+// detachAll lazily marks a clause deleted; watch lists are purged on scan.
+func (s *Solver) detach(c *clause) { c.deleted = true }
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = lTrue.xorSign(l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+// cancelUntil backtracks to the given decision level, unassigning variables
+// and saving their phases.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.opts.DisablePhaseSaving {
+			s.polarity[v] = l.Neg()
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	if s.qhead > len(s.trail) {
+		s.qhead = len(s.trail)
+	}
+}
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc /= 0.999 }
+
+// pickBranchVar selects the next decision variable by activity.
+func (s *Solver) pickBranchVar() Lit {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}

@@ -1,0 +1,83 @@
+// Package ucore extracts unsatisfiable cores over named constraints.
+//
+// Clients attach each retractable constraint to a selector literal (for
+// circuit-grounded formulas, boolcirc.CNF.LitFor provides exactly that) and
+// ask for a core: a small named subset whose conjunction with the solver's
+// hard clauses is unsatisfiable. The initial core comes from the solver's
+// final-conflict analysis; a deletion pass then minimises it.
+//
+// Muppet surfaces these cores as the "unsatisfiable core with blame
+// information" feedback the paper prescribes for hole-style configurations
+// (Sec. 4.3).
+package ucore
+
+import (
+	"muppet/internal/sat"
+)
+
+// Named pairs a human-meaningful label with the selector literal that
+// enables its constraint.
+type Named struct {
+	// Name identifies the constraint in feedback (e.g. a goal row).
+	Name string
+	// Lit, when assumed true, enforces the constraint.
+	Lit sat.Lit
+}
+
+// Find returns an unsatisfiable core of the named constraints, minimised by
+// deletion: every returned element is necessary (removing it restores
+// satisfiability relative to the others). It returns nil when the
+// constraints are jointly satisfiable with the solver's clauses. If the
+// solver's hard clauses are unsatisfiable on their own, it returns an empty
+// non-nil slice.
+func Find(s *sat.Solver, named []Named) []Named {
+	all := make([]sat.Lit, len(named))
+	byLit := make(map[sat.Lit][]Named, len(named))
+	for i, n := range named {
+		all[i] = n.Lit
+		byLit[n.Lit] = append(byLit[n.Lit], n)
+	}
+	if s.Solve(all...) != sat.Unsat {
+		return nil
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		return []Named{}
+	}
+
+	// Deletion-based minimisation: one pass over the core, permanently
+	// dropping each literal whose removal keeps the set unsatisfiable. A
+	// single left-to-right pass yields a minimal core: when an element
+	// survives its test, the set at test time is a superset of the final
+	// set, so it would survive against the final set too. Adopting the
+	// solver-reported sub-core after a successful drop shrinks the set
+	// faster; since it may be reordered, the scan restarts — bounded by
+	// the strict shrinkage.
+	kept := append([]sat.Lit(nil), core...)
+	for i := 0; i < len(kept); i++ {
+		trial := make([]sat.Lit, 0, len(kept)-1)
+		trial = append(trial, kept[:i]...)
+		trial = append(trial, kept[i+1:]...)
+		if s.Solve(trial...) == sat.Unsat {
+			if reported := s.Core(); len(reported) < len(trial) {
+				kept = reported
+				i = -1 // reordered; rescan (set strictly shrank)
+			} else {
+				kept = trial
+				i-- // continue the pass at the shifted position
+			}
+		}
+	}
+
+	out := make([]Named, 0, len(kept))
+	seen := make(map[string]bool)
+	for _, l := range kept {
+		for _, n := range byLit[l] {
+			if !seen[n.Name] {
+				seen[n.Name] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+// Package yamllite parses the subset of YAML that Kubernetes and Istio
+// policy files actually use: block mappings and sequences nested by
+// indentation, inline scalars (plain, quoted, integers, booleans, null),
+// flow sequences of scalars, comments, and multi-document streams.
+//
+// Muppet consumes production YAML to model system structure (paper Sec. 3);
+// the stdlib-only constraint of this reproduction rules out third-party
+// YAML bindings, so this package implements the needed subset from scratch.
+// It is deliberately strict: anything outside the subset is a parse error
+// rather than a silent misreading.
+package yamllite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a parsed YAML value: map[string]Value, []Value, string, int64,
+// bool, or nil.
+type Value any
+
+// line is a logical input line with its indentation and position.
+type line struct {
+	indent int
+	text   string // content with indentation stripped
+	num    int    // 1-based line number
+}
+
+// Error is a parse error carrying a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("yamllite: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(num int, format string, args ...any) error {
+	return &Error{Line: num, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses a single-document input. Multi-document streams are an
+// error here; use Documents.
+func Parse(data []byte) (Value, error) {
+	docs, err := Documents(data)
+	if err != nil {
+		return nil, err
+	}
+	switch len(docs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return docs[0], nil
+	}
+	return nil, fmt.Errorf("yamllite: %d documents where one was expected", len(docs))
+}
+
+// Documents parses a (possibly multi-document) stream.
+func Documents(data []byte) ([]Value, error) {
+	raw := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
+	var docs []Value
+	var cur []line
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		p := &parser{lines: cur}
+		v, err := p.parseBlock(cur[0].indent)
+		if err != nil {
+			return err
+		}
+		if p.pos != len(p.lines) {
+			return errf(p.lines[p.pos].num, "unexpected content %q", p.lines[p.pos].text)
+		}
+		docs = append(docs, v)
+		cur = nil
+		return nil
+	}
+	for i, rawLine := range raw {
+		text, ok := stripComment(rawLine)
+		if !ok {
+			return nil, errf(i+1, "unterminated quote")
+		}
+		trimmed := strings.TrimRight(text, " \t")
+		stripped := strings.TrimLeft(trimmed, " ")
+		if stripped == "" {
+			continue
+		}
+		if stripped == "---" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(stripped, "\t") {
+			return nil, errf(i+1, "tabs are not allowed in indentation")
+		}
+		cur = append(cur, line{
+			indent: len(trimmed) - len(stripped),
+			text:   stripped,
+			num:    i + 1,
+		})
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// stripComment removes a trailing # comment, honouring quotes. It reports
+// false on an unterminated quote.
+func stripComment(s string) (string, bool) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i], true
+			}
+		}
+	}
+	return s, !inSingle && !inDouble
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses the map or sequence starting at the given indentation.
+func (p *parser) parseBlock(indent int) (Value, error) {
+	l, ok := p.peek()
+	if !ok {
+		return nil, nil
+	}
+	if l.indent != indent {
+		return nil, errf(l.num, "unexpected indentation %d (expected %d)", l.indent, indent)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *parser) parseSequence(indent int) (Value, error) {
+	var out []Value
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			return out, nil
+		}
+		p.pos++
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		switch {
+		case rest == "":
+			// Nested block on following, deeper lines.
+			nl, ok := p.peek()
+			if !ok || nl.indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(nl.indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMappingStart(rest):
+			// "- key: value" starts an inline map whose remaining keys sit
+			// on following lines indented past the dash.
+			v, err := p.parseInlineSeqMapping(l, rest, indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+}
+
+// parseInlineSeqMapping handles a sequence item whose first mapping entry
+// shares the dash line. Continuation keys must be indented to the column
+// just past "- ".
+func (p *parser) parseInlineSeqMapping(l line, rest string, indent int) (Value, error) {
+	m := make(map[string]Value)
+	if err := p.parseMappingEntry(line{indent: indent + 2, text: rest, num: l.num}, m, indent+2); err != nil {
+		return nil, err
+	}
+	for {
+		nl, ok := p.peek()
+		if !ok || nl.indent != indent+2 || isSeqItem(nl.text) {
+			return m, nil
+		}
+		if !isMappingStart(nl.text) {
+			return nil, errf(nl.num, "expected mapping entry, got %q", nl.text)
+		}
+		p.pos++
+		if err := p.parseMappingEntry(nl, m, indent+2); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseMapping(indent int) (Value, error) {
+	m := make(map[string]Value)
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || isSeqItem(l.text) {
+			return m, nil
+		}
+		if !isMappingStart(l.text) {
+			return nil, errf(l.num, "expected mapping entry, got %q", l.text)
+		}
+		p.pos++
+		if err := p.parseMappingEntry(l, m, indent); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseMappingEntry parses "key: …" (already consumed) into m. indent is
+// the indentation of the key line.
+func (p *parser) parseMappingEntry(l line, m map[string]Value, indent int) error {
+	key, rest, err := splitKey(l.text, l.num)
+	if err != nil {
+		return err
+	}
+	if _, dup := m[key]; dup {
+		return errf(l.num, "duplicate key %q", key)
+	}
+	if rest != "" {
+		v, err := parseScalar(rest, l.num)
+		if err != nil {
+			return err
+		}
+		m[key] = v
+		return nil
+	}
+	// Value is a nested block (or null if nothing deeper follows).
+	nl, ok := p.peek()
+	if !ok || nl.indent <= indent {
+		// Sequences are often indented at the same level as their key.
+		if ok && nl.indent == indent && isSeqItem(nl.text) {
+			v, err := p.parseSequence(indent)
+			if err != nil {
+				return err
+			}
+			m[key] = v
+			return nil
+		}
+		m[key] = nil
+		return nil
+	}
+	v, err := p.parseBlock(nl.indent)
+	if err != nil {
+		return err
+	}
+	m[key] = v
+	return nil
+}
+
+func isSeqItem(s string) bool { return s == "-" || strings.HasPrefix(s, "- ") }
+
+// isMappingStart reports whether the text begins a "key:" mapping entry.
+func isMappingStart(s string) bool {
+	_, _, err := splitKey(s, 0)
+	return err == nil
+}
+
+// splitKey splits "key: rest" (or "key:"), validating the key.
+func splitKey(s string, num int) (key, rest string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", errf(num, "missing ':' in mapping entry %q", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", errf(num, "missing space after ':' in %q", s)
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" {
+		return "", "", errf(num, "empty key in %q", s)
+	}
+	if strings.HasPrefix(key, "\"") || strings.HasPrefix(key, "'") {
+		unq, e := unquote(key, num)
+		if e != nil {
+			return "", "", e
+		}
+		key = unq
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// parseScalar interprets an inline scalar or flow sequence.
+func parseScalar(s string, num int) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "~" || s == "null":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case strings.HasPrefix(s, "["):
+		return parseFlowSeq(s, num)
+	case strings.HasPrefix(s, "{"):
+		return parseFlowMap(s, num)
+	case strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\""):
+		return unquote(s, num)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	return s, nil
+}
+
+func parseFlowSeq(s string, num int) (Value, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, errf(num, "unterminated flow sequence %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []Value{}, nil
+	}
+	parts := splitFlow(inner)
+	out := make([]Value, 0, len(parts))
+	for _, part := range parts {
+		v, err := parseScalar(strings.TrimSpace(part), num)
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := v.([]Value); nested {
+			return nil, errf(num, "nested flow sequences are not supported")
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFlowMap parses "{}" and one-level flow mappings of scalars,
+// e.g. "{app: db, tier: storage}".
+func parseFlowMap(s string, num int) (Value, error) {
+	if !strings.HasSuffix(s, "}") {
+		return nil, errf(num, "unterminated flow mapping %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	m := make(map[string]Value)
+	if inner == "" {
+		return m, nil
+	}
+	for _, part := range splitFlow(inner) {
+		key, rest, err := splitKey(strings.TrimSpace(part), num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, errf(num, "duplicate key %q in flow mapping", key)
+		}
+		v, err := parseScalar(rest, num)
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := v.(map[string]Value); nested {
+			return nil, errf(num, "nested flow mappings are not supported")
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitFlow splits on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	start := 0
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ',':
+			if !inSingle && !inDouble {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func unquote(s string, num int) (string, error) {
+	if len(s) < 2 {
+		return "", errf(num, "malformed quoted string %q", s)
+	}
+	q := s[0]
+	if s[len(s)-1] != q {
+		return "", errf(num, "unterminated quoted string %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if q == '\'' {
+		return strings.ReplaceAll(body, "''", "'"), nil
+	}
+	// Double quotes: handle the common escapes.
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", errf(num, "dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			return "", errf(num, "unsupported escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,310 @@
+package yamllite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Value {
+	t.Helper()
+	v, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return v
+}
+
+func TestScalars(t *testing.T) {
+	v := mustParse(t, `
+name: frontend
+port: 8080
+enabled: true
+disabled: false
+empty: ~
+missing: null
+plain: some plain text
+quoted: "with: colon"
+single: 'it''s quoted'
+`)
+	m, _ := AsMap(v)
+	want := map[string]Value{
+		"name": "frontend", "port": int64(8080),
+		"enabled": true, "disabled": false,
+		"empty": nil, "missing": nil,
+		"plain": "some plain text", "quoted": "with: colon",
+		"single": "it's quoted",
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("got %#v\nwant %#v", m, want)
+	}
+}
+
+func TestNestedMapping(t *testing.T) {
+	v := mustParse(t, `
+metadata:
+  name: test-db
+  labels:
+    app: db
+    tier: storage
+`)
+	name, err := StringAt(v, "metadata", "name")
+	if err != nil || name != "test-db" {
+		t.Fatalf("name=%q err=%v", name, err)
+	}
+	labels, err := StringMapAt(v, "metadata", "labels")
+	if err != nil || labels["app"] != "db" || labels["tier"] != "storage" {
+		t.Fatalf("labels=%v err=%v", labels, err)
+	}
+}
+
+func TestBlockSequence(t *testing.T) {
+	v := mustParse(t, `
+ports:
+  - 8080
+  - 9090
+names:
+  - alpha
+  - beta
+`)
+	ports, err := IntListAt(v, "ports")
+	if err != nil || !reflect.DeepEqual(ports, []int{8080, 9090}) {
+		t.Fatalf("ports=%v err=%v", ports, err)
+	}
+	names, err := StringListAt(v, "names")
+	if err != nil || !reflect.DeepEqual(names, []string{"alpha", "beta"}) {
+		t.Fatalf("names=%v err=%v", names, err)
+	}
+}
+
+func TestSequenceAtKeyIndent(t *testing.T) {
+	// K8s YAML often indents sequences at the same column as their key.
+	v := mustParse(t, `
+ports:
+- 8080
+- 9090
+`)
+	ports, err := IntListAt(v, "ports")
+	if err != nil || !reflect.DeepEqual(ports, []int{8080, 9090}) {
+		t.Fatalf("ports=%v err=%v", ports, err)
+	}
+}
+
+func TestSequenceOfMappings(t *testing.T) {
+	v := mustParse(t, `
+services:
+  - name: frontend
+    port: 80
+  - name: backend
+    port: 8080
+`)
+	list, ok := Get(v, "services")
+	if !ok {
+		t.Fatal("services missing")
+	}
+	items, _ := AsList(list)
+	if len(items) != 2 {
+		t.Fatalf("want 2 items, got %d: %#v", len(items), items)
+	}
+	n0, _ := StringAt(items[0], "name")
+	n1, _ := StringAt(items[1], "name")
+	if n0 != "frontend" || n1 != "backend" {
+		t.Fatalf("names %q %q", n0, n1)
+	}
+	p0, _ := Get(items[0], "port")
+	if p0 != int64(80) {
+		t.Fatalf("port %v", p0)
+	}
+}
+
+func TestSequenceOfNestedBlocks(t *testing.T) {
+	v := mustParse(t, `
+rules:
+  -
+    ports:
+      - 23
+  - ports:
+      - 80
+      - 443
+`)
+	items, _ := AsList(mustGet(t, v, "rules"))
+	if len(items) != 2 {
+		t.Fatalf("want 2 rules, got %#v", items)
+	}
+	p0, err := IntListAt(items[0], "ports")
+	if err != nil || !reflect.DeepEqual(p0, []int{23}) {
+		t.Fatalf("p0=%v err=%v", p0, err)
+	}
+	p1, _ := IntListAt(items[1], "ports")
+	if !reflect.DeepEqual(p1, []int{80, 443}) {
+		t.Fatalf("p1=%v", p1)
+	}
+}
+
+func mustGet(t *testing.T, v Value, path ...string) Value {
+	t.Helper()
+	got, ok := Get(v, path...)
+	if !ok {
+		t.Fatalf("missing path %v", path)
+	}
+	return got
+}
+
+func TestFlowSequence(t *testing.T) {
+	v := mustParse(t, `ports: [23, 80, 443]`)
+	ports, err := IntListAt(v, "ports")
+	if err != nil || !reflect.DeepEqual(ports, []int{23, 80, 443}) {
+		t.Fatalf("ports=%v err=%v", ports, err)
+	}
+	v = mustParse(t, `names: ["a", 'b', c]`)
+	names, err := StringListAt(v, "names")
+	if err != nil || !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
+		t.Fatalf("names=%v err=%v", names, err)
+	}
+	v = mustParse(t, `empty: []`)
+	l, _ := AsList(mustGet(t, v, "empty"))
+	if len(l) != 0 {
+		t.Fatalf("want empty list, got %#v", l)
+	}
+}
+
+func TestFlowMapping(t *testing.T) {
+	v := mustParse(t, `podSelector: {}`)
+	m, ok := AsMap(mustGet(t, v, "podSelector"))
+	if !ok || len(m) != 0 {
+		t.Fatalf("empty flow map: %#v", m)
+	}
+	v = mustParse(t, `matchLabels: {app: db, tier: storage}`)
+	labels, err := StringMapAt(v, "matchLabels")
+	if err != nil || labels["app"] != "db" || labels["tier"] != "storage" {
+		t.Fatalf("labels=%v err=%v", labels, err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := mustParse(t, `
+# leading comment
+name: web # trailing comment
+labels:
+  app: "has # not a comment"
+`)
+	if n, _ := StringAt(v, "name"); n != "web" {
+		t.Fatalf("name=%q", n)
+	}
+	if s, _ := StringAt(v, "labels", "app"); s != "has # not a comment" {
+		t.Fatalf("app=%q", s)
+	}
+}
+
+func TestMultiDocument(t *testing.T) {
+	docs, err := Documents([]byte(`
+name: one
+---
+name: two
+---
+name: three
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("want 3 docs, got %d", len(docs))
+	}
+	n, _ := StringAt(docs[2], "name")
+	if n != "three" {
+		t.Fatalf("doc3 name=%q", n)
+	}
+}
+
+func TestRealisticNetworkPolicy(t *testing.T) {
+	v := mustParse(t, `
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: deny-telnet
+spec:
+  podSelector: {}
+  ingress:
+    - ports:
+        - 23
+`)
+	kind, _ := StringAt(v, "kind")
+	if kind != "NetworkPolicy" {
+		t.Fatalf("kind=%q", kind)
+	}
+	_ = v
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"tab indent", "a:\n\tb: 1"},
+		{"missing colon", "just a value line\nother: 1"},
+		{"duplicate key", "a: 1\na: 2"},
+		{"bad indent jump", "a:\n    b: 1\n  c: 2"},
+		{"unterminated quote", `a: "oops`},
+		{"unterminated flow", "a: [1, 2"},
+		{"nested flow mapping", "a: {b: {c: 1}}"},
+		{"unterminated flow mapping", "a: {b: 1"},
+		{"no space after colon", "a:1"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.src)); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Parse([]byte("ok: 1\nbad line\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if perr.Line != 2 {
+		t.Fatalf("line %d, want 2", perr.Line)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error text %q should cite the line", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	v, err := Parse([]byte("\n# only comments\n\n"))
+	if err != nil || v != nil {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	docs, err := Documents([]byte(""))
+	if err != nil || len(docs) != 0 {
+		t.Fatalf("docs=%v err=%v", docs, err)
+	}
+}
+
+func TestDecodeHelpers(t *testing.T) {
+	v := mustParse(t, `
+single_port: 23
+single_name: db
+`)
+	ports, err := IntListAt(v, "single_port")
+	if err != nil || !reflect.DeepEqual(ports, []int{23}) {
+		t.Fatalf("single int promotion: %v %v", ports, err)
+	}
+	names, err := StringListAt(v, "single_name")
+	if err != nil || !reflect.DeepEqual(names, []string{"db"}) {
+		t.Fatalf("single string promotion: %v %v", names, err)
+	}
+	if _, err := IntListAt(v, "single_name"); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	if got, _ := IntListAt(v, "absent"); got != nil {
+		t.Fatalf("absent path should give empty list, got %v", got)
+	}
+	if m, err := StringMapAt(v, "absent"); err != nil || len(m) != 0 {
+		t.Fatalf("absent map: %v %v", m, err)
+	}
+}
