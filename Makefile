@@ -1,0 +1,24 @@
+# Tier-1 verification in one command: `make check`.
+GO ?= go
+
+.PHONY: check build vet test fmt bench
+
+check: fmt build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# fmt fails (listing the offending files) when anything is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench regenerates the EXPERIMENTS.md measurements.
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"muppet"
+	"muppet/internal/target"
 )
 
 func main() {
@@ -75,6 +76,9 @@ common flags:
   -k8s-offer    fixed|soft|holes (default fixed)
   -istio-offer  fixed|soft|holes (default soft)
   -ports        comma-separated extra ports for the inventory
+
+reconcile/conform/negotiate also accept:
+  -strategy     minimal-edit distance search: auto|linear|binary
 `)
 }
 
@@ -173,6 +177,23 @@ func parseOffer(s string) (muppet.Offer, error) {
 	return muppet.Offer{}, fmt.Errorf("bad offer mode %q (want fixed|soft|holes)", s)
 }
 
+// registerStrategy adds the -strategy flag shared by the commands that
+// run minimal-edit search (reconcile, conform, negotiate).
+func registerStrategy(fs *flag.FlagSet) *string {
+	return fs.String("strategy", "auto", "minimal-edit distance search: auto|linear|binary")
+}
+
+// applyStrategy sets the target package's default search strategy, which
+// workspace minimisation (Options zero value) follows.
+func applyStrategy(name string) error {
+	st, ok := target.ParseStrategy(name)
+	if !ok {
+		return fmt.Errorf("bad -strategy %q (want auto|linear|binary)", name)
+	}
+	target.SetDefaultStrategy(st)
+	return nil
+}
+
 func parsePorts(s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
@@ -269,7 +290,11 @@ func runReconcile(args []string) error {
 	fs := flag.NewFlagSet("reconcile", flag.ExitOnError)
 	var in inputs
 	in.register(fs)
+	strategy := registerStrategy(fs)
 	fs.Parse(args)
+	if err := applyStrategy(*strategy); err != nil {
+		return err
+	}
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -298,7 +323,11 @@ func runConform(args []string) error {
 	var in inputs
 	in.register(fs)
 	provider := fs.String("provider", "k8s", "inflexible provider party")
+	strategy := registerStrategy(fs)
 	fs.Parse(args)
+	if err := applyStrategy(*strategy); err != nil {
+		return err
+	}
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -337,7 +366,11 @@ func runNegotiate(args []string) error {
 	var in inputs
 	in.register(fs)
 	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
+	strategy := registerStrategy(fs)
 	fs.Parse(args)
+	if err := applyStrategy(*strategy); err != nil {
+		return err
+	}
 	s, err := in.load()
 	if err != nil {
 		return err

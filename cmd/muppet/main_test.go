@@ -121,6 +121,25 @@ func TestRunReconcileSucceeds(t *testing.T) {
 	}
 }
 
+func TestRunReconcileStrategyFlag(t *testing.T) {
+	defer applyStrategy("auto")
+	for _, strategy := range []string{"linear", "binary"} {
+		err := runReconcile([]string{
+			"-files", fig1Files,
+			"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+			"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+			"-k8s-offer", "soft", "-istio-offer", "soft",
+			"-strategy", strategy,
+		})
+		if err != nil {
+			t.Fatalf("-strategy %s: %v", strategy, err)
+		}
+	}
+	if err := applyStrategy("bogus"); err == nil {
+		t.Fatal("bad -strategy must error")
+	}
+}
+
 func TestRunConformSucceeds(t *testing.T) {
 	err := runConform([]string{
 		"-files", fig1Files,

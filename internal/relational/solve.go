@@ -81,13 +81,15 @@ func (ss *Session) Instance() *Instance {
 // TupleLit returns the solver literal controlling the presence of tuple t
 // in relation r, and whether t is actually free (in upper minus lower).
 // Tuples in the lower bound or outside the upper bound are not free.
+// Lookup is O(1) via the translator's per-relation tuple index; workspace
+// construction calls this once per knob, so the previous linear scan made
+// setup quadratic in the free-tuple count.
 func (ss *Session) TupleLit(r *Relation, t Tuple) (sat.Lit, bool) {
-	for _, rv := range ss.tr.RelationVars(r) {
-		if rv.Tuple.Equal(t) {
-			return ss.cnf.LitFor(rv.Ref), true
-		}
+	v, ok := ss.tr.TupleVar(r, t)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return ss.cnf.LitFor(v), true
 }
 
 // Solve finds an instance satisfying the problem, or reports UNSAT. It is

@@ -55,6 +55,7 @@ type Translator struct {
 	bounds  *Bounds
 	relVars map[*Relation][]RelVar
 	relMats map[*Relation]*matrix
+	relIdx  map[*Relation]map[string]boolcirc.Ref // tuple key → free-tuple variable
 
 	// Memoisation: grounding re-enters the same subterm under many
 	// quantifier bindings, but a subterm's denotation depends only on the
@@ -85,6 +86,7 @@ func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 		bounds:    b,
 		relVars:   make(map[*Relation][]RelVar),
 		relMats:   make(map[*Relation]*matrix),
+		relIdx:    make(map[*Relation]map[string]boolcirc.Ref),
 		varIDs:    make(map[*Var]int),
 		freeE:     make(map[Expr]map[*Var]bool),
 		freeF:     make(map[Formula]map[*Var]bool),
@@ -95,6 +97,7 @@ func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 		m := newMatrix(r.arity)
 		lower := b.Lower(r)
 		var vars []RelVar
+		idx := make(map[string]boolcirc.Ref)
 		for _, t := range b.Upper(r).Tuples() {
 			if lower.Contains(t) {
 				m.set(t, boolcirc.True)
@@ -103,9 +106,11 @@ func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 			v := f.Var()
 			m.set(t, v)
 			vars = append(vars, RelVar{Tuple: t, Ref: v})
+			idx[t.key()] = v
 		}
 		tr.relVars[r] = vars
 		tr.relMats[r] = m
+		tr.relIdx[r] = idx
 	}
 	return tr
 }
@@ -118,6 +123,14 @@ func (tr *Translator) Bounds() *Bounds { return tr.bounds }
 
 // RelationVars returns the free-tuple variables of r in deterministic order.
 func (tr *Translator) RelationVars(r *Relation) []RelVar { return tr.relVars[r] }
+
+// TupleVar returns the circuit variable deciding tuple t's presence in r,
+// in O(1). ok is false when t is not free in r (it is in the lower bound,
+// outside the upper bound, or r is unbound).
+func (tr *Translator) TupleVar(r *Relation, t Tuple) (boolcirc.Ref, bool) {
+	v, ok := tr.relIdx[r][t.key()]
+	return v, ok
+}
 
 // env maps quantified variables to the atom they are currently bound to.
 type env map[*Var]int

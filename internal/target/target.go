@@ -1,0 +1,273 @@
+// Package target implements Pardinus-style target-oriented model
+// finding over the incremental SAT layer: given a satisfiable clause
+// set and a list of soft target literals (polarity = desired value),
+// Minimize finds a model at minimal Hamming distance to the target.
+//
+// This is the solver mediation behind the paper's minimal-edit feedback
+// (Sec. 4.3): each soft-constrained configuration knob contributes one
+// target literal, and the model returned deviates from the
+// administrator's preferences in as few knobs as possible.
+//
+// The distance bound is maintained by a truncated totalizer cardinality
+// encoding over the mismatch literals (totalizer.go); the encoding is
+// built once, truncated at the first model's distance, and every later
+// bound tightening reuses its clauses. Two search strategies drive the
+// bound: linear descent (solve, count, assert ≤ d−1, repeat) and binary
+// search on the bound between 0 and the first distance. Both interact
+// with the solver only through added clauses and assumptions, so they
+// compose with prior incremental state (hardened assumptions, learnt
+// clauses).
+package target
+
+import "muppet/internal/sat"
+
+// Strategy selects the distance-bound search schedule.
+type Strategy int
+
+const (
+	// StrategyAuto uses the package default (see SetDefaultStrategy) —
+	// the zero value, so callers passing Options{} follow the CLI flag.
+	StrategyAuto Strategy = iota
+	// StrategyLinear descends one SAT model at a time: solve, count
+	// mismatches d, assert ≤ d−1, repeat until UNSAT. Each probe's bound
+	// is asserted permanently, so learnt clauses compound.
+	StrategyLinear
+	// StrategyBinary bisects the bound between 0 and the first model's
+	// distance, probing each midpoint under an assumption so failed
+	// (UNSAT) probes retract cleanly.
+	StrategyBinary
+)
+
+func (st Strategy) String() string {
+	switch st {
+	case StrategyLinear:
+		return "linear"
+	case StrategyBinary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
+
+// ParseStrategy converts a CLI flag value into a Strategy.
+func ParseStrategy(s string) (Strategy, bool) {
+	switch s {
+	case "", "auto":
+		return StrategyAuto, true
+	case "linear":
+		return StrategyLinear, true
+	case "binary":
+		return StrategyBinary, true
+	}
+	return StrategyAuto, false
+}
+
+// defaultStrategy resolves StrategyAuto. Linear descent is the default:
+// the truncated totalizer already caps the search range at the first
+// model's distance, and each SAT step makes real progress (EXPERIMENTS.md
+// §Ablations).
+var defaultStrategy = StrategyLinear
+
+// SetDefaultStrategy changes what StrategyAuto resolves to (wired to the
+// muppet CLI's -strategy flag). It returns the previous default.
+func SetDefaultStrategy(st Strategy) Strategy {
+	prev := defaultStrategy
+	if st == StrategyAuto {
+		st = StrategyLinear
+	}
+	defaultStrategy = st
+	return prev
+}
+
+// Options tune one Minimize run. The zero value is the recommended
+// default configuration.
+type Options struct {
+	// Strategy selects the bound search schedule; StrategyAuto follows
+	// the package default.
+	Strategy Strategy
+	// MaxSolves, when positive, bounds the total number of Solve calls.
+	// On exhaustion Minimize degrades gracefully: it returns the best
+	// model found so far with Optimal == false instead of hanging.
+	MaxSolves int
+	// OnStep, when non-nil, observes every solver probe as it happens.
+	OnStep func(Step)
+}
+
+// Step describes one solver probe during minimisation, for the OnStep
+// observability hook.
+type Step struct {
+	Solve    int        // 1-based probe index
+	Bound    int        // distance cap in effect (-1: unbounded first solve)
+	Status   sat.Status // probe outcome
+	Distance int        // model distance (valid when Status == Sat)
+}
+
+// Stats records the work one Minimize run performed.
+type Stats struct {
+	Solves    int   // SAT probes issued
+	Conflicts int64 // solver conflicts attributable to this run
+	Bounds    []int // bound trajectory, one entry per probe (-1 first)
+}
+
+// Result is the outcome of a Minimize run.
+type Result struct {
+	// Status is Sat when a model was found, Unsat when the hard clauses
+	// admit none, Unknown when the solver gave up before a first model.
+	Status sat.Status
+	// Model is the closest model found (valid when Status == Sat),
+	// indexed by solver variable like sat.Solver.Model.
+	Model []bool
+	// Distance is the achieved Hamming distance from Model to the soft
+	// targets (valid when Status == Sat).
+	Distance int
+	// Optimal reports whether Distance was proved globally minimal; it
+	// is false only when a budget stopped the search early.
+	Optimal bool
+	// Stats carries per-run search counters.
+	Stats Stats
+}
+
+// Minimize searches for a model of s minimising the number of falsified
+// soft literals (the Hamming distance to the target assignment each
+// literal's polarity encodes). The solver is driven incrementally:
+// clauses (totalizer + permanent bounds) may be added, but the final
+// internal solver model always matches Result.Model, so callers that
+// decode state from the solver afterwards (e.g. relational instance
+// extraction) see the minimised model. Duplicate and even contradictory
+// soft literals (l and ¬l both soft) are permitted; a contradictory pair
+// simply contributes an unavoidable unit of distance.
+func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
+	st := opts.Strategy
+	if st == StrategyAuto {
+		st = defaultStrategy
+	}
+	r := Result{}
+	startConflicts := s.Stats.Conflicts
+
+	probe := func(bound int, assumps ...sat.Lit) sat.Status {
+		status := s.Solve(assumps...)
+		r.Stats.Solves++
+		r.Stats.Bounds = append(r.Stats.Bounds, bound)
+		step := Step{Solve: r.Stats.Solves, Bound: bound, Status: status}
+		if status == sat.Sat {
+			step.Distance = distance(s.Model(), soft)
+		}
+		if opts.OnStep != nil {
+			opts.OnStep(step)
+		}
+		return status
+	}
+	budgetLeft := func() bool {
+		return opts.MaxSolves <= 0 || r.Stats.Solves < opts.MaxSolves
+	}
+	finish := func() Result {
+		r.Stats.Conflicts = s.Stats.Conflicts - startConflicts
+		return r
+	}
+
+	// First model: unbounded solve against the hard clauses alone.
+	if !budgetLeft() {
+		r.Status = sat.Unknown
+		return finish()
+	}
+	if st0 := probe(-1); st0 != sat.Sat {
+		r.Status = st0
+		return finish()
+	}
+	r.Status = sat.Sat
+	r.Model = s.Model()
+	r.Distance = distance(r.Model, soft)
+	if r.Distance == 0 {
+		// Already on target; no encoding or search needed.
+		r.Optimal = true
+		return finish()
+	}
+
+	// Mismatch indicators: soft literal false ⇔ one unit of distance.
+	mism := make([]sat.Lit, len(soft))
+	for i, l := range soft {
+		mism[i] = l.Not()
+	}
+	tot := newTotalizer(s, mism, r.Distance)
+
+	switch st {
+	case StrategyBinary:
+		binarySearch(s, soft, tot, &r, probe, budgetLeft)
+	default:
+		linearDescent(s, soft, tot, &r, probe, budgetLeft)
+	}
+	return finish()
+}
+
+// linearDescent repeatedly asserts "distance ≤ current − 1" permanently
+// and re-solves; UNSAT proves the current distance minimal.
+func linearDescent(s *sat.Solver, soft []sat.Lit, tot *totalizer, r *Result,
+	probe func(int, ...sat.Lit) sat.Status, budgetLeft func() bool) {
+	for r.Distance > 0 {
+		if !budgetLeft() {
+			return // best-so-far, Optimal stays false
+		}
+		if !tot.assertAtMost(s, r.Distance-1) {
+			// Level-0 conflict while asserting the bound: nothing below
+			// the current distance exists.
+			r.Optimal = true
+			return
+		}
+		switch probe(r.Distance - 1) {
+		case sat.Sat:
+			r.Model = s.Model()
+			r.Distance = distance(r.Model, soft)
+		case sat.Unsat:
+			r.Optimal = true
+			// The solver's retained model is the last SAT one == r.Model.
+			return
+		default:
+			return // solver budget exhausted mid-descent
+		}
+	}
+	r.Optimal = true
+}
+
+// binarySearch bisects the bound in [lo, hi) where hi is the best
+// achieved distance and lo the smallest not-yet-excluded distance.
+// Probes assume the cap rather than asserting it, so an UNSAT probe
+// leaves the clause set unconstrained for the next (higher) midpoint.
+func binarySearch(s *sat.Solver, soft []sat.Lit, tot *totalizer, r *Result,
+	probe func(int, ...sat.Lit) sat.Status, budgetLeft func() bool) {
+	lo := 0
+	for lo < r.Distance {
+		mid := lo + (r.Distance-lo)/2 // mid < r.Distance: probe is a strict improvement
+		capLit, ok := tot.atMostLit(mid)
+		if !ok {
+			// mid is beyond the truncated range; cannot happen since the
+			// encoder covers [0, firstDistance), but fail safe.
+			return
+		}
+		if !budgetLeft() {
+			return
+		}
+		switch probe(mid, capLit) {
+		case sat.Sat:
+			r.Model = s.Model()
+			r.Distance = distance(r.Model, soft) // ≤ mid < previous best
+		case sat.Unsat:
+			lo = mid + 1
+		default:
+			return
+		}
+	}
+	r.Optimal = true
+	// The last SAT probe produced the best model, so the solver's
+	// retained model matches r.Model even if later probes were UNSAT.
+}
+
+// distance counts falsified soft literals under a model.
+func distance(model []bool, soft []sat.Lit) int {
+	d := 0
+	for _, l := range soft {
+		if model[l.Var()] == l.Neg() {
+			d++
+		}
+	}
+	return d
+}
