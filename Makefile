@@ -1,9 +1,9 @@
 # Tier-1 verification in one command: `make check`.
 GO ?= go
 
-.PHONY: check build vet test fmt bench
+.PHONY: check build vet test race fmt bench
 
-check: fmt build vet test
+check: fmt build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # fmt fails (listing the offending files) when anything is not gofmt-clean.
 fmt:

@@ -11,49 +11,114 @@
 // System structure and current configurations come from YAML files (K8s
 // Services and NetworkPolicies, Istio AuthorizationPolicies); goals come
 // from CSV tables (see package goals for the format).
+//
+// Solving commands accept -timeout and -max-conflicts budgets and honour
+// SIGINT/SIGTERM; an interrupted solve reports INDETERMINATE with the
+// stop reason rather than a fabricated verdict. Exit codes are distinct:
+//
+//	0 — satisfiable / workflow succeeded
+//	1 — unsatisfiable / workflow failed with blame
+//	2 — usage error
+//	3 — indeterminate (budget exhausted or interrupted)
+//	4 — internal or input error
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"muppet"
 	"muppet/internal/target"
 )
 
+// Exit codes. Distinct values for sat/unsat/indeterminate let scripted
+// callers (and the paper's Fig. 7/9 driver loops) branch on the verdict
+// without scraping output.
+const (
+	exitSat           = 0
+	exitUnsat         = 1
+	exitUsage         = 2
+	exitIndeterminate = 3
+	exitInternal      = 4
+)
+
+// statusErr carries an exit code through the command's error return when
+// the verdict has already been printed and no further message is needed.
+type statusErr int
+
+func (e statusErr) Error() string { return "exit status " + strconv.Itoa(int(e)) }
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches argv with SIGINT/SIGTERM wired to context cancellation,
+// so an operator's ^C interrupts the solver and yields an INDETERMINATE
+// verdict instead of killing the process mid-solve.
+func run(argv []string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, argv)
+}
+
+// runCtx dispatches argv under ctx. It is the testable seam for the
+// signal→cancel wiring, and the recover boundary: the relational
+// evaluator signals malformed internal state by panicking, and a serving
+// front end must convert that into a clean error, not a crash.
+func runCtx(ctx context.Context, argv []string) (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "muppet: internal error: %v\n", p)
+			code = exitInternal
+		}
+	}()
+	if len(argv) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	if err := dispatchFn(ctx, argv[0], argv[1:]); err != nil {
+		var se statusErr
+		if errors.As(err, &se) {
+			return int(se)
+		}
+		fmt.Fprintln(os.Stderr, "muppet:", err)
+		return exitInternal
+	}
+	return exitSat
+}
+
+// dispatchFn is a seam for tests to exercise the recover boundary.
+var dispatchFn = dispatch
+
+func dispatch(ctx context.Context, cmd string, args []string) error {
 	switch cmd {
 	case "check":
-		err = runCheck(args)
+		return runCheck(ctx, args)
 	case "envelope":
-		err = runEnvelope(args)
+		return runEnvelope(ctx, args)
 	case "reconcile":
-		err = runReconcile(args)
+		return runReconcile(ctx, args)
 	case "conform":
-		err = runConform(args)
+		return runConform(ctx, args)
 	case "negotiate":
-		err = runNegotiate(args)
+		return runNegotiate(ctx, args)
 	case "eval":
-		err = runEval(args)
+		return runEval(ctx, args)
 	case "help", "-h", "--help":
 		usage()
+		return nil
 	default:
 		fmt.Fprintf(os.Stderr, "muppet: unknown command %q\n", cmd)
 		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "muppet:", err)
-		os.Exit(1)
+		return statusErr(exitUsage)
 	}
 }
 
@@ -77,8 +142,15 @@ common flags:
   -istio-offer  fixed|soft|holes (default soft)
   -ports        comma-separated extra ports for the inventory
 
+check/envelope/reconcile/conform/negotiate also accept:
+  -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
+  -max-conflicts  solver conflict budget (0 = none)
+
 reconcile/conform/negotiate also accept:
   -strategy     minimal-edit distance search: auto|linear|binary
+
+exit codes: 0 sat/success, 1 unsat/failure, 2 usage,
+            3 indeterminate (budget/interrupt), 4 internal error
 `)
 }
 
@@ -99,6 +171,48 @@ func (in *inputs) register(fs *flag.FlagSet) {
 	fs.StringVar(&in.k8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
 	fs.StringVar(&in.istioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
 	fs.StringVar(&in.ports, "ports", "", "extra ports, comma-separated")
+}
+
+// limits gathers the solve-budget flags shared by the solving commands.
+type limits struct {
+	timeout      time.Duration
+	maxConflicts int64
+}
+
+func (l *limits) register(fs *flag.FlagSet) {
+	fs.DurationVar(&l.timeout, "timeout", 0,
+		"wall-clock budget for the whole command (0 = none)")
+	fs.Int64Var(&l.maxConflicts, "max-conflicts", 0,
+		"solver conflict budget (0 = none)")
+}
+
+// apply derives the solving context and budget. The deadline clock starts
+// here — before input loading — so -timeout bounds the whole command, not
+// just the solver. The returned cancel must be deferred.
+func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc, muppet.Budget) {
+	b := muppet.Budget{MaxConflicts: l.maxConflicts}
+	cancel := context.CancelFunc(func() {})
+	if l.timeout > 0 {
+		b.Deadline = time.Now().Add(l.timeout)
+		ctx, cancel = context.WithDeadline(ctx, b.Deadline)
+	}
+	return ctx, cancel, b
+}
+
+// indeterminate prints the stop reason and converts it into the
+// indeterminate exit code.
+func indeterminate(stop target.StopReason) error {
+	fmt.Printf("INDETERMINATE (%s)\n", stop)
+	return statusErr(exitIndeterminate)
+}
+
+// warnDegraded notes an interrupted minimal-edit search on an otherwise
+// successful result: the completion is valid, its edits possibly
+// non-minimal.
+func warnDegraded(stop target.StopReason) {
+	if stop != muppet.StopNone {
+		fmt.Printf("  (edit search interrupted: %s; edits may be non-minimal)\n", stop)
+	}
 }
 
 type session struct {
@@ -219,12 +333,16 @@ func (s *session) party(name string) (*muppet.Party, error) {
 	return nil, fmt.Errorf("unknown party %q (want k8s or istio)", name)
 }
 
-func runCheck(args []string) error {
+func runCheck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	var in inputs
+	var lim limits
 	in.register(fs)
+	lim.register(fs)
 	party := fs.String("party", "k8s", "party to check: k8s|istio")
 	fs.Parse(args)
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -237,28 +355,36 @@ func runCheck(args []string) error {
 	if subject == s.istioParty {
 		other = s.k8sParty
 	}
-	res := muppet.LocalConsistency(s.sys, subject, []*muppet.Party{other})
+	res := muppet.LocalConsistencyCtx(ctx, s.sys, subject, []*muppet.Party{other}, budget)
+	if res.Indeterminate {
+		return indeterminate(res.Stop)
+	}
 	if !res.OK {
 		fmt.Println("INCONSISTENT")
 		fmt.Println(res.Feedback)
-		os.Exit(1)
+		return statusErr(exitUnsat)
 	}
 	fmt.Println("CONSISTENT")
+	warnDegraded(res.Stop)
 	for _, e := range res.Edits {
 		fmt.Println("  soft edit:", e)
 	}
 	return nil
 }
 
-func runEnvelope(args []string) error {
+func runEnvelope(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("envelope", flag.ExitOnError)
 	var in inputs
+	var lim limits
 	in.register(fs)
+	lim.register(fs)
 	from := fs.String("from", "k8s", "sender party")
 	to := fs.String("to", "istio", "recipient party")
 	leakage := fs.Bool("leakage", false, "also print the leaked atoms")
 	english := fs.Bool("english", false, "also print a prose rendering")
 	fs.Parse(args)
+	ctx, cancel, _ := lim.apply(ctx)
+	defer cancel()
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -271,7 +397,10 @@ func runEnvelope(args []string) error {
 	if err != nil {
 		return err
 	}
-	env := muppet.ComputeEnvelope(s.sys, recipient, []*muppet.Party{sender})
+	env, err := muppet.ComputeEnvelopeCtx(ctx, s.sys, recipient, []*muppet.Party{sender})
+	if err != nil {
+		return indeterminate(muppet.StopCancelled)
+	}
 	fmt.Print(env)
 	if env.Unsatisfiable() {
 		fmt.Println("// WARNING: unsatisfiable — the sender's own settings defeat its goals")
@@ -286,28 +415,36 @@ func runEnvelope(args []string) error {
 	return nil
 }
 
-func runReconcile(args []string) error {
+func runReconcile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("reconcile", flag.ExitOnError)
 	var in inputs
+	var lim limits
 	in.register(fs)
+	lim.register(fs)
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
 	if err := applyStrategy(*strategy); err != nil {
 		return err
 	}
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
 	s, err := in.load()
 	if err != nil {
 		return err
 	}
-	res := muppet.Reconcile(s.sys, []*muppet.Party{s.k8sParty, s.istioParty})
+	res := muppet.ReconcileCtx(ctx, s.sys, []*muppet.Party{s.k8sParty, s.istioParty}, budget)
+	if res.Indeterminate {
+		return indeterminate(res.Stop)
+	}
 	if !res.OK {
 		fmt.Println("CANNOT RECONCILE")
 		fmt.Println(res.Feedback)
-		os.Exit(1)
+		return statusErr(exitUnsat)
 	}
 	s.k8sParty.Adopt(res.Instance)
 	s.istioParty.Adopt(res.Instance)
 	fmt.Println("RECONCILED")
+	warnDegraded(res.Stop)
 	for _, e := range res.Edits {
 		fmt.Println("  soft edit:", e)
 	}
@@ -318,16 +455,20 @@ func runReconcile(args []string) error {
 	return nil
 }
 
-func runConform(args []string) error {
+func runConform(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("conform", flag.ExitOnError)
 	var in inputs
+	var lim limits
 	in.register(fs)
+	lim.register(fs)
 	provider := fs.String("provider", "k8s", "inflexible provider party")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
 	if err := applyStrategy(*strategy); err != nil {
 		return err
 	}
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -340,7 +481,11 @@ func runConform(args []string) error {
 	if prov == s.istioParty {
 		tenant = s.k8sParty
 	}
-	out := muppet.RunConformance(s.sys, prov, tenant)
+	out := muppet.RunConformanceCtx(ctx, s.sys, prov, tenant, budget)
+	if out.Indeterminate {
+		fmt.Printf("INDETERMINATE at %s (%s)\n", out.FailedStep, out.Stop)
+		return statusErr(exitIndeterminate)
+	}
 	fmt.Printf("provider locally consistent: %v\n", out.ProviderConsistent)
 	if out.Envelope != nil {
 		fmt.Print(out.Envelope)
@@ -353,7 +498,7 @@ func runConform(args []string) error {
 	}
 	if !out.Reconciled {
 		fmt.Printf("FAILED at %s\n%s\n", out.FailedStep, out.Feedback)
-		os.Exit(1)
+		return statusErr(exitUnsat)
 	}
 	fmt.Println("CONFORMED")
 	fmt.Println("--- delivered tenant configuration ---")
@@ -361,16 +506,20 @@ func runConform(args []string) error {
 	return nil
 }
 
-func runNegotiate(args []string) error {
+func runNegotiate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("negotiate", flag.ExitOnError)
 	var in inputs
+	var lim limits
 	in.register(fs)
+	lim.register(fs)
 	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
 	if err := applyStrategy(*strategy); err != nil {
 		return err
 	}
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
 	s, err := in.load()
 	if err != nil {
 		return err
@@ -379,13 +528,15 @@ func runNegotiate(args []string) error {
 	if *rounds > 0 {
 		n.MaxRounds = *rounds
 	}
-	out := n.Run()
+	out := n.RunCtx(ctx, budget)
 	if out.InitialReconcile {
 		fmt.Println("initial offers reconciled immediately")
 	}
 	for _, r := range out.Rounds {
 		fmt.Printf("round %d: %s ", r.Round, r.Party)
 		switch {
+		case r.Indeterminate:
+			fmt.Println("was interrupted mid-round")
 		case r.Stuck:
 			fmt.Println("is stuck — administrators must talk")
 		case r.ConformedAlready:
@@ -397,9 +548,13 @@ func runNegotiate(args []string) error {
 			fmt.Println("  → reconciled")
 		}
 	}
+	if out.Reason == muppet.ReasonIndeterminate {
+		fmt.Printf("NEGOTIATION INDETERMINATE (%s)\n", out.Stop)
+		return statusErr(exitIndeterminate)
+	}
 	if !out.Reconciled {
-		fmt.Printf("NEGOTIATION FAILED\n%s\n", out.Feedback)
-		os.Exit(1)
+		fmt.Printf("NEGOTIATION FAILED (%s)\n%s\n", out.Reason, out.Feedback)
+		return statusErr(exitUnsat)
 	}
 	fmt.Println("NEGOTIATED")
 	fmt.Println("--- K8s configuration ---")
@@ -409,7 +564,7 @@ func runNegotiate(args []string) error {
 	return nil
 }
 
-func runEval(args []string) error {
+func runEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	var in inputs
 	in.register(fs)
@@ -434,6 +589,5 @@ func runEval(args []string) error {
 		return nil
 	}
 	fmt.Println("DENIED:", v.Reason)
-	os.Exit(1)
-	return nil
+	return statusErr(exitUnsat)
 }

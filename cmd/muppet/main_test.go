@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"muppet"
@@ -86,7 +88,7 @@ func TestInputsLoadErrors(t *testing.T) {
 }
 
 func TestRunEnvelopeSucceeds(t *testing.T) {
-	err := runEnvelope([]string{
+	err := runEnvelope(context.Background(), []string{
 		"-files", fig1Files,
 		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 		"-from", "k8s", "-to", "istio",
@@ -98,7 +100,7 @@ func TestRunEnvelopeSucceeds(t *testing.T) {
 }
 
 func TestRunCheckSucceeds(t *testing.T) {
-	err := runCheck([]string{
+	err := runCheck(context.Background(), []string{
 		"-files", fig1Files,
 		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 		"-party", "k8s",
@@ -110,7 +112,7 @@ func TestRunCheckSucceeds(t *testing.T) {
 }
 
 func TestRunReconcileSucceeds(t *testing.T) {
-	err := runReconcile([]string{
+	err := runReconcile(context.Background(), []string{
 		"-files", fig1Files,
 		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
@@ -124,7 +126,7 @@ func TestRunReconcileSucceeds(t *testing.T) {
 func TestRunReconcileStrategyFlag(t *testing.T) {
 	defer applyStrategy("auto")
 	for _, strategy := range []string{"linear", "binary"} {
-		err := runReconcile([]string{
+		err := runReconcile(context.Background(), []string{
 			"-files", fig1Files,
 			"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 			"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
@@ -141,7 +143,7 @@ func TestRunReconcileStrategyFlag(t *testing.T) {
 }
 
 func TestRunConformSucceeds(t *testing.T) {
-	err := runConform([]string{
+	err := runConform(context.Background(), []string{
 		"-files", fig1Files,
 		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
@@ -153,7 +155,7 @@ func TestRunConformSucceeds(t *testing.T) {
 }
 
 func TestRunNegotiateSucceeds(t *testing.T) {
-	err := runNegotiate([]string{
+	err := runNegotiate(context.Background(), []string{
 		"-files", fig1Files,
 		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
 		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
@@ -165,14 +167,14 @@ func TestRunNegotiateSucceeds(t *testing.T) {
 }
 
 func TestRunEvalSucceeds(t *testing.T) {
-	err := runEval([]string{
+	err := runEval(context.Background(), []string{
 		"-files", fig1Files,
 		"-src", "test-backend", "-dst", "test-frontend", "-port", "23",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runEval([]string{"-files", fig1Files}); err == nil {
+	if err := runEval(context.Background(), []string{"-files", fig1Files}); err == nil {
 		t.Fatal("missing flow flags must error")
 	}
 }
@@ -190,4 +192,72 @@ func TestExtraPortsFlowIntoSystem(t *testing.T) {
 		t.Fatal("-ports must extend the inventory")
 	}
 	_ = muppet.Flow{}
+}
+
+func TestRunCtxUsageExitCodes(t *testing.T) {
+	if code := runCtx(context.Background(), nil); code != exitUsage {
+		t.Fatalf("no command: exit %d, want %d", code, exitUsage)
+	}
+	if code := runCtx(context.Background(), []string{"bogus"}); code != exitUsage {
+		t.Fatalf("unknown command: exit %d, want %d", code, exitUsage)
+	}
+	if code := runCtx(context.Background(), []string{"help"}); code != exitSat {
+		t.Fatalf("help: exit %d, want %d", code, exitSat)
+	}
+}
+
+// TestRunCtxCancelledIsIndeterminate pins the SIGINT wiring: run()
+// translates the signal into context cancellation, and a cancelled
+// context must surface as the indeterminate exit code, never as a
+// fabricated UNSAT verdict.
+func TestRunCtxCancelledIsIndeterminate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // as if SIGINT had already arrived
+	code := runCtx(ctx, []string{"reconcile",
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "soft", "-istio-offer", "soft",
+	})
+	if code != exitIndeterminate {
+		t.Fatalf("cancelled reconcile: exit %d, want %d", code, exitIndeterminate)
+	}
+}
+
+// TestRunCtxTimeoutIsIndeterminate is the acceptance criterion of the
+// budget work: reconcile under an unmeetable -timeout exits
+// indeterminate with a stop reason, while the same invocation without
+// a timeout reconciles (TestRunReconcileSucceeds above).
+func TestRunCtxTimeoutIsIndeterminate(t *testing.T) {
+	code := runCtx(context.Background(), []string{"reconcile",
+		"-timeout", "1ns",
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "soft", "-istio-offer", "soft",
+	})
+	if code != exitIndeterminate {
+		t.Fatalf("1ns reconcile: exit %d, want %d", code, exitIndeterminate)
+	}
+}
+
+func TestRunCtxRecoversPanics(t *testing.T) {
+	orig := dispatchFn
+	defer func() { dispatchFn = orig }()
+	dispatchFn = func(context.Context, string, []string) error {
+		panic("relational evaluator arity mismatch")
+	}
+	if code := runCtx(context.Background(), []string{"check"}); code != exitInternal {
+		t.Fatalf("panicking command: exit %d, want %d", code, exitInternal)
+	}
+}
+
+func TestStatusErrRoundTrip(t *testing.T) {
+	var se statusErr
+	if !errors.As(error(statusErr(exitUnsat)), &se) || int(se) != exitUnsat {
+		t.Fatalf("statusErr did not round-trip: %v", se)
+	}
+	if statusErr(3).Error() != "exit status 3" {
+		t.Fatalf("unexpected message %q", statusErr(3).Error())
+	}
 }

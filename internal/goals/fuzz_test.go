@@ -1,0 +1,37 @@
+package goals
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to both goal-table parsers. The CSV
+// surface faces operators directly, so malformed rows must surface as
+// errors and valid rows must render back without panicking.
+func FuzzParse(f *testing.F) {
+	for _, name := range []string{"k8s_goals.csv", "istio_goals.csv", "istio_goals_revised.csv"} {
+		data, err := os.ReadFile(filepath.Join("../../testdata/fig1", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("port,perm,selector\n23,deny,app=web\n"))
+	f.Add([]byte("src,dst,srcPort,dstPort,perm\n*,db,*,16000\n"))
+	f.Add([]byte("port,perm\n-1,maybe\n"))
+	f.Add([]byte("\xff\xfe,,,\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if gs, err := ParseK8sGoals(bytes.NewReader(data)); err == nil {
+			for _, g := range gs {
+				_ = g.String()
+			}
+		}
+		if gs, err := ParseIstioGoals(bytes.NewReader(data)); err == nil {
+			for _, g := range gs {
+				_ = g.String()
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package muppet
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"muppet/internal/envelope"
 	"muppet/internal/relational"
 	"muppet/internal/sat"
+	"muppet/internal/target"
 )
 
 // Edit is one flip of a soft-constrained knob: the minimal-edit feedback
@@ -43,12 +45,48 @@ func (f *Feedback) String() string {
 // Result is the outcome of a consistency or reconciliation query.
 type Result struct {
 	OK bool
+	// Indeterminate is set when a budget or cancellation stopped the
+	// solver before it proved either satisfiability or unsatisfiability.
+	// No instance, edits, or blame core are fabricated in that case: OK is
+	// false and Feedback is nil, and Stop carries the cause.
+	Indeterminate bool
+	// Stop explains an Indeterminate result. It can also be non-None on an
+	// OK result: the minimal-edit search was interrupted and Edits reflect
+	// the best (valid but possibly non-minimal) completion found.
+	Stop target.StopReason
 	// Instance is a satisfying completion (valid when OK).
 	Instance *relational.Instance
 	// Edits lists soft preferences the solver had to override to succeed.
 	Edits []Edit
-	// Feedback carries blame on failure.
+	// Feedback carries blame on failure (never on an indeterminate stop).
 	Feedback *Feedback
+}
+
+// run executes the shared solve → harden → minimize pipeline of the
+// completion workflows (Algs. 1–2, Fig. 8), degrading faithfully: an
+// Unknown from either phase yields an indeterminate result rather than a
+// fabricated unsat core or bogus edit blame.
+func (ws *workspace) run(ctx context.Context, b sat.Budget) *Result {
+	switch ws.solve(ctx, b) {
+	case sat.Sat:
+	case sat.Unknown:
+		return &Result{Indeterminate: true, Stop: ws.stop()}
+	default:
+		return &Result{Feedback: &Feedback{Core: ws.core(ctx, b)}}
+	}
+	ws.harden()
+	res := ws.minimize(ctx, b)
+	switch res.Status {
+	case sat.Sat:
+		return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model), Stop: res.Stats.Stop}
+	case sat.Unknown:
+		// The minimisation could not even re-establish the model the
+		// solve phase found before its budget ran out.
+		return &Result{Indeterminate: true, Stop: res.Stats.Stop}
+	default:
+		// Cannot happen: harden preserves the satisfiable assumption set.
+		return &Result{Feedback: &Feedback{Core: ws.core(ctx, b)}}
+	}
 }
 
 // LocalConsistency implements Alg. 1: can the subject's partial offer be
@@ -58,21 +96,17 @@ type Result struct {
 // failure the feedback core blames goal rows and fixed configuration
 // groups.
 func LocalConsistency(sys *encode.System, subject *Party, others []*Party) *Result {
+	return LocalConsistencyCtx(context.Background(), sys, subject, others, sat.Budget{})
+}
+
+// LocalConsistencyCtx is LocalConsistency under a cancellation context and
+// a solver work budget; on exhaustion the result is Indeterminate.
+func LocalConsistencyCtx(ctx context.Context, sys *encode.System, subject *Party, others []*Party, b sat.Budget) *Result {
 	specs := []partySpec{{party: subject, enforceFixed: true, includeGoals: true}}
 	for _, o := range others {
 		specs = append(specs, partySpec{party: o})
 	}
-	ws := newWorkspace(sys, specs)
-	if st := ws.solve(); st != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	ws.harden()
-	res := ws.minimize()
-	if res.Status != sat.Sat {
-		// Cannot happen: harden preserves the satisfiable assumption set.
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+	return newWorkspace(sys, specs).run(ctx, b)
 }
 
 // Reconcile implements Alg. 2: complete every party's partial offer so
@@ -84,20 +118,17 @@ func LocalConsistency(sys *encode.System, subject *Party, others []*Party) *Resu
 // all parties — the cross-party blame that distinguishes multi-party
 // reconciliation from single-party synthesis (Fig. 6).
 func Reconcile(sys *encode.System, parties []*Party) *Result {
+	return ReconcileCtx(context.Background(), sys, parties, sat.Budget{})
+}
+
+// ReconcileCtx is Reconcile under a cancellation context and a solver work
+// budget; on exhaustion the result is Indeterminate (never a bogus core).
+func ReconcileCtx(ctx context.Context, sys *encode.System, parties []*Party, b sat.Budget) *Result {
 	specs := make([]partySpec, len(parties))
 	for i, p := range parties {
 		specs[i] = partySpec{party: p, enforceFixed: true, includeGoals: true}
 	}
-	ws := newWorkspace(sys, specs)
-	if st := ws.solve(); st != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	ws.harden()
-	res := ws.minimize()
-	if res.Status != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+	return newWorkspace(sys, specs).run(ctx, b)
 }
 
 // ComputeEnvelope implements Alg. 3 for one recipient: the conjunction of
@@ -107,6 +138,18 @@ func Reconcile(sys *encode.System, parties []*Party) *Result {
 // E_{A,B,…→C}, obtained by multiple passes of substitution (here: one
 // substitution under the merged senders' settings).
 func ComputeEnvelope(sys *encode.System, recipient *Party, senders []*Party) *envelope.Envelope {
+	env, _ := ComputeEnvelopeCtx(context.Background(), sys, recipient, senders)
+	return env
+}
+
+// ComputeEnvelopeCtx is ComputeEnvelope under a cancellation context.
+// Envelope computation is pure rewriting — no solver calls, no budget to
+// exhaust — so the context gates entry: an already-cancelled context
+// returns its error and a nil envelope instead of starting the rewrite.
+func ComputeEnvelopeCtx(ctx context.Context, sys *encode.System, recipient *Party, senders []*Party) (*envelope.Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	merged := make(map[*relational.Relation]*relational.TupleSet)
 	var goalFs []relational.Formula
 	var names []string
@@ -126,7 +169,7 @@ func ComputeEnvelope(sys *encode.System, recipient *Party, senders []*Party) *en
 		strings.Join(names, ","), recipient.Name,
 		goalFs, merged, recipient.Domain, sys.Universe,
 		envelope.Options{Shared: sys.SharedTupleSets()},
-	)
+	), nil
 }
 
 // CheckCandidate implements the first half of the Fig. 8 revision aid: does
@@ -170,6 +213,14 @@ func instanceFor(sys *encode.System, parties ...*Party) *relational.Instance {
 // parties' standing offers (their fixed knobs; their soft knobs and holes
 // stay open); on failure the core blames the conflicting fragments.
 func MinimalEdit(sys *encode.System, p *Party, constraints []relational.Formula, others ...*Party) *Result {
+	return MinimalEditCtx(context.Background(), sys, p, constraints, sat.Budget{}, others...)
+}
+
+// MinimalEditCtx is MinimalEdit under a cancellation context and a solver
+// work budget. An interrupted minimisation degrades to the best valid
+// completion found (OK with Stop recorded); exhaustion before any model
+// yields an Indeterminate result.
+func MinimalEditCtx(ctx context.Context, sys *encode.System, p *Party, constraints []relational.Formula, b sat.Budget, others ...*Party) *Result {
 	specs := []partySpec{{party: p, enforceFixed: true, includeGoals: false}}
 	for _, o := range others {
 		specs = append(specs, partySpec{party: o, enforceFixed: true, includeGoals: false})
@@ -178,15 +229,7 @@ func MinimalEdit(sys *encode.System, p *Party, constraints []relational.Formula,
 	for i, c := range constraints {
 		ws.addNamed(fmt.Sprintf("%s/constraint[%d]", p.Name, i), ws.ss.Lit(c))
 	}
-	if st := ws.solve(); st != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	ws.harden()
-	res := ws.minimize()
-	if res.Status != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
-	}
-	return &Result{OK: true, Instance: ws.instance(), Edits: ws.edits(res.Model)}
+	return ws.run(ctx, b)
 }
 
 // GoalsCompatible implements the second envelope use of Sec. 3: comparing
@@ -198,6 +241,12 @@ func MinimalEdit(sys *encode.System, p *Party, constraints []relational.Formula,
 // change — the situation that forces the Fig. 4 revision — and the core
 // blames the irreconcilable parts.
 func GoalsCompatible(sys *encode.System, recipient *Party, env *envelope.Envelope, senders ...*Party) *Result {
+	return GoalsCompatibleCtx(context.Background(), sys, recipient, env, sat.Budget{}, senders...)
+}
+
+// GoalsCompatibleCtx is GoalsCompatible under a cancellation context and a
+// solver work budget; on exhaustion the result is Indeterminate.
+func GoalsCompatibleCtx(ctx context.Context, sys *encode.System, recipient *Party, env *envelope.Envelope, b sat.Budget, senders ...*Party) *Result {
 	merged := make(map[*relational.Relation]*relational.TupleSet)
 	for _, s := range senders {
 		for r, ts := range s.Fixed() {
@@ -213,10 +262,14 @@ func GoalsCompatible(sys *encode.System, recipient *Party, env *envelope.Envelop
 		f := relational.Substitute(g.Formula, merged)
 		ws.addNamed(recipient.Name+"/"+g.Name, ws.ss.Lit(f))
 	}
-	if st := ws.solve(); st != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	switch ws.solve(ctx, b) {
+	case sat.Sat:
+		return &Result{OK: true, Instance: ws.instance()}
+	case sat.Unknown:
+		return &Result{Indeterminate: true, Stop: ws.stop()}
+	default:
+		return &Result{Feedback: &Feedback{Core: ws.core(ctx, b)}}
 	}
-	return &Result{OK: true, Instance: ws.instance()}
 }
 
 // SynthesizeMonolithic is the Fig. 6 baseline: traditional single-step
@@ -226,13 +279,23 @@ func GoalsCompatible(sys *encode.System, recipient *Party, env *envelope.Envelop
 // is unsatisfiable, Sec. 2) — the behaviour the multi-party workflows are
 // designed to improve on.
 func SynthesizeMonolithic(sys *encode.System, parties []*Party) *Result {
+	return SynthesizeMonolithicCtx(context.Background(), sys, parties, sat.Budget{})
+}
+
+// SynthesizeMonolithicCtx is SynthesizeMonolithic under a cancellation
+// context and a solver work budget.
+func SynthesizeMonolithicCtx(ctx context.Context, sys *encode.System, parties []*Party, b sat.Budget) *Result {
 	specs := make([]partySpec, len(parties))
 	for i, p := range parties {
 		specs[i] = partySpec{party: p, includeGoals: true}
 	}
 	ws := newWorkspace(sys, specs)
-	if st := ws.solve(); st != sat.Sat {
-		return &Result{Feedback: &Feedback{Core: ws.core()}}
+	switch ws.solve(ctx, b) {
+	case sat.Sat:
+		return &Result{OK: true, Instance: ws.instance()}
+	case sat.Unknown:
+		return &Result{Indeterminate: true, Stop: ws.stop()}
+	default:
+		return &Result{Feedback: &Feedback{Core: ws.core(ctx, b)}}
 	}
-	return &Result{OK: true, Instance: ws.instance()}
 }

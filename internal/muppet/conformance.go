@@ -1,9 +1,13 @@
 package muppet
 
 import (
+	"context"
+
 	"muppet/internal/encode"
 	"muppet/internal/envelope"
 	"muppet/internal/relational"
+	"muppet/internal/sat"
+	"muppet/internal/target"
 )
 
 // ConformanceOutcome records one run of the Fig. 7 solver-aided
@@ -26,6 +30,11 @@ type ConformanceOutcome struct {
 	// FailedStep names the step that failed ("local-consistency",
 	// "revision", "reconcile"), empty on success.
 	FailedStep string
+	// Indeterminate is set when a solver budget or cancellation stopped
+	// the step named by FailedStep before it reached a verdict; Stop says
+	// why. No feedback is fabricated in that case.
+	Indeterminate bool
+	Stop          target.StopReason
 }
 
 // RunConformance drives the Fig. 7 workflow: check A's local consistency,
@@ -34,24 +43,49 @@ type ConformanceOutcome struct {
 // own goals), then reconcile the offers. On success both parties adopt the
 // delivered configurations.
 func RunConformance(sys *encode.System, provider, tenant *Party) *ConformanceOutcome {
+	return RunConformanceCtx(context.Background(), sys, provider, tenant, sat.Budget{})
+}
+
+// RunConformanceCtx is RunConformance under a cancellation context and a
+// solver work budget shared by every solve of the workflow. A budget that
+// expires mid-step marks the outcome Indeterminate with the failing step
+// named, instead of misreporting the step as a proven failure.
+func RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant *Party, b sat.Budget) *ConformanceOutcome {
 	out := &ConformanceOutcome{}
 
-	lc := LocalConsistency(sys, provider, []*Party{tenant})
+	indeterminate := func(step string, stop target.StopReason) *ConformanceOutcome {
+		out.FailedStep = step
+		out.Indeterminate = true
+		out.Stop = stop
+		return out
+	}
+
+	lc := LocalConsistencyCtx(ctx, sys, provider, []*Party{tenant}, b)
 	out.ProviderConsistent = lc.OK
+	if lc.Indeterminate {
+		return indeterminate("local-consistency", lc.Stop)
+	}
 	if !lc.OK {
 		out.Feedback = lc.Feedback
 		out.FailedStep = "local-consistency"
 		return out
 	}
 
-	out.Envelope = ComputeEnvelope(sys, tenant, []*Party{provider})
+	env, err := ComputeEnvelopeCtx(ctx, sys, tenant, []*Party{provider})
+	if err != nil {
+		return indeterminate("envelope", target.StopCancelled)
+	}
+	out.Envelope = env
 
 	// Fig. 8: does the tenant's current configuration already conform?
 	ok, _ := CheckCandidate(sys, tenant, out.Envelope, true, provider)
 	out.CandidateOK = ok
 	if !ok {
 		constraints := append([]relational.Formula{out.Envelope.Formula()}, tenant.GoalFormulas()...)
-		revision := MinimalEdit(sys, tenant, constraints, provider)
+		revision := MinimalEditCtx(ctx, sys, tenant, constraints, b, provider)
+		if revision.Indeterminate {
+			return indeterminate("revision", revision.Stop)
+		}
 		if !revision.OK {
 			out.Feedback = revision.Feedback
 			out.FailedStep = "revision"
@@ -61,7 +95,10 @@ func RunConformance(sys *encode.System, provider, tenant *Party) *ConformanceOut
 		tenant.adopt(revision.Instance)
 	}
 
-	rec := Reconcile(sys, []*Party{provider, tenant})
+	rec := ReconcileCtx(ctx, sys, []*Party{provider, tenant}, b)
+	if rec.Indeterminate {
+		return indeterminate("reconcile", rec.Stop)
+	}
 	out.Reconciled = rec.OK
 	if !rec.OK {
 		out.Feedback = rec.Feedback

@@ -1,9 +1,13 @@
 package muppet
 
 import (
+	"context"
+
 	"muppet/internal/encode"
 	"muppet/internal/envelope"
 	"muppet/internal/relational"
+	"muppet/internal/sat"
+	"muppet/internal/target"
 )
 
 // Negotiation drives the Fig. 9 solver-aided negotiation workflow: all
@@ -22,6 +26,40 @@ type Negotiation struct {
 	MaxRounds int
 }
 
+// TerminalReason classifies how a negotiation run ended. A MaxRounds
+// exhaustion, a full stuck cycle, and a solver-budget interruption are
+// distinct situations demanding different operator responses (wait
+// longer vs. talk to each other vs. raise the budget), so the outcome
+// names them explicitly.
+type TerminalReason int
+
+const (
+	// ReasonReconciled: the run succeeded.
+	ReasonReconciled TerminalReason = iota
+	// ReasonExhaustedRounds: MaxRounds turns elapsed with progress still
+	// possible — more rounds might succeed.
+	ReasonExhaustedRounds
+	// ReasonAllStuck: every party in a full cycle was stuck — no revision
+	// can help; administrators must talk (Sec. 4.2).
+	ReasonAllStuck
+	// ReasonIndeterminate: a solver budget or cancellation interrupted a
+	// round; the run is neither a success nor a proven failure.
+	ReasonIndeterminate
+)
+
+func (r TerminalReason) String() string {
+	switch r {
+	case ReasonReconciled:
+		return "reconciled"
+	case ReasonExhaustedRounds:
+		return "exhausted-rounds"
+	case ReasonAllStuck:
+		return "all-stuck"
+	default:
+		return "indeterminate"
+	}
+}
+
 // RoundReport records one revision turn.
 type RoundReport struct {
 	Round    int
@@ -36,8 +74,12 @@ type RoundReport struct {
 	// Stuck is set when no revision of this party's offer can satisfy the
 	// envelope together with its own goals — direct communication between
 	// administrators is needed (Sec. 4.2).
-	Stuck    bool
-	Feedback *Feedback
+	Stuck bool
+	// Indeterminate is set when a solver budget or cancellation cut this
+	// round short: the party is not known to be stuck, the round simply
+	// never finished.
+	Indeterminate bool
+	Feedback      *Feedback
 	// Reconciled reports the Alg. 2 attempt after the revision.
 	Reconciled bool
 }
@@ -48,8 +90,14 @@ type NegotiationOutcome struct {
 	// InitialReconcile is true when the registered offers reconciled
 	// immediately (top of Fig. 9).
 	InitialReconcile bool
-	Rounds           []*RoundReport
-	// Feedback explains the terminal failure, if any.
+	// Reason states how the run terminated.
+	Reason TerminalReason
+	// Stop carries the solver stop cause when Reason is
+	// ReasonIndeterminate.
+	Stop   target.StopReason
+	Rounds []*RoundReport
+	// Feedback explains the terminal failure, if any. It is never set for
+	// an indeterminate run: an interrupted solve proves nothing to blame.
 	Feedback *Feedback
 }
 
@@ -74,14 +122,37 @@ func (n *Negotiation) others(i int) []*Party {
 // a full cycle is stuck, or MaxRounds turns elapse. Successful runs adopt
 // the reconciled configurations into every party.
 func (n *Negotiation) Run() *NegotiationOutcome {
+	return n.RunCtx(context.Background(), sat.Budget{})
+}
+
+// RunCtx is Run under a cancellation context and a solver work budget
+// shared by every solve of the workflow. A budget that expires mid-run
+// terminates the negotiation with ReasonIndeterminate — an interrupted
+// round is reported as such, never misreported as a stuck party or a
+// failed reconciliation.
+func (n *Negotiation) RunCtx(ctx context.Context, b sat.Budget) *NegotiationOutcome {
 	out := &NegotiationOutcome{}
 
+	indeterminate := func(rep *RoundReport, stop target.StopReason) *NegotiationOutcome {
+		if rep != nil {
+			rep.Indeterminate = true
+		}
+		out.Reason = ReasonIndeterminate
+		out.Stop = stop
+		out.Feedback = nil
+		return out
+	}
+
 	// Reconcile initial offers (top of Fig. 9).
-	rec := Reconcile(n.sys, n.parties)
+	rec := ReconcileCtx(ctx, n.sys, n.parties, b)
+	if rec.Indeterminate {
+		return indeterminate(nil, rec.Stop)
+	}
 	if rec.OK {
 		n.adoptAll(rec.Instance)
 		out.Reconciled = true
 		out.InitialReconcile = true
+		out.Reason = ReasonReconciled
 		return out
 	}
 	out.Feedback = rec.Feedback
@@ -94,21 +165,30 @@ func (n *Negotiation) Run() *NegotiationOutcome {
 		rep := &RoundReport{Round: round, Party: p.Name}
 		out.Rounds = append(out.Rounds, rep)
 
-		rep.Envelope = ComputeEnvelope(n.sys, p, n.others(i))
+		env, err := ComputeEnvelopeCtx(ctx, n.sys, p, n.others(i))
+		if err != nil {
+			return indeterminate(rep, target.StopCancelled)
+		}
+		rep.Envelope = env
 
 		// Fig. 8 aid for this party's revision phase.
 		if ok, _ := CheckCandidate(n.sys, p, rep.Envelope, true, n.others(i)...); ok {
 			rep.ConformedAlready = true
 		} else {
 			constraints := append([]relational.Formula{rep.Envelope.Formula()}, p.GoalFormulas()...)
-			revision := MinimalEdit(n.sys, p, constraints, n.others(i)...)
+			revision := MinimalEditCtx(ctx, n.sys, p, constraints, b, n.others(i)...)
+			if revision.Indeterminate {
+				return indeterminate(rep, revision.Stop)
+			}
 			if !revision.OK {
 				rep.Stuck = true
 				rep.Feedback = revision.Feedback
 				out.Feedback = revision.Feedback
 				stuckStreak++
 				if stuckStreak >= len(n.parties) {
-					return out // a full cycle of stuck parties: humans must talk
+					// A full cycle of stuck parties: humans must talk.
+					out.Reason = ReasonAllStuck
+					return out
 				}
 				continue
 			}
@@ -118,17 +198,22 @@ func (n *Negotiation) Run() *NegotiationOutcome {
 		}
 		stuckStreak = 0
 
-		rec := Reconcile(n.sys, n.parties)
+		rec := ReconcileCtx(ctx, n.sys, n.parties, b)
+		if rec.Indeterminate {
+			return indeterminate(rep, rec.Stop)
+		}
 		rep.Reconciled = rec.OK
 		if rec.OK {
 			n.adoptAll(rec.Instance)
 			out.Reconciled = true
+			out.Reason = ReasonReconciled
 			out.Feedback = nil
 			return out
 		}
 		rep.Feedback = rec.Feedback
 		out.Feedback = rec.Feedback
 	}
+	out.Reason = ReasonExhaustedRounds
 	return out
 }
 

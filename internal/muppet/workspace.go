@@ -1,6 +1,7 @@
 package muppet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,11 @@ type workspace struct {
 	assumps  []sat.Lit
 	softLits []sat.Lit // literal polarity == desired value
 	softInfo []softRef
+
+	// rawCore snapshots the failed assumptions of the most recent Unsat
+	// solve, so core() can still name blame when the minimisation pass
+	// itself runs out of budget.
+	rawCore []sat.Lit
 }
 
 type softRef struct {
@@ -120,9 +126,21 @@ func (ws *workspace) addNamed(name string, lit sat.Lit) {
 	ws.assumps = append(ws.assumps, lit)
 }
 
-// solve checks satisfiability under all named assumptions.
-func (ws *workspace) solve() sat.Status {
-	return ws.ss.Solve(ws.assumps...)
+// solve checks satisfiability under all named assumptions, within the
+// given budget. Unknown means the budget or context stopped the solver:
+// neither a model nor a core exists, and callers must not fabricate
+// either (see stop for the reason).
+func (ws *workspace) solve(ctx context.Context, b sat.Budget) sat.Status {
+	st := ws.ss.SolveCtx(ctx, b, ws.assumps...)
+	if st == sat.Unsat {
+		ws.rawCore = ws.ss.Solver().Core()
+	}
+	return st
+}
+
+// stop reports why the most recent solver call gave up.
+func (ws *workspace) stop() target.StopReason {
+	return target.FromSat(ws.ss.Solver().StopReason())
 }
 
 // harden turns the named assumptions into permanent clauses, enabling
@@ -142,9 +160,12 @@ func (ws *workspace) assertHard(fs ...relational.Formula) {
 }
 
 // minimize finds the model closest to the soft-knob preferences. Call
-// after harden (or when there are no assumptions).
-func (ws *workspace) minimize() target.Result {
-	return target.Minimize(ws.ss.Solver(), ws.softLits, target.Options{})
+// after harden (or when there are no assumptions). On budget exhaustion
+// mid-search it degrades to the best model found (Result.Optimal false,
+// Stats.Stop set).
+func (ws *workspace) minimize(ctx context.Context, b sat.Budget) target.Result {
+	return target.Minimize(ws.ss.Solver(), ws.softLits,
+		target.Options{Context: ctx, Budget: b})
 }
 
 // edits reports which soft preferences the current solver model overrides.
@@ -167,11 +188,26 @@ func (ws *workspace) edits(model []bool) []Edit {
 // instance decodes the current model.
 func (ws *workspace) instance() *relational.Instance { return ws.ss.Instance() }
 
-// core extracts a minimised blame core over the named constraints.
-func (ws *workspace) core() []string {
-	core := ucore.Find(ws.ss.Solver(), ws.named)
+// core extracts a minimised blame core over the named constraints. Call
+// only after solve returned Unsat. If the minimisation pass runs out of
+// budget before it can even re-establish unsatisfiability, the snapshot
+// of the failed assumptions from that Unsat solve serves as an
+// unminimised fallback, so a proven conflict is never reported blameless.
+func (ws *workspace) core(ctx context.Context, b sat.Budget) []string {
+	core := ucore.FindCtx(ctx, b, ws.ss.Solver(), ws.named)
 	if core == nil {
-		return nil
+		if ws.ss.Solver().StopReason() == sat.StopNone || len(ws.rawCore) == 0 {
+			return nil
+		}
+		inRaw := make(map[sat.Lit]bool, len(ws.rawCore))
+		for _, l := range ws.rawCore {
+			inRaw[l] = true
+		}
+		for _, n := range ws.named {
+			if inRaw[n.Lit] {
+				core = append(core, n)
+			}
+		}
 	}
 	names := make([]string, len(core))
 	for i, n := range core {

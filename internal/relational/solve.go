@@ -1,6 +1,8 @@
 package relational
 
 import (
+	"context"
+
 	"muppet/internal/boolcirc"
 	"muppet/internal/sat"
 )
@@ -58,6 +60,15 @@ func (ss *Session) Lit(f Formula) sat.Lit {
 // Solve checks satisfiability under optional assumptions.
 func (ss *Session) Solve(assumps ...sat.Lit) sat.Status {
 	return ss.Solver().Solve(assumps...)
+}
+
+// SolveCtx checks satisfiability under optional assumptions, honouring a
+// cancellation context and a work budget. An Unknown return means the
+// budget stopped the search: the caller must treat the query as
+// indeterminate (neither a model nor a core exists) — see
+// Solver().StopReason for the cause.
+func (ss *Session) SolveCtx(ctx context.Context, b sat.Budget, assumps ...sat.Lit) sat.Status {
+	return ss.Solver().SolveCtx(ctx, b, assumps...)
 }
 
 // Instance decodes the most recent satisfying model into an instance over

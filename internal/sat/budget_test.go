@@ -1,0 +1,131 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveCtxCancelledBeforeStart(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := s.SolveCtx(ctx, Budget{}); st != Unknown {
+		t.Fatalf("cancelled context: got %v, want UNKNOWN", st)
+	}
+	if r := s.StopReason(); r != StopCancelled {
+		t.Fatalf("stop reason: got %v, want cancelled", r)
+	}
+}
+
+func TestSolveCtxExpiredDeadline(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	b := Budget{Deadline: time.Now().Add(-time.Second)}
+	if st := s.SolveCtx(context.Background(), b); st != Unknown {
+		t.Fatalf("expired deadline: got %v, want UNKNOWN", st)
+	}
+	if r := s.StopReason(); r != StopDeadline {
+		t.Fatalf("stop reason: got %v, want deadline", r)
+	}
+}
+
+func TestSolveCtxDeadlineInterruptsSearch(t *testing.T) {
+	s := New()
+	pigeonhole(s, 12, 11) // hard enough to outlast a microscopic deadline
+	b := Budget{Deadline: time.Now().Add(time.Microsecond)}
+	if st := s.SolveCtx(context.Background(), b); st != Unknown {
+		t.Skipf("instance solved before the deadline fired: %v", st)
+	}
+	if r := s.StopReason(); r != StopDeadline {
+		t.Fatalf("stop reason: got %v, want deadline", r)
+	}
+}
+
+func TestSolveCtxConflictBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	st := s.SolveCtx(context.Background(), Budget{MaxConflicts: 5})
+	if st != Unknown {
+		t.Fatalf("conflict budget: got %v, want UNKNOWN", st)
+	}
+	if r := s.StopReason(); r != StopConflicts {
+		t.Fatalf("stop reason: got %v, want conflict budget", r)
+	}
+	// The budget is per call: a fresh unbudgeted call completes.
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("after budget run: got %v, want UNSAT", st)
+	}
+	if r := s.StopReason(); r != StopNone {
+		t.Fatalf("completed solve must clear the stop reason, got %v", r)
+	}
+}
+
+func TestSolveCtxPropagationBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	st := s.SolveCtx(context.Background(), Budget{MaxPropagations: 10})
+	if st != Unknown {
+		t.Fatalf("propagation budget: got %v, want UNKNOWN", st)
+	}
+	if r := s.StopReason(); r != StopPropagations {
+		t.Fatalf("stop reason: got %v, want propagation budget", r)
+	}
+}
+
+func TestSolveCtxUnlimitedMatchesSolve(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if st := s.SolveCtx(context.Background(), Budget{}); st != Sat {
+		t.Fatalf("unbudgeted SolveCtx: got %v, want SAT", st)
+	}
+	if r := s.StopReason(); r != StopNone {
+		t.Fatalf("stop reason after SAT: got %v, want none", r)
+	}
+}
+
+func TestSolveCtxLevel0UnsatBeatsBudget(t *testing.T) {
+	// Unsatisfiability already established at level 0 costs nothing to
+	// report, so even an expired budget returns the real verdict.
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	s.AddClause(NegLit(v))
+	b := Budget{Deadline: time.Now().Add(-time.Second)}
+	if st := s.SolveCtx(context.Background(), b); st != Unsat {
+		t.Fatalf("level-0 unsat: got %v, want UNSAT", st)
+	}
+}
+
+func TestBudgetWithTimeout(t *testing.T) {
+	b := Budget{}.WithTimeout(time.Hour)
+	if b.Deadline.IsZero() {
+		t.Fatal("WithTimeout must set a deadline")
+	}
+	earlier := time.Now().Add(time.Minute)
+	b2 := Budget{Deadline: earlier}.WithTimeout(time.Hour)
+	if !b2.Deadline.Equal(earlier) {
+		t.Fatal("WithTimeout must keep an earlier existing deadline")
+	}
+	if !(Budget{}).IsZero() {
+		t.Fatal("zero budget must report IsZero")
+	}
+	if b.IsZero() {
+		t.Fatal("deadline budget must not report IsZero")
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for r, want := range map[StopReason]string{
+		StopNone:         "none",
+		StopCancelled:    "cancelled",
+		StopDeadline:     "deadline exceeded",
+		StopConflicts:    "conflict budget exhausted",
+		StopPropagations: "propagation budget exhausted",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("StopReason(%d) = %q, want %q", r, got, want)
+		}
+	}
+}

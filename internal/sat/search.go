@@ -194,11 +194,18 @@ func luby(base int64, i int64) int64 {
 	return base << (k - 1)
 }
 
-// search runs CDCL until a model, a conflict budget exhaustion, or an
-// assumption failure. nConflicts bounds this restart's conflicts (<0: none).
+// search runs CDCL until a model, a restart or budget exhaustion, a
+// cancellation, or an assumption failure. nConflicts bounds this restart's
+// conflicts (<0: none). Budget/cancellation stops set s.stopReason, which
+// distinguishes them from an ordinary restart in Solve's outer loop.
 func (s *Solver) search(nConflicts int64) Status {
 	conflicts := int64(0)
 	for {
+		if r := s.stopCheck(); r != StopNone {
+			s.stopReason = r
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
@@ -255,10 +262,6 @@ func (s *Solver) search(nConflicts int64) Status {
 			s.cancelUntil(s.assumptionLevel())
 			return Unknown // restart
 		}
-		if s.opts.MaxConflicts > 0 && s.Stats.Conflicts >= s.opts.MaxConflicts {
-			s.cancelUntil(0)
-			return Unknown
-		}
 		if !s.opts.DisableLearning && float64(len(s.learnts)) >= s.maxLearnts {
 			s.reduceDB()
 		}
@@ -298,11 +301,21 @@ func (s *Solver) assumptionLevel() int32 { return 0 }
 // Solve determines satisfiability of the clause set under the given
 // assumption literals. On Sat, Model/Value expose the assignment; on Unsat,
 // Core exposes the failed assumptions. Solve may be called repeatedly,
-// interleaved with AddClause and NewVar.
+// interleaved with AddClause and NewVar. An Unknown return means a budget
+// or cancellation stopped the search (see SolveCtx and StopReason); plain
+// Solve can return Unknown only via the legacy Options.MaxConflicts cap.
 func (s *Solver) Solve(assumps ...Lit) Status {
+	s.stopReason = StopNone
 	if s.unsatLevel0 {
 		s.conflict = s.conflict[:0]
 		return Unsat
+	}
+	// Pre-flight: an already-expired deadline or cancelled context must not
+	// start (and potentially finish) a search whose verdict the caller has
+	// declared itself unwilling to wait for.
+	if r := s.stopNow(); r != StopNone {
+		s.stopReason = r
+		return Unknown
 	}
 	s.cancelUntil(0)
 	if confl := s.propagate(); confl != nil {
@@ -337,9 +350,8 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			s.cancelUntil(0)
 			return Unsat
 		}
-		if s.opts.MaxConflicts > 0 && s.Stats.Conflicts >= s.opts.MaxConflicts {
-			s.cancelUntil(0)
-			return Unknown
+		if s.stopReason != StopNone {
+			return Unknown // budget or cancellation, not a restart
 		}
 		s.Stats.Restarts++
 		restart++

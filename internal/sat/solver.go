@@ -1,5 +1,10 @@
 package sat
 
+import (
+	"context"
+	"time"
+)
+
 // Status is the outcome of a Solve call.
 type Status int
 
@@ -37,8 +42,10 @@ type Options struct {
 	DisablePhaseSaving bool
 	// DisableRestarts switches Luby restarts off.
 	DisableRestarts bool
-	// MaxConflicts, when positive, bounds the total number of conflicts per
-	// Solve call; exceeding it yields Unknown.
+	// MaxConflicts, when positive, bounds the cumulative conflict count
+	// across the solver's lifetime; exceeding it makes Solve return Unknown
+	// with StopReason() == StopConflicts. Prefer the per-call
+	// Budget.MaxConflicts of SolveCtx for new code.
 	MaxConflicts int64
 }
 
@@ -79,6 +86,14 @@ type Solver struct {
 	conflict    []Lit // failed assumptions (negated), valid after Unsat
 
 	assumptions []Lit
+
+	// Cancellation/budget state, set per SolveCtx call (see budget.go).
+	ctx         context.Context
+	deadline    time.Time
+	conflictCap int64 // absolute Stats.Conflicts threshold; 0: none
+	propCap     int64 // absolute Stats.Propagations threshold; 0: none
+	pollTick    uint32
+	stopReason  StopReason
 
 	// Stats accumulates counters across Solve calls.
 	Stats Stats

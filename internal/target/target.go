@@ -19,7 +19,64 @@
 // clauses).
 package target
 
-import "muppet/internal/sat"
+import (
+	"context"
+
+	"muppet/internal/sat"
+)
+
+// StopReason explains why a Minimize run stopped before proving its
+// result optimal. StopNone means the run completed: either optimality was
+// proved or the hard clauses are unsatisfiable.
+type StopReason int
+
+const (
+	// StopNone: the run completed normally.
+	StopNone StopReason = iota
+	// StopCancelled: Options.Context was cancelled.
+	StopCancelled
+	// StopDeadline: Options.Budget's wall-clock deadline passed.
+	StopDeadline
+	// StopConflicts: the run's conflict budget was exhausted.
+	StopConflicts
+	// StopPropagations: the run's propagation budget was exhausted.
+	StopPropagations
+	// StopMaxSolves: Options.MaxSolves probes were issued.
+	StopMaxSolves
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline exceeded"
+	case StopConflicts:
+		return "conflict budget exhausted"
+	case StopPropagations:
+		return "propagation budget exhausted"
+	case StopMaxSolves:
+		return "solve budget exhausted"
+	default:
+		return "none"
+	}
+}
+
+// FromSat converts a solver-level stop reason.
+func FromSat(r sat.StopReason) StopReason {
+	switch r {
+	case sat.StopCancelled:
+		return StopCancelled
+	case sat.StopDeadline:
+		return StopDeadline
+	case sat.StopConflicts:
+		return StopConflicts
+	case sat.StopPropagations:
+		return StopPropagations
+	default:
+		return StopNone
+	}
+}
 
 // Strategy selects the distance-bound search schedule.
 type Strategy int
@@ -89,6 +146,13 @@ type Options struct {
 	// On exhaustion Minimize degrades gracefully: it returns the best
 	// model found so far with Optimal == false instead of hanging.
 	MaxSolves int
+	// Context, when non-nil, cancels the run between and during probes.
+	Context context.Context
+	// Budget bounds the whole run's solver work (the conflict and
+	// propagation caps are shared across probes, not per probe). On
+	// exhaustion Minimize degrades like MaxSolves: best model so far,
+	// Optimal == false, the cause recorded in Stats.Stop.
+	Budget sat.Budget
 	// OnStep, when non-nil, observes every solver probe as it happens.
 	OnStep func(Step)
 }
@@ -107,6 +171,11 @@ type Stats struct {
 	Solves    int   // SAT probes issued
 	Conflicts int64 // solver conflicts attributable to this run
 	Bounds    []int // bound trajectory, one entry per probe (-1 first)
+	// Stop records why the run gave up before proving optimality
+	// (StopNone when it ran to completion). When Result.Status is Sat and
+	// Stop is not StopNone, Result.Model is the best model found before
+	// the interruption and Result.Optimal is false.
+	Stop StopReason
 }
 
 // Result is the outcome of a Minimize run.
@@ -121,7 +190,8 @@ type Result struct {
 	// targets (valid when Status == Sat).
 	Distance int
 	// Optimal reports whether Distance was proved globally minimal; it
-	// is false only when a budget stopped the search early.
+	// is false only when a budget or cancellation stopped the search
+	// early (the cause is in Stats.Stop).
 	Optimal bool
 	// Stats carries per-run search counters.
 	Stats Stats
@@ -143,9 +213,43 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 	}
 	r := Result{}
 	startConflicts := s.Stats.Conflicts
+	startProps := s.Stats.Propagations
+
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The budget's caps cover the whole run, so each probe receives what
+	// remains of them. remaining reports the exhausted cap, if any.
+	remaining := func() (sat.Budget, StopReason) {
+		b := sat.Budget{Deadline: opts.Budget.Deadline}
+		if opts.Budget.MaxConflicts > 0 {
+			left := opts.Budget.MaxConflicts - (s.Stats.Conflicts - startConflicts)
+			if left <= 0 {
+				return b, StopConflicts
+			}
+			b.MaxConflicts = left
+		}
+		if opts.Budget.MaxPropagations > 0 {
+			left := opts.Budget.MaxPropagations - (s.Stats.Propagations - startProps)
+			if left <= 0 {
+				return b, StopPropagations
+			}
+			b.MaxPropagations = left
+		}
+		return b, StopNone
+	}
 
 	probe := func(bound int, assumps ...sat.Lit) sat.Status {
-		status := s.Solve(assumps...)
+		b, stop := remaining()
+		if stop != StopNone {
+			r.Stats.Stop = stop
+			return sat.Unknown
+		}
+		status := s.SolveCtx(ctx, b, assumps...)
+		if status == sat.Unknown {
+			r.Stats.Stop = FromSat(s.StopReason())
+		}
 		r.Stats.Solves++
 		r.Stats.Bounds = append(r.Stats.Bounds, bound)
 		step := Step{Solve: r.Stats.Solves, Bound: bound, Status: status}
@@ -158,7 +262,11 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 		return status
 	}
 	budgetLeft := func() bool {
-		return opts.MaxSolves <= 0 || r.Stats.Solves < opts.MaxSolves
+		if opts.MaxSolves > 0 && r.Stats.Solves >= opts.MaxSolves {
+			r.Stats.Stop = StopMaxSolves
+			return false
+		}
+		return true
 	}
 	finish := func() Result {
 		r.Stats.Conflicts = s.Stats.Conflicts - startConflicts
@@ -222,7 +330,9 @@ func linearDescent(s *sat.Solver, soft []sat.Lit, tot *totalizer, r *Result,
 			// The solver's retained model is the last SAT one == r.Model.
 			return
 		default:
-			return // solver budget exhausted mid-descent
+			// Interrupted mid-descent (Stats.Stop says why): degrade to
+			// the best model found so far, Optimal stays false.
+			return
 		}
 	}
 	r.Optimal = true

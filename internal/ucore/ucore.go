@@ -12,6 +12,8 @@
 package ucore
 
 import (
+	"context"
+
 	"muppet/internal/sat"
 )
 
@@ -31,13 +33,25 @@ type Named struct {
 // solver's hard clauses are unsatisfiable on their own, it returns an empty
 // non-nil slice.
 func Find(s *sat.Solver, named []Named) []Named {
+	return FindCtx(context.Background(), sat.Budget{}, s, named)
+}
+
+// FindCtx is Find under a cancellation context and a work budget. The
+// budget's caps apply to each individual solver call; the deadline is a
+// shared wall-clock cutoff. Degradation is conservative and never
+// fabricates blame: if the initial solve cannot re-establish
+// unsatisfiability within budget, FindCtx returns nil (check the solver's
+// StopReason to distinguish "satisfiable" from "gave up"); if a deletion
+// trial comes back Unknown, the element under test is kept, so the result
+// is a valid — possibly non-minimal — core.
+func FindCtx(ctx context.Context, b sat.Budget, s *sat.Solver, named []Named) []Named {
 	all := make([]sat.Lit, len(named))
 	byLit := make(map[sat.Lit][]Named, len(named))
 	for i, n := range named {
 		all[i] = n.Lit
 		byLit[n.Lit] = append(byLit[n.Lit], n)
 	}
-	if s.Solve(all...) != sat.Unsat {
+	if s.SolveCtx(ctx, b, all...) != sat.Unsat {
 		return nil
 	}
 	core := s.Core()
@@ -58,7 +72,7 @@ func Find(s *sat.Solver, named []Named) []Named {
 		trial := make([]sat.Lit, 0, len(kept)-1)
 		trial = append(trial, kept[:i]...)
 		trial = append(trial, kept[i+1:]...)
-		if s.Solve(trial...) == sat.Unsat {
+		if s.SolveCtx(ctx, b, trial...) == sat.Unsat {
 			if reported := s.Core(); len(reported) < len(trial) {
 				kept = reported
 				i = -1 // reordered; rescan (set strictly shrank)

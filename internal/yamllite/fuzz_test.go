@@ -1,0 +1,55 @@
+package yamllite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to both entry points of the subset
+// parser. Malformed input must come back as an error value — the CLI
+// front end treats a parser panic as an internal bug, so none may exist.
+func FuzzParse(f *testing.F) {
+	for _, name := range []string{"mesh.yaml", "k8s_current.yaml", "istio_current.yaml"} {
+		data, err := os.ReadFile(filepath.Join("../../testdata/fig1", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("a:\n  - b: 1\n    c: [x, y]\n---\nd: \"e\"\n"))
+	f.Add([]byte(":\n\t-\n"))
+	f.Add([]byte("- - -\n  : :\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := Parse(data); err == nil {
+			walk(t, v, 0)
+		}
+		if docs, err := Documents(data); err == nil {
+			for _, d := range docs {
+				walk(t, d, 0)
+			}
+		}
+	})
+}
+
+// walk traverses a parsed Value, checking it is built only from the
+// documented shapes (scalars, sequences, mappings) and is finite.
+func walk(t *testing.T, v Value, depth int) {
+	if depth > 10_000 {
+		t.Fatal("parsed value impossibly deep — cyclic structure?")
+	}
+	switch x := v.(type) {
+	case nil:
+	case string, int64, bool:
+	case []Value:
+		for _, e := range x {
+			walk(t, e, depth+1)
+		}
+	case map[string]Value:
+		for _, e := range x {
+			walk(t, e, depth+1)
+		}
+	default:
+		t.Fatalf("undocumented value shape %T", v)
+	}
+}

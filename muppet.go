@@ -39,6 +39,7 @@
 package muppet
 
 import (
+	"context"
 	"strings"
 
 	"muppet/internal/encode"
@@ -47,7 +48,9 @@ import (
 	"muppet/internal/mesh"
 	core "muppet/internal/muppet"
 	"muppet/internal/relational"
+	"muppet/internal/sat"
 	"muppet/internal/scenario"
+	"muppet/internal/target"
 )
 
 // Domain model (package mesh).
@@ -118,8 +121,39 @@ type (
 	NegotiationOutcome = core.NegotiationOutcome
 	// RoundReport records one negotiation turn.
 	RoundReport = core.RoundReport
+	// TerminalReason classifies how a negotiation run ended.
+	TerminalReason = core.TerminalReason
 	// Envelope is E_{A→B} (paper Fig. 5, Alg. 3).
 	Envelope = envelope.Envelope
+)
+
+// Budgets and degradation. Every workflow has a Ctx variant taking a
+// context and a Budget; when either interrupts the solver, results come
+// back Indeterminate (with a StopReason) instead of a fabricated verdict.
+type (
+	// Budget bounds solver work: wall-clock deadline, conflict cap,
+	// propagation cap. The zero value is unlimited.
+	Budget = sat.Budget
+	// StopReason explains why a solve stopped before reaching a verdict.
+	StopReason = target.StopReason
+)
+
+// StopReason values.
+const (
+	StopNone         = target.StopNone
+	StopCancelled    = target.StopCancelled
+	StopDeadline     = target.StopDeadline
+	StopConflicts    = target.StopConflicts
+	StopPropagations = target.StopPropagations
+	StopMaxSolves    = target.StopMaxSolves
+)
+
+// Negotiation terminal reasons.
+const (
+	ReasonReconciled      = core.ReasonReconciled
+	ReasonExhaustedRounds = core.ReasonExhaustedRounds
+	ReasonAllStuck        = core.ReasonAllStuck
+	ReasonIndeterminate   = core.ReasonIndeterminate
 )
 
 // Scenario generation for experiments.
@@ -206,16 +240,33 @@ func LocalConsistency(sys *System, subject *Party, others []*Party) *Result {
 	return core.LocalConsistency(sys, subject, others)
 }
 
+// LocalConsistencyCtx is LocalConsistency under a cancellation context and
+// a solver work budget.
+func LocalConsistencyCtx(ctx context.Context, sys *System, subject *Party, others []*Party, b Budget) *Result {
+	return core.LocalConsistencyCtx(ctx, sys, subject, others, b)
+}
+
 // Reconcile is Alg. 2: complete every party's offer so that the union of
 // configurations satisfies the union of goals.
 func Reconcile(sys *System, parties []*Party) *Result {
 	return core.Reconcile(sys, parties)
 }
 
+// ReconcileCtx is Reconcile under a cancellation context and a solver work
+// budget; on exhaustion the result is Indeterminate, never a bogus core.
+func ReconcileCtx(ctx context.Context, sys *System, parties []*Party, b Budget) *Result {
+	return core.ReconcileCtx(ctx, sys, parties, b)
+}
+
 // ComputeEnvelope is Alg. 3: the senders' goals, modulo their concrete
 // settings, expressed over the recipient's domain.
 func ComputeEnvelope(sys *System, recipient *Party, senders []*Party) *Envelope {
 	return core.ComputeEnvelope(sys, recipient, senders)
+}
+
+// ComputeEnvelopeCtx is ComputeEnvelope gated on a cancellation context.
+func ComputeEnvelopeCtx(ctx context.Context, sys *System, recipient *Party, senders []*Party) (*Envelope, error) {
+	return core.ComputeEnvelopeCtx(ctx, sys, recipient, senders)
 }
 
 // CheckCandidate is the first half of the Fig. 8 revision aid.
@@ -229,6 +280,13 @@ func MinimalEdit(sys *System, p *Party, constraints []relational.Formula, others
 	return core.MinimalEdit(sys, p, constraints, others...)
 }
 
+// MinimalEditCtx is MinimalEdit under a cancellation context and a solver
+// work budget; an interrupted search degrades to the best valid
+// completion found.
+func MinimalEditCtx(ctx context.Context, sys *System, p *Party, constraints []relational.Formula, b Budget, others ...*Party) *Result {
+	return core.MinimalEditCtx(ctx, sys, p, constraints, b, others...)
+}
+
 // GoalsCompatible compares a received envelope with the recipient's goals
 // (Sec. 3's second envelope use): can ANY recipient configuration satisfy
 // both? If not, the recipient's goals must change.
@@ -239,6 +297,12 @@ func GoalsCompatible(sys *System, recipient *Party, env *Envelope, senders ...*P
 // RunConformance drives the Fig. 7 conformance workflow.
 func RunConformance(sys *System, provider, tenant *Party) *ConformanceOutcome {
 	return core.RunConformance(sys, provider, tenant)
+}
+
+// RunConformanceCtx is RunConformance under a cancellation context and a
+// solver work budget shared by every solve of the workflow.
+func RunConformanceCtx(ctx context.Context, sys *System, provider, tenant *Party, b Budget) *ConformanceOutcome {
+	return core.RunConformanceCtx(ctx, sys, provider, tenant, b)
 }
 
 // NewNegotiation registers parties for the Fig. 9 negotiation workflow.
