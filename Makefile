@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: `make check`.
 GO ?= go
 
-.PHONY: check build vet test race fmt bench
+.PHONY: check build vet test race fmt bench bench-smoke
 
 check: fmt build vet test race
 
@@ -22,6 +22,14 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# bench regenerates the EXPERIMENTS.md measurements.
+# bench regenerates the EXPERIMENTS.md measurements and archives them as
+# BENCH_<date>.json (benchmark name, iterations, ns/op, allocs/op, and any
+# custom metrics). The text output still streams to the terminal.
+BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-smoke is the CI variant: one iteration per benchmark, just enough
+# to catch harness rot and emit a comparable JSON artifact.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

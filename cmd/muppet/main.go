@@ -7,13 +7,16 @@
 //	muppet conform    — the conformance workflow (Fig. 7)
 //	muppet negotiate  — the negotiation workflow (Fig. 9)
 //	muppet eval       — evaluate one flow under concrete configurations
+//	muppet bench      — serve repeated queries, optionally in parallel
 //
 // System structure and current configurations come from YAML files (K8s
 // Services and NetworkPolicies, Istio AuthorizationPolicies); goals come
 // from CSV tables (see package goals for the format).
 //
-// Solving commands accept -timeout and -max-conflicts budgets and honour
-// SIGINT/SIGTERM; an interrupted solve reports INDETERMINATE with the
+// Solving commands accept -timeout and -max-conflicts budgets, a
+// -portfolio width racing diversified solver configurations per solve, and
+// a -v flag printing session-reuse and portfolio worker statistics; they
+// honour SIGINT/SIGTERM; an interrupted solve reports INDETERMINATE with the
 // stop reason rather than a fabricated verdict. Exit codes are distinct:
 //
 //	0 — satisfiable / workflow succeeded
@@ -30,8 +33,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -112,6 +117,8 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return runNegotiate(ctx, args)
 	case "eval":
 		return runEval(ctx, args)
+	case "bench":
+		return runBench(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -132,6 +139,7 @@ commands:
   conform    run the conformance workflow (Fig. 7)
   negotiate  run the negotiation workflow (Fig. 9)
   eval       evaluate a single flow under the loaded configurations
+  bench      serve repeated queries from warm sessions, optionally parallel
 
 common flags:
   -files        comma-separated YAML files (Services, NetworkPolicies,
@@ -142,9 +150,16 @@ common flags:
   -istio-offer  fixed|soft|holes (default soft)
   -ports        comma-separated extra ports for the inventory
 
-check/envelope/reconcile/conform/negotiate also accept:
+check/envelope/reconcile/conform/negotiate/bench also accept:
   -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
   -max-conflicts  solver conflict budget (0 = none)
+  -portfolio      race N diversified solver configurations per solve (0/1 = off)
+  -v              print session-reuse and portfolio worker statistics
+
+bench also accepts:
+  -n         number of queries to serve (default 64)
+  -parallel  worker goroutines (0 = GOMAXPROCS; default 1)
+  -kind      query kind: consistency|envelope|reconcile|mixed
 
 reconcile/conform/negotiate also accept:
   -strategy     minimal-edit distance search: auto|linear|binary
@@ -173,10 +188,13 @@ func (in *inputs) register(fs *flag.FlagSet) {
 	fs.StringVar(&in.ports, "ports", "", "extra ports, comma-separated")
 }
 
-// limits gathers the solve-budget flags shared by the solving commands.
+// limits gathers the solve-budget and solver-configuration flags shared by
+// the solving commands.
 type limits struct {
 	timeout      time.Duration
 	maxConflicts int64
+	portfolio    int
+	verbose      bool
 }
 
 func (l *limits) register(fs *flag.FlagSet) {
@@ -184,12 +202,17 @@ func (l *limits) register(fs *flag.FlagSet) {
 		"wall-clock budget for the whole command (0 = none)")
 	fs.Int64Var(&l.maxConflicts, "max-conflicts", 0,
 		"solver conflict budget (0 = none)")
+	fs.IntVar(&l.portfolio, "portfolio", 0,
+		"race N diversified solver configurations per solve (0/1 = sequential)")
+	fs.BoolVar(&l.verbose, "v", false,
+		"print session-reuse and portfolio worker statistics")
 }
 
 // apply derives the solving context and budget. The deadline clock starts
 // here — before input loading — so -timeout bounds the whole command, not
 // just the solver. The returned cancel must be deferred.
 func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc, muppet.Budget) {
+	muppet.SetPortfolioWorkers(l.portfolio)
 	b := muppet.Budget{MaxConflicts: l.maxConflicts}
 	cancel := context.CancelFunc(func() {})
 	if l.timeout > 0 {
@@ -221,6 +244,27 @@ type session struct {
 	k8sState   *muppet.K8sPartyState
 	istioParty *muppet.Party
 	istioState *muppet.IstioPartyState
+
+	// Retained inputs, so bench workers can build their own parties over
+	// the shared (immutable) system.
+	bundle               *muppet.Bundle
+	kg                   []muppet.K8sGoal
+	ig                   []muppet.IstioGoal
+	k8sOffer, istioOffer muppet.Offer
+}
+
+// freshParties builds a new party pair over the session's system — the
+// per-worker mutable state of a concurrent serving loop.
+func (s *session) freshParties() (*muppet.Party, *muppet.Party, error) {
+	k8sParty, _, err := muppet.NewK8sParty(s.sys, s.bundle.K8s, s.k8sOffer, s.kg)
+	if err != nil {
+		return nil, nil, err
+	}
+	istioParty, _, err := muppet.NewIstioParty(s.sys, s.bundle.Istio, s.istioOffer, s.ig)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k8sParty, istioParty, nil
 }
 
 func (in *inputs) load() (*session, error) {
@@ -261,22 +305,36 @@ func (in *inputs) load() (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &session{sys: sys}
-	k8sOffer, err := parseOffer(in.k8sOffer)
-	if err != nil {
+	s := &session{sys: sys, bundle: bundle, kg: kg, ig: ig}
+	if s.k8sOffer, err = parseOffer(in.k8sOffer); err != nil {
 		return nil, err
 	}
-	istioOffer, err := parseOffer(in.istioOffer)
-	if err != nil {
+	if s.istioOffer, err = parseOffer(in.istioOffer); err != nil {
 		return nil, err
 	}
-	if s.k8sParty, s.k8sState, err = muppet.NewK8sParty(sys, bundle.K8s, k8sOffer, kg); err != nil {
+	if s.k8sParty, s.k8sState, err = muppet.NewK8sParty(sys, bundle.K8s, s.k8sOffer, kg); err != nil {
 		return nil, err
 	}
-	if s.istioParty, s.istioState, err = muppet.NewIstioParty(sys, bundle.Istio, istioOffer, ig); err != nil {
+	if s.istioParty, s.istioState, err = muppet.NewIstioParty(sys, bundle.Istio, s.istioOffer, ig); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// printReuse reports -v statistics: how much grounding the solve cache
+// avoided and, when a portfolio raced, what each worker did.
+func printReuse(st muppet.ReuseStats, workers []muppet.WorkerStats) {
+	t := st.Translation
+	fmt.Printf("// sessions: %d built, %d reused; translation cache: %d pointer hits, %d structural hits, %d misses\n",
+		st.Sessions, st.Reuses, t.PointerHits, t.StructHits, t.Misses)
+	for _, w := range workers {
+		mark := " "
+		if w.Winner {
+			mark = "*"
+		}
+		fmt.Printf("// %s worker %-12s %-7v conflicts=%d restarts=%d decisions=%d\n",
+			mark, w.Name, w.Status, w.Stats.Conflicts, w.Stats.Restarts, w.Stats.Decisions)
+	}
 }
 
 func parseOffer(s string) (muppet.Offer, error) {
@@ -355,7 +413,11 @@ func runCheck(ctx context.Context, args []string) error {
 	if subject == s.istioParty {
 		other = s.k8sParty
 	}
-	res := muppet.LocalConsistencyCtx(ctx, s.sys, subject, []*muppet.Party{other}, budget)
+	cache := muppet.NewSolveCache()
+	res := cache.LocalConsistencyCtx(ctx, s.sys, subject, []*muppet.Party{other}, budget)
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+	}
 	if res.Indeterminate {
 		return indeterminate(res.Stop)
 	}
@@ -432,7 +494,11 @@ func runReconcile(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	res := muppet.ReconcileCtx(ctx, s.sys, []*muppet.Party{s.k8sParty, s.istioParty}, budget)
+	cache := muppet.NewSolveCache()
+	res := cache.ReconcileCtx(ctx, s.sys, []*muppet.Party{s.k8sParty, s.istioParty}, budget)
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+	}
 	if res.Indeterminate {
 		return indeterminate(res.Stop)
 	}
@@ -481,7 +547,11 @@ func runConform(ctx context.Context, args []string) error {
 	if prov == s.istioParty {
 		tenant = s.k8sParty
 	}
-	out := muppet.RunConformanceCtx(ctx, s.sys, prov, tenant, budget)
+	cache := muppet.NewSolveCache()
+	out := cache.RunConformanceCtx(ctx, s.sys, prov, tenant, budget)
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+	}
 	if out.Indeterminate {
 		fmt.Printf("INDETERMINATE at %s (%s)\n", out.FailedStep, out.Stop)
 		return statusErr(exitIndeterminate)
@@ -524,11 +594,15 @@ func runNegotiate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	n := muppet.NewNegotiation(s.sys, s.k8sParty, s.istioParty)
+	cache := muppet.NewSolveCache()
+	n := muppet.NewNegotiation(s.sys, s.k8sParty, s.istioParty).UseCache(cache)
 	if *rounds > 0 {
 		n.MaxRounds = *rounds
 	}
 	out := n.RunCtx(ctx, budget)
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+	}
 	if out.InitialReconcile {
 		fmt.Println("initial offers reconciled immediately")
 	}
@@ -561,6 +635,102 @@ func runNegotiate(ctx context.Context, args []string) error {
 	fmt.Print(s.k8sParty.Describe())
 	fmt.Println("--- Istio configuration ---")
 	fmt.Print(s.istioParty.Describe())
+	return nil
+}
+
+// runBench serves -n independent queries across -parallel workers sharing
+// one System, each worker holding its own parties and SolveCache — the
+// concurrent-deployment smoke test (and the CLI face of muppet.FanOut).
+func runBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var in inputs
+	var lim limits
+	in.register(fs)
+	lim.register(fs)
+	n := fs.Int("n", 64, "number of queries to serve")
+	parallel := fs.Int("parallel", 1, "worker goroutines (0 = GOMAXPROCS)")
+	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed")
+	fs.Parse(args)
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
+	s, err := in.load()
+	if err != nil {
+		return err
+	}
+	kinds := []string{"consistency", "envelope", "reconcile"}
+	switch *kind {
+	case "mixed":
+	case "consistency", "envelope", "reconcile":
+		kinds = []string{*kind}
+	default:
+		return fmt.Errorf("bad -kind %q (want consistency|envelope|reconcile|mixed)", *kind)
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > *n {
+		workers = *n
+	}
+	caches := make([]*muppet.SolveCache, workers)
+	var served atomic.Int64
+	start := time.Now()
+	// Each FanOut task is one worker serving its share of the queries from
+	// its own warm sessions; only the System is shared.
+	err = muppet.FanOut(ctx, workers, workers, func(ctx context.Context, w int) error {
+		k8sParty, istioParty, err := s.freshParties()
+		if err != nil {
+			return err
+		}
+		cache := muppet.NewSolveCache()
+		caches[w] = cache
+		for q := w; q < *n; q += workers {
+			switch kinds[q%len(kinds)] {
+			case "consistency":
+				res := cache.LocalConsistencyCtx(ctx, s.sys, k8sParty, []*muppet.Party{istioParty}, budget)
+				if res.Indeterminate {
+					return fmt.Errorf("query %d indeterminate (%s)", q, res.Stop)
+				}
+			case "envelope":
+				if _, err := muppet.ComputeEnvelopeCtx(ctx, s.sys, istioParty, []*muppet.Party{k8sParty}); err != nil {
+					return err
+				}
+			case "reconcile":
+				res := cache.ReconcileCtx(ctx, s.sys, []*muppet.Party{k8sParty, istioParty}, budget)
+				if res.Indeterminate {
+					return fmt.Errorf("query %d indeterminate (%s)", q, res.Stop)
+				}
+			}
+			served.Add(1)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if lim.verbose {
+		var agg muppet.ReuseStats
+		for _, c := range caches {
+			if c == nil {
+				continue
+			}
+			st := c.Stats()
+			agg.Sessions += st.Sessions
+			agg.Reuses += st.Reuses
+			agg.Translation.PointerHits += st.Translation.PointerHits
+			agg.Translation.StructHits += st.Translation.StructHits
+			agg.Translation.Misses += st.Translation.Misses
+		}
+		printReuse(agg, nil)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Printf("INDETERMINATE: served %d/%d queries in %v\n", served.Load(), *n, elapsed.Round(time.Millisecond))
+			return statusErr(exitIndeterminate)
+		}
+		return err
+	}
+	qps := float64(served.Load()) / elapsed.Seconds()
+	fmt.Printf("served %d queries (%s) with %d workers in %v (%.1f queries/s)\n",
+		served.Load(), *kind, workers, elapsed.Round(time.Millisecond), qps)
 	return nil
 }
 

@@ -23,6 +23,14 @@ import (
 // System fixes the logical vocabulary for one mesh plus policy shells.
 // Policy shells (names and selectors) are structure; only rule contents
 // (which ports/services appear in allow/deny lists) are configurable.
+//
+// A System is immutable after NewSystem returns and therefore safe to
+// share across goroutines: every method (NewBounds, goal compilation,
+// SharedTupleSets, …) builds and returns fresh values, never memoizing
+// into the receiver. Concurrent query serving relies on this — one System
+// is shared by all workers, while Parties, Sessions, and SolveCaches stay
+// per-worker (see muppet.FanOut). The guarantee is exercised under the
+// race detector by TestConcurrentQueries in the muppet package.
 type System struct {
 	Mesh     *mesh.Mesh
 	Universe *relational.Universe

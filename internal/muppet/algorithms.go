@@ -62,10 +62,12 @@ type Result struct {
 	Feedback *Feedback
 }
 
-// run executes the shared solve → harden → minimize pipeline of the
-// completion workflows (Algs. 1–2, Fig. 8), degrading faithfully: an
-// Unknown from either phase yields an indeterminate result rather than a
-// fabricated unsat core or bogus edit blame.
+// run executes the shared solve → minimize pipeline of the completion
+// workflows (Algs. 1–2, Fig. 8), degrading faithfully: an Unknown from
+// either phase yields an indeterminate result rather than a fabricated
+// unsat core or bogus edit blame. One-shot workspaces harden their
+// assumptions into clauses before minimising; reusable ones keep them as
+// assumptions so the session stays incrementally reusable.
 func (ws *workspace) run(ctx context.Context, b sat.Budget) *Result {
 	switch ws.solve(ctx, b) {
 	case sat.Sat:
@@ -74,7 +76,9 @@ func (ws *workspace) run(ctx context.Context, b sat.Budget) *Result {
 	default:
 		return &Result{Feedback: &Feedback{Core: ws.core(ctx, b)}}
 	}
-	ws.harden()
+	if !ws.reusable {
+		ws.harden()
+	}
 	res := ws.minimize(ctx, b)
 	switch res.Status {
 	case sat.Sat:
@@ -102,11 +106,7 @@ func LocalConsistency(sys *encode.System, subject *Party, others []*Party) *Resu
 // LocalConsistencyCtx is LocalConsistency under a cancellation context and
 // a solver work budget; on exhaustion the result is Indeterminate.
 func LocalConsistencyCtx(ctx context.Context, sys *encode.System, subject *Party, others []*Party, b sat.Budget) *Result {
-	specs := []partySpec{{party: subject, enforceFixed: true, includeGoals: true}}
-	for _, o := range others {
-		specs = append(specs, partySpec{party: o})
-	}
-	return newWorkspace(sys, specs).run(ctx, b)
+	return (*SolveCache)(nil).LocalConsistencyCtx(ctx, sys, subject, others, b)
 }
 
 // Reconcile implements Alg. 2: complete every party's partial offer so
@@ -124,11 +124,7 @@ func Reconcile(sys *encode.System, parties []*Party) *Result {
 // ReconcileCtx is Reconcile under a cancellation context and a solver work
 // budget; on exhaustion the result is Indeterminate (never a bogus core).
 func ReconcileCtx(ctx context.Context, sys *encode.System, parties []*Party, b sat.Budget) *Result {
-	specs := make([]partySpec, len(parties))
-	for i, p := range parties {
-		specs[i] = partySpec{party: p, enforceFixed: true, includeGoals: true}
-	}
-	return newWorkspace(sys, specs).run(ctx, b)
+	return (*SolveCache)(nil).ReconcileCtx(ctx, sys, parties, b)
 }
 
 // ComputeEnvelope implements Alg. 3 for one recipient: the conjunction of
@@ -221,15 +217,7 @@ func MinimalEdit(sys *encode.System, p *Party, constraints []relational.Formula,
 // completion found (OK with Stop recorded); exhaustion before any model
 // yields an Indeterminate result.
 func MinimalEditCtx(ctx context.Context, sys *encode.System, p *Party, constraints []relational.Formula, b sat.Budget, others ...*Party) *Result {
-	specs := []partySpec{{party: p, enforceFixed: true, includeGoals: false}}
-	for _, o := range others {
-		specs = append(specs, partySpec{party: o, enforceFixed: true, includeGoals: false})
-	}
-	ws := newWorkspace(sys, specs)
-	for i, c := range constraints {
-		ws.addNamed(fmt.Sprintf("%s/constraint[%d]", p.Name, i), ws.ss.Lit(c))
-	}
-	return ws.run(ctx, b)
+	return (*SolveCache)(nil).MinimalEditCtx(ctx, sys, p, constraints, b, others...)
 }
 
 // GoalsCompatible implements the second envelope use of Sec. 3: comparing

@@ -1,0 +1,167 @@
+package muppet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"muppet/internal/encode"
+	"muppet/internal/relational"
+	"muppet/internal/sat"
+)
+
+// SolveCache keeps live solving sessions keyed by workspace shape (which
+// parties participate and in which role), so repeated workflow calls —
+// negotiation rounds, conformance retries, repeated consistency checks —
+// become incremental solves on a warm session instead of rebuilding
+// bounds, grounding, and CNF from scratch. Learnt clauses carry over;
+// they are implied by the problem clauses alone, so they stay sound when
+// offers change between calls (changed constraint groups get fresh
+// selectors, and stale selectors simply stop being assumed).
+//
+// A SolveCache is single-goroutine, like the sessions it owns: concurrent
+// query serving uses one cache per worker over a shared encode.System.
+// The nil *SolveCache is valid and means "no reuse": every call builds a
+// one-shot workspace, which is the behaviour of the package-level
+// workflow functions.
+type SolveCache struct {
+	entries  map[string]*workspace
+	sessions int64
+	reuses   int64
+}
+
+// NewSolveCache creates an empty cache.
+func NewSolveCache() *SolveCache {
+	return &SolveCache{entries: make(map[string]*workspace)}
+}
+
+// ReuseStats reports how much work a SolveCache avoided.
+type ReuseStats struct {
+	// Sessions is the number of distinct sessions built (cache misses).
+	Sessions int64
+	// Reuses is the number of calls served by a live session.
+	Reuses int64
+	// Translation aggregates the translation-cache counters across all
+	// live sessions.
+	Translation relational.CacheStats
+}
+
+// Stats reports the cache's effectiveness counters.
+func (c *SolveCache) Stats() ReuseStats {
+	if c == nil {
+		return ReuseStats{}
+	}
+	st := ReuseStats{Sessions: c.sessions, Reuses: c.reuses}
+	for _, ws := range c.entries {
+		t := ws.ss.CacheStats()
+		st.Translation.PointerHits += t.PointerHits
+		st.Translation.StructHits += t.StructHits
+		st.Translation.Misses += t.Misses
+	}
+	return st
+}
+
+// Workers returns the per-worker stats of the most recent portfolio solve
+// performed through this cache, nil when the last solve was sequential.
+func (c *SolveCache) Workers() []sat.WorkerStats {
+	if c == nil {
+		return nil
+	}
+	var latest []sat.WorkerStats
+	for _, ws := range c.entries {
+		if ws.lastWorkers != nil {
+			latest = ws.lastWorkers
+		}
+	}
+	return latest
+}
+
+// specsKey identifies a workspace shape: each participant's name, role,
+// and configuration domain (the relation identities bindFree binds), in
+// order. The key is deliberately shape-based rather than party-pointer
+// based: the session state a workspace reuses — bounds, grounding caches,
+// CNF, learnt clauses — depends only on the domain relations (bindFree's
+// bounds are configuration-independent), so a freshly built party with the
+// same name and domain can be served from the same live session. Its
+// goals and offers are per-call state, re-derived by reset; re-compiled
+// but structurally identical goal formulas hit the translator's
+// structural cache.
+func specsKey(specs []partySpec) string {
+	var b strings.Builder
+	for _, sp := range specs {
+		fmt.Fprintf(&b, "%s:%t:%t[", sp.party.Name, sp.enforceFixed, sp.includeGoals)
+		for _, r := range sp.party.Domain {
+			fmt.Fprintf(&b, "%p,", r)
+		}
+		b.WriteString("];")
+	}
+	return b.String()
+}
+
+// workspaceFor returns a workspace for the given shape: a reset live one
+// on a cache hit, a freshly built reusable one on a miss, and a one-shot
+// workspace when the receiver is nil.
+func (c *SolveCache) workspaceFor(sys *encode.System, specs []partySpec) *workspace {
+	if c == nil {
+		return newWorkspace(sys, specs)
+	}
+	key := specsKey(specs)
+	if ws, ok := c.entries[key]; ok && ws.sys == sys {
+		c.reuses++
+		// The hit may be for different party objects of the same shape:
+		// adopt the new specs before reset re-derives the per-call state.
+		ws.specs = specs
+		clear(ws.oms)
+		ws.reset()
+		return ws
+	}
+	ws := newWorkspace(sys, specs)
+	ws.reusable = true
+	c.entries[key] = ws
+	c.sessions++
+	return ws
+}
+
+// LocalConsistencyCtx is the Alg. 1 check on a cached session; see the
+// package-level LocalConsistencyCtx for semantics.
+func (c *SolveCache) LocalConsistencyCtx(ctx context.Context, sys *encode.System, subject *Party, others []*Party, b sat.Budget) *Result {
+	specs := []partySpec{{party: subject, enforceFixed: true, includeGoals: true}}
+	for _, o := range others {
+		specs = append(specs, partySpec{party: o})
+	}
+	return c.workspaceFor(sys, specs).run(ctx, b)
+}
+
+// ReconcileCtx is the Alg. 2 reconciliation on a cached session; see the
+// package-level ReconcileCtx for semantics.
+func (c *SolveCache) ReconcileCtx(ctx context.Context, sys *encode.System, parties []*Party, b sat.Budget) *Result {
+	specs := make([]partySpec, len(parties))
+	for i, p := range parties {
+		specs[i] = partySpec{party: p, enforceFixed: true, includeGoals: true}
+	}
+	return c.workspaceFor(sys, specs).run(ctx, b)
+}
+
+// MinimalEditCtx is the Fig. 8 revision on a cached session; see the
+// package-level MinimalEditCtx for semantics. Constraints recur across
+// rounds (re-computed envelopes, the party's goals); structurally
+// unchanged ones reuse their previously grounded circuit.
+func (c *SolveCache) MinimalEditCtx(ctx context.Context, sys *encode.System, p *Party, constraints []relational.Formula, b sat.Budget, others ...*Party) *Result {
+	specs := []partySpec{{party: p, enforceFixed: true, includeGoals: false}}
+	for _, o := range others {
+		specs = append(specs, partySpec{party: o, enforceFixed: true, includeGoals: false})
+	}
+	ws := c.workspaceFor(sys, specs)
+	for i, cf := range constraints {
+		ws.addNamed(fmt.Sprintf("%s/constraint[%d]", p.Name, i), ws.ss.Lit(cf))
+	}
+	return ws.run(ctx, b)
+}
+
+// RunConformanceCtx is the Fig. 7 workflow with every solving step served
+// from this cache, so conformance retries against evolving offers reuse
+// the live sessions; see the package-level RunConformanceCtx for
+// semantics.
+func (c *SolveCache) RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant *Party, b sat.Budget) *ConformanceOutcome {
+	return runConformanceCtx(ctx, c, sys, provider, tenant, b)
+}

@@ -51,6 +51,12 @@ func RunConformance(sys *encode.System, provider, tenant *Party) *ConformanceOut
 // expires mid-step marks the outcome Indeterminate with the failing step
 // named, instead of misreporting the step as a proven failure.
 func RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant *Party, b sat.Budget) *ConformanceOutcome {
+	return runConformanceCtx(ctx, nil, sys, provider, tenant, b)
+}
+
+// runConformanceCtx runs the Fig. 7 workflow with every solving step
+// served through c (one-shot workspaces when c is nil).
+func runConformanceCtx(ctx context.Context, c *SolveCache, sys *encode.System, provider, tenant *Party, b sat.Budget) *ConformanceOutcome {
 	out := &ConformanceOutcome{}
 
 	indeterminate := func(step string, stop target.StopReason) *ConformanceOutcome {
@@ -60,7 +66,7 @@ func RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant
 		return out
 	}
 
-	lc := LocalConsistencyCtx(ctx, sys, provider, []*Party{tenant}, b)
+	lc := c.LocalConsistencyCtx(ctx, sys, provider, []*Party{tenant}, b)
 	out.ProviderConsistent = lc.OK
 	if lc.Indeterminate {
 		return indeterminate("local-consistency", lc.Stop)
@@ -82,7 +88,7 @@ func RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant
 	out.CandidateOK = ok
 	if !ok {
 		constraints := append([]relational.Formula{out.Envelope.Formula()}, tenant.GoalFormulas()...)
-		revision := MinimalEditCtx(ctx, sys, tenant, constraints, b, provider)
+		revision := c.MinimalEditCtx(ctx, sys, tenant, constraints, b, provider)
 		if revision.Indeterminate {
 			return indeterminate("revision", revision.Stop)
 		}
@@ -95,7 +101,7 @@ func RunConformanceCtx(ctx context.Context, sys *encode.System, provider, tenant
 		tenant.adopt(revision.Instance)
 	}
 
-	rec := ReconcileCtx(ctx, sys, []*Party{provider, tenant}, b)
+	rec := c.ReconcileCtx(ctx, sys, []*Party{provider, tenant}, b)
 	if rec.Indeterminate {
 		return indeterminate("reconcile", rec.Stop)
 	}

@@ -22,6 +22,10 @@ type Negotiation struct {
 	sys     *encode.System
 	parties []*Party
 	turn    int
+	// cache keeps live solving sessions across rounds: the repeated
+	// reconciliations and each party's revision workspace become
+	// incremental solves instead of per-round rebuilds.
+	cache *SolveCache
 	// MaxRounds bounds the number of revision turns (default 2 cycles).
 	MaxRounds int
 }
@@ -104,7 +108,21 @@ type NegotiationOutcome struct {
 // NewNegotiation registers parties for negotiation. Order fixes the
 // round-robin cycle.
 func NewNegotiation(sys *encode.System, parties ...*Party) *Negotiation {
-	return &Negotiation{sys: sys, parties: parties, MaxRounds: 2 * len(parties)}
+	return &Negotiation{sys: sys, parties: parties, cache: NewSolveCache(), MaxRounds: 2 * len(parties)}
+}
+
+// CacheStats reports the session-reuse counters accumulated across this
+// negotiation's rounds.
+func (n *Negotiation) CacheStats() ReuseStats { return n.cache.Stats() }
+
+// UseCache serves this negotiation's solves from c instead of the
+// negotiation's own private cache. A long-lived mediator process passes
+// one shared cache to successive negotiations over the same system, so
+// even the first reconciliation of a new run lands on a warm session.
+// Returns n for chaining.
+func (n *Negotiation) UseCache(c *SolveCache) *Negotiation {
+	n.cache = c
+	return n
 }
 
 // others returns all parties except index i.
@@ -144,7 +162,7 @@ func (n *Negotiation) RunCtx(ctx context.Context, b sat.Budget) *NegotiationOutc
 	}
 
 	// Reconcile initial offers (top of Fig. 9).
-	rec := ReconcileCtx(ctx, n.sys, n.parties, b)
+	rec := n.cache.ReconcileCtx(ctx, n.sys, n.parties, b)
 	if rec.Indeterminate {
 		return indeterminate(nil, rec.Stop)
 	}
@@ -176,7 +194,7 @@ func (n *Negotiation) RunCtx(ctx context.Context, b sat.Budget) *NegotiationOutc
 			rep.ConformedAlready = true
 		} else {
 			constraints := append([]relational.Formula{rep.Envelope.Formula()}, p.GoalFormulas()...)
-			revision := MinimalEditCtx(ctx, n.sys, p, constraints, b, n.others(i)...)
+			revision := n.cache.MinimalEditCtx(ctx, n.sys, p, constraints, b, n.others(i)...)
 			if revision.Indeterminate {
 				return indeterminate(rep, revision.Stop)
 			}
@@ -198,7 +216,7 @@ func (n *Negotiation) RunCtx(ctx context.Context, b sat.Budget) *NegotiationOutc
 		}
 		stuckStreak = 0
 
-		rec := ReconcileCtx(ctx, n.sys, n.parties, b)
+		rec := n.cache.ReconcileCtx(ctx, n.sys, n.parties, b)
 		if rec.Indeterminate {
 			return indeterminate(rep, rec.Stop)
 		}

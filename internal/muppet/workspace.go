@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
 
 	"muppet/internal/encode"
 	"muppet/internal/relational"
@@ -23,11 +25,32 @@ type partySpec struct {
 // free, goals and fixed-knob groups attached to retractable selector
 // literals (so unsat cores can blame them), and soft-knob target literals
 // for minimal-edit search.
+//
+// A workspace can be reusable (owned by a SolveCache): its session then
+// survives across calls, and reset re-derives the per-call state — goal
+// literals hit the translator's caches, unchanged fixed-knob groups reuse
+// their memoised selectors, and only genuinely new constraints are ground.
+// The bounds from bindFree are configuration-independent (lower empty,
+// upper everything), which is what makes one persistent session per
+// workspace shape sound.
 type workspace struct {
 	sys   *encode.System
 	ss    *relational.Session
 	specs []partySpec
+	b     *relational.Bounds
 	oms   map[*Party]*encode.OfferMap
+
+	// reusable marks a cache-owned workspace: run must leave the clause
+	// set clean (assumption-based minimisation, no hardening).
+	reusable bool
+	// fixedSels memoises config-group selectors by group content, so a
+	// group unchanged since the last call reuses its selector and clauses.
+	fixedSels map[string]sat.Lit
+	// enc memoises totalizer encodings across minimize calls, keeping the
+	// clause set of a long-lived session flat instead of growing by one
+	// cardinality encoding per minimisation (allocated lazily, reusable
+	// workspaces only — one-shot workspaces are discarded after one run).
+	enc *target.EncoderCache
 
 	named    []ucore.Named // goal + config-group selectors
 	assumps  []sat.Lit
@@ -38,6 +61,10 @@ type workspace struct {
 	// solve, so core() can still name blame when the minimisation pass
 	// itself runs out of budget.
 	rawCore []sat.Lit
+
+	// lastWorkers records per-worker stats of the most recent portfolio
+	// solve, for observability.
+	lastWorkers []sat.WorkerStats
 }
 
 type softRef struct {
@@ -47,13 +74,37 @@ type softRef struct {
 
 func newWorkspace(sys *encode.System, specs []partySpec) *workspace {
 	b := sys.NewBounds()
-	ws := &workspace{sys: sys, specs: specs, oms: make(map[*Party]*encode.OfferMap)}
-	for _, sp := range specs {
-		ws.oms[sp.party] = sp.party.bindFree(b)
+	ws := &workspace{
+		sys:       sys,
+		specs:     specs,
+		b:         b,
+		oms:       make(map[*Party]*encode.OfferMap),
+		fixedSels: make(map[string]sat.Lit),
 	}
+	// Bind every party's relations before the session is built: the
+	// translator allocates its relation variables eagerly at construction.
+	ws.bindOffers()
 	ws.ss = relational.NewSession(b)
+	ws.populate()
+	return ws
+}
 
-	for _, sp := range specs {
+// bindOffers (re-)binds each party's free bounds and captures the offer
+// maps reflecting the party's current configuration. The bounds content is
+// configuration-independent (lower empty, upper everything), so re-binding
+// on a live session is an idempotent no-op on the solver side; only the
+// returned offer maps change.
+func (ws *workspace) bindOffers() {
+	for _, sp := range ws.specs {
+		ws.oms[sp.party] = sp.party.bindFree(ws.b)
+	}
+}
+
+// populate derives the per-call state from the parties' current offers and
+// goals. On a fresh workspace everything grounds for the first time; on a
+// reused one the translator and selector memos make it incremental.
+func (ws *workspace) populate() {
+	for _, sp := range ws.specs {
 		if sp.includeGoals {
 			for _, g := range sp.party.Goals {
 				lit := ws.ss.Lit(g.Formula)
@@ -76,7 +127,21 @@ func newWorkspace(sys *encode.System, specs []partySpec) *workspace {
 			ws.softInfo = append(ws.softInfo, softRef{party: sp.party, info: ki})
 		}
 	}
-	return ws
+}
+
+// reset clears the per-call state and re-derives it from the parties'
+// current offers, leaving the live session (circuit, CNF, learnt clauses)
+// in place. Selectors of groups whose content changed simply stop being
+// assumed; their guarded clauses go inert.
+func (ws *workspace) reset() {
+	ws.named = ws.named[:0]
+	ws.assumps = ws.assumps[:0]
+	ws.softLits = ws.softLits[:0]
+	ws.softInfo = ws.softInfo[:0]
+	ws.rawCore = nil
+	ws.lastWorkers = nil
+	ws.bindOffers()
+	ws.populate()
 }
 
 // enforceFixed groups a party's fixed knobs by (policy, field) and guards
@@ -106,7 +171,7 @@ func (ws *workspace) enforceFixed(p *Party, om *encode.OfferMap) {
 		return order[i].field < order[j].field
 	})
 	for _, k := range order {
-		sel := sat.PosLit(ws.ss.Solver().NewVar())
+		var lits []sat.Lit
 		for _, ki := range groups[k] {
 			lit, ok := ws.ss.TupleLit(ki.Rel, ki.Tuple)
 			if !ok {
@@ -115,7 +180,24 @@ func (ws *workspace) enforceFixed(p *Party, om *encode.OfferMap) {
 			if !ki.Desired {
 				lit = lit.Not()
 			}
-			ws.ss.Solver().AddClause(sel.Not(), lit)
+			lits = append(lits, lit)
+		}
+		// Memoise the selector by the group's exact content: a group
+		// unchanged since a previous call (same knobs, same desired
+		// values) reuses its selector and guarded clauses verbatim.
+		var kb strings.Builder
+		fmt.Fprintf(&kb, "%s/%s.%s:", p.Name, k.policy, k.field)
+		for _, l := range lits {
+			fmt.Fprintf(&kb, "%d;", l)
+		}
+		key := kb.String()
+		sel, seen := ws.fixedSels[key]
+		if !seen {
+			sel = sat.PosLit(ws.ss.Solver().NewVar())
+			for _, l := range lits {
+				ws.ss.Solver().AddClause(sel.Not(), l)
+			}
+			ws.fixedSels[key] = sel
 		}
 		ws.addNamed(fmt.Sprintf("%s/config[%s.%s]", p.Name, k.policy, k.field), sel)
 	}
@@ -126,12 +208,37 @@ func (ws *workspace) addNamed(name string, lit sat.Lit) {
 	ws.assumps = append(ws.assumps, lit)
 }
 
+// portfolioWorkers is the package-wide portfolio width for workflow
+// solves: 0 or 1 solves sequentially, n > 1 races n diversified solver
+// configurations (wired to the muppet CLI's -portfolio flag, like the
+// target package's default strategy). Atomic so concurrent workflow
+// queries may read it while a test or the CLI configures it.
+var portfolioWorkers atomic.Int32
+
+// SetPortfolioWorkers sets the portfolio width for all workflow solves
+// and returns the previous value. Width n ≤ 1 means sequential solving.
+func SetPortfolioWorkers(n int) int {
+	return int(portfolioWorkers.Swap(int32(n)))
+}
+
+// PortfolioWorkers reports the current portfolio width.
+func PortfolioWorkers() int { return int(portfolioWorkers.Load()) }
+
 // solve checks satisfiability under all named assumptions, within the
 // given budget. Unknown means the budget or context stopped the solver:
 // neither a model nor a core exists, and callers must not fabricate
-// either (see stop for the reason).
+// either (see stop for the reason). With a portfolio width configured,
+// the initial verdict is raced across diversified solver clones; the
+// verdict is identical to a sequential solve's either way.
 func (ws *workspace) solve(ctx context.Context, b sat.Budget) sat.Status {
-	st := ws.ss.SolveCtx(ctx, b, ws.assumps...)
+	var st sat.Status
+	if n := PortfolioWorkers(); n > 1 {
+		pr := ws.ss.SolvePortfolio(ctx, b, sat.DefaultPortfolio(n), ws.assumps...)
+		st = pr.Status
+		ws.lastWorkers = pr.Workers
+	} else {
+		st = ws.ss.SolveCtx(ctx, b, ws.assumps...)
+	}
 	if st == sat.Unsat {
 		ws.rawCore = ws.ss.Solver().Core()
 	}
@@ -159,13 +266,23 @@ func (ws *workspace) assertHard(fs ...relational.Formula) {
 	}
 }
 
-// minimize finds the model closest to the soft-knob preferences. Call
-// after harden (or when there are no assumptions). On budget exhaustion
-// mid-search it degrades to the best model found (Result.Optimal false,
-// Stats.Stop set).
+// minimize finds the model closest to the soft-knob preferences. On a
+// one-shot workspace, call after harden; on a reusable one the named
+// assumptions are threaded into every probe and the distance bounds are
+// retractable, so the session's clause set stays clean for later calls.
+// On budget exhaustion mid-search it degrades to the best model found
+// (Result.Optimal false, Stats.Stop set).
 func (ws *workspace) minimize(ctx context.Context, b sat.Budget) target.Result {
-	return target.Minimize(ws.ss.Solver(), ws.softLits,
-		target.Options{Context: ctx, Budget: b})
+	opts := target.Options{Context: ctx, Budget: b}
+	if ws.reusable {
+		opts.Assumptions = ws.assumps
+		opts.Retractable = true
+		if ws.enc == nil {
+			ws.enc = target.NewEncoderCache()
+		}
+		opts.Encoder = ws.enc
+	}
+	return target.Minimize(ws.ss.Solver(), ws.softLits, opts)
 }
 
 // edits reports which soft preferences the current solver model overrides.

@@ -66,7 +66,32 @@ type Translator struct {
 	freeF     map[Formula]map[*Var]bool
 	exprCache map[exprKey]*matrix
 	formCache map[formKey]boolcirc.Ref
+
+	// Structural cache: top-level formulas that are rebuilt each round
+	// (envelope rewrites, recompiled constraints) have fresh node pointers
+	// but identical shape. Keying on a structural hash — relations and
+	// free variables by identity, bound variables by de-Bruijn position —
+	// lets them reuse the previously grounded circuit edge.
+	relIDs      map[*Relation]int
+	structCache map[string]boolcirc.Ref
+	stats       CacheStats
 }
+
+// CacheStats counts translation-cache outcomes for top-level Formula calls.
+type CacheStats struct {
+	// PointerHits: same formula node grounded before (identity cache).
+	PointerHits int64
+	// StructHits: structurally identical formula grounded before.
+	StructHits int64
+	// Misses: full translations performed.
+	Misses int64
+}
+
+// Hits returns the total number of cache hits.
+func (c CacheStats) Hits() int64 { return c.PointerHits + c.StructHits }
+
+// Cache reports the translator's cache counters.
+func (tr *Translator) Cache() CacheStats { return tr.stats }
 
 type exprKey struct {
 	e   Expr
@@ -92,6 +117,9 @@ func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 		freeF:     make(map[Formula]map[*Var]bool),
 		exprCache: make(map[exprKey]*matrix),
 		formCache: make(map[formKey]boolcirc.Ref),
+
+		relIDs:      make(map[*Relation]int),
+		structCache: make(map[string]boolcirc.Ref),
 	}
 	for _, r := range b.Relations() {
 		m := newMatrix(r.arity)
@@ -145,9 +173,170 @@ func (e env) extend(v *Var, atom int) env {
 }
 
 // Formula grounds f into a circuit edge that is true exactly in the models
-// of f within the translator's bounds.
+// of f within the translator's bounds. Repeated calls are cheap: the same
+// node grounds once (identity cache), and a structurally identical formula
+// built from fresh nodes reuses the prior circuit edge (structural cache).
 func (tr *Translator) Formula(f Formula) boolcirc.Ref {
-	return tr.formula(f, env{})
+	// Successful top-level calls are closed formulas (an unbound variable
+	// panics during translation), so the empty env key identifies them.
+	if r, hit := tr.formCache[formKey{f: f, env: ""}]; hit {
+		tr.stats.PointerHits++
+		return r
+	}
+	key := tr.structKey(f)
+	if r, hit := tr.structCache[key]; hit {
+		tr.stats.StructHits++
+		tr.formCache[formKey{f: f, env: ""}] = r
+		return r
+	}
+	tr.stats.Misses++
+	r := tr.formula(f, env{})
+	tr.structCache[key] = r
+	return r
+}
+
+// structKey serialises a formula's shape: relations and free variables by
+// translator-scoped identity, bound variables by binding position, constant
+// tuple sets by content. Two formulas with equal keys ground to the same
+// circuit edge under this translator's bounds.
+func (tr *Translator) structKey(f Formula) string {
+	h := hasher{tr: tr, bound: make(map[*Var]int)}
+	h.formula(f)
+	return h.b.String()
+}
+
+type hasher struct {
+	tr    *Translator
+	bound map[*Var]int // bound variable → de-Bruijn-style binding index
+	next  int
+	b     strings.Builder
+}
+
+func (h *hasher) relID(r *Relation) int {
+	if id, ok := h.tr.relIDs[r]; ok {
+		return id
+	}
+	id := len(h.tr.relIDs)
+	h.tr.relIDs[r] = id
+	return id
+}
+
+// bind registers decl variables for a scope and returns an undo closure
+// (a *Var may be re-bound by a sibling scope; names are not trusted).
+func (h *hasher) bind(decls []Decl) func() {
+	type saved struct {
+		v   *Var
+		idx int
+		had bool
+	}
+	prev := make([]saved, len(decls))
+	for i, d := range decls {
+		idx, had := h.bound[d.v]
+		prev[i] = saved{d.v, idx, had}
+		h.bound[d.v] = h.next
+		h.next++
+	}
+	return func() {
+		for _, p := range prev {
+			if p.had {
+				h.bound[p.v] = p.idx
+			} else {
+				delete(h.bound, p.v)
+			}
+		}
+	}
+}
+
+func (h *hasher) formula(f Formula) {
+	switch g := f.(type) {
+	case *ConstFormula:
+		fmt.Fprintf(&h.b, "c%v;", g.val)
+	case *CompFormula:
+		fmt.Fprintf(&h.b, "p%d(", g.op)
+		h.expr(g.l)
+		h.b.WriteByte(',')
+		h.expr(g.r)
+		h.b.WriteByte(')')
+	case *MultFormula:
+		fmt.Fprintf(&h.b, "m%d(", g.mult)
+		h.expr(g.e)
+		h.b.WriteByte(')')
+	case *NotFormula:
+		h.b.WriteString("!(")
+		h.formula(g.f)
+		h.b.WriteByte(')')
+	case *NaryFormula:
+		fmt.Fprintf(&h.b, "n%d(", g.op)
+		for _, sub := range g.fs {
+			h.formula(sub)
+			h.b.WriteByte(',')
+		}
+		h.b.WriteByte(')')
+	case *QuantFormula:
+		if g.forall {
+			h.b.WriteString("qa")
+		} else {
+			h.b.WriteString("qe")
+		}
+		undo := h.bind(g.decls)
+		for _, d := range g.decls {
+			h.b.WriteByte('[')
+			h.expr(d.domain)
+			h.b.WriteByte(']')
+		}
+		h.b.WriteByte('(')
+		h.formula(g.body)
+		h.b.WriteByte(')')
+		undo()
+	default:
+		panic(fmt.Sprintf("relational: unknown formula %T", f))
+	}
+}
+
+func (h *hasher) expr(ex Expr) {
+	switch g := ex.(type) {
+	case *Relation:
+		fmt.Fprintf(&h.b, "r%d;", h.relID(g))
+	case *Var:
+		if idx, ok := h.bound[g]; ok {
+			fmt.Fprintf(&h.b, "v%d;", idx)
+		} else {
+			// Free variable: identity-keyed, so distinct free variables
+			// never alias even if their display names collide.
+			fmt.Fprintf(&h.b, "V%d;", h.tr.varID(g))
+		}
+	case *ConstExpr:
+		fmt.Fprintf(&h.b, "k%d{", g.ts.arity)
+		for _, t := range g.ts.Tuples() {
+			h.b.WriteString(t.key())
+			h.b.WriteByte(';')
+		}
+		h.b.WriteByte('}')
+	case *BinExpr:
+		fmt.Fprintf(&h.b, "b%d(", g.op)
+		h.expr(g.l)
+		h.b.WriteByte(',')
+		h.expr(g.r)
+		h.b.WriteByte(')')
+	case *TransposeExpr:
+		h.b.WriteString("~(")
+		h.expr(g.e)
+		h.b.WriteByte(')')
+	case *ComprehensionExpr:
+		h.b.WriteByte('{')
+		undo := h.bind(g.decls)
+		for _, d := range g.decls {
+			h.b.WriteByte('[')
+			h.expr(d.domain)
+			h.b.WriteByte(']')
+		}
+		h.b.WriteByte('|')
+		h.formula(g.body)
+		h.b.WriteByte('}')
+		undo()
+	default:
+		panic(fmt.Sprintf("relational: unknown expression %T", ex))
+	}
 }
 
 // varID assigns stable identifiers to quantified variables for cache keys.

@@ -1,0 +1,215 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// newSolverFromCNF loads clauses over nVars fresh variables.
+func newSolverFromCNF(nVars int, clauses [][]Lit) *Solver {
+	s := New()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		if !s.AddClause(c...) {
+			return s
+		}
+	}
+	return s
+}
+
+// TestPortfolioAgreesWithSequential races the default portfolio on random
+// CNFs and checks the verdict matches a sequential solve of the same
+// problem: the portfolio is a performance feature, never a semantic one.
+func TestPortfolioAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		nVars := 4 + rng.Intn(10)
+		clauses := randomCNF(rng, nVars, 3+rng.Intn(5*nVars), 3)
+
+		seq := newSolverFromCNF(nVars, clauses)
+		want := seq.Solve()
+
+		par := newSolverFromCNF(nVars, clauses)
+		pr := par.SolvePortfolio(context.Background(), Budget{}, DefaultPortfolio(4))
+		if pr.Status != want {
+			t.Fatalf("case %d: portfolio %v, sequential %v", i, pr.Status, want)
+		}
+		switch pr.Status {
+		case Sat:
+			// The installed model must satisfy every clause.
+			model := par.Model()
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if model[l.Var()] != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("case %d: winner model violates clause %v", i, c)
+				}
+			}
+			if pr.Winner < 0 || !pr.Workers[pr.Winner].Winner {
+				t.Fatalf("case %d: sat without attributed winner: %+v", i, pr)
+			}
+		case Unsat:
+			if pr.Winner < 0 {
+				t.Fatalf("case %d: unsat without attributed winner", i)
+			}
+		}
+	}
+}
+
+// TestPortfolioAssumptionCore checks that an Unsat portfolio verdict under
+// assumptions installs a failed-assumption core drawn from the assumptions
+// (Core returns literals in assumption polarity).
+func TestPortfolioAssumptionCore(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(NegLit(b), PosLit(c))
+	assumps := []Lit{PosLit(a), NegLit(c)}
+	pr := s.SolvePortfolio(context.Background(), Budget{}, DefaultPortfolio(3), assumps...)
+	if pr.Status != Unsat {
+		t.Fatalf("got %v, want Unsat", pr.Status)
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		t.Fatal("no failed-assumption core installed")
+	}
+	allowed := map[Lit]bool{}
+	for _, l := range assumps {
+		allowed[l] = true
+	}
+	for _, l := range core {
+		if !allowed[l] {
+			t.Fatalf("core literal %v is not one of the assumptions", l)
+		}
+	}
+}
+
+// TestPortfolioSingleConfigIsSequential checks the 1-config fast path
+// solves on the receiver itself.
+func TestPortfolioSingleConfigIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	clauses := randomCNF(rng, 8, 30, 3)
+	s := newSolverFromCNF(8, clauses)
+	want := newSolverFromCNF(8, clauses).Solve()
+	pr := s.SolvePortfolio(context.Background(), Budget{}, DefaultPortfolio(1))
+	if pr.Status != want {
+		t.Fatalf("got %v, want %v", pr.Status, want)
+	}
+	if len(pr.Workers) != 1 {
+		t.Fatalf("expected 1 worker, got %d", len(pr.Workers))
+	}
+}
+
+// TestPortfolioCancellation checks a cancelled context stops every worker
+// and leaks no goroutines.
+func TestPortfolioCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A hard random instance keeps workers busy long enough to observe
+	// the cancellation (pigeonhole-like: big random 3-CNF).
+	rng := rand.New(rand.NewSource(99))
+	clauses := randomCNF(rng, 120, 560, 3)
+	s := newSolverFromCNF(120, clauses)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every worker must stop promptly
+	pr := s.SolvePortfolio(ctx, Budget{}, DefaultPortfolio(4))
+	if pr.Status == Unknown && s.StopReason() != StopCancelled {
+		t.Fatalf("cancelled portfolio: stop reason %v", s.StopReason())
+	}
+
+	// SolvePortfolio joins its workers before returning, so any surviving
+	// goroutine is a leak. Allow the runtime a moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestPortfolioBudget checks a conflict budget propagates to the workers:
+// a hard instance under a tiny budget comes back Unknown.
+func TestPortfolioBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	clauses := randomCNF(rng, 150, 700, 3)
+	s := newSolverFromCNF(150, clauses)
+	pr := s.SolvePortfolio(context.Background(), Budget{MaxConflicts: 1}, DefaultPortfolio(3))
+	if pr.Status != Unknown {
+		t.Skipf("instance too easy for the budget test: %v", pr.Status)
+	}
+	for _, w := range pr.Workers {
+		if w.Status == Unknown && w.Stop == StopNone {
+			t.Fatalf("worker %s stopped without a reason", w.Name)
+		}
+	}
+}
+
+// TestDiversifiedOptionsStayCorrect solves random CNFs under every
+// diversification axis directly, against brute force.
+func TestDiversifiedOptionsStayCorrect(t *testing.T) {
+	optsList := []Options{
+		{RestartBase: 32},
+		{RestartBase: 512},
+		{PhaseSeed: 0xdeadbeef},
+		{LearntCap: 10},
+		{PhaseSeed: 42, LearntCap: 50, RestartBase: 64},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for ci, opts := range optsList {
+		for i := 0; i < 25; i++ {
+			nVars := 3 + rng.Intn(7)
+			clauses := randomCNF(rng, nVars, 2+rng.Intn(4*nVars), 3)
+			want := bruteForce(nVars, clauses)
+			s := NewWithOptions(opts)
+			for v := 0; v < nVars; v++ {
+				s.NewVar()
+			}
+			ok := true
+			for _, c := range clauses {
+				if !s.AddClause(c...) {
+					ok = false
+					break
+				}
+			}
+			st := Unsat
+			if ok {
+				st = s.Solve()
+			}
+			if (st == Sat) != want {
+				t.Fatalf("opts %d case %d: got %v, brute force says sat=%v", ci, i, st, want)
+			}
+		}
+	}
+}
+
+// TestCloneWithOptionsReplaysProblem checks a clone sees the same problem:
+// identical verdicts, and clone-side solving never disturbs the original.
+func TestCloneWithOptionsReplaysProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		nVars := 4 + rng.Intn(8)
+		clauses := randomCNF(rng, nVars, 3+rng.Intn(4*nVars), 3)
+		orig := newSolverFromCNF(nVars, clauses)
+		want := orig.Solve() // also populates level-0 trail / learnt state
+		clone := orig.CloneWithOptions(Options{PhaseSeed: 7})
+		if got := clone.Solve(); got != want {
+			t.Fatalf("case %d: clone %v, original %v", i, got, want)
+		}
+		if got := orig.Solve(); got != want {
+			t.Fatalf("case %d: original changed verdict after clone solve: %v vs %v", i, got, want)
+		}
+	}
+}

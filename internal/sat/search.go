@@ -330,12 +330,15 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	if s.maxLearnts < 1000 {
 		s.maxLearnts = 1000
 	}
+	if s.opts.LearntCap > 0 {
+		s.maxLearnts = float64(s.opts.LearntCap)
+	}
 
 	var restart int64 = 1
 	for {
 		budget := int64(-1)
 		if !s.opts.DisableRestarts {
-			budget = luby(100, restart)
+			budget = luby(s.opts.restartBase(), restart)
 		}
 		st := s.search(budget)
 		switch st {
@@ -355,7 +358,9 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		}
 		s.Stats.Restarts++
 		restart++
-		s.maxLearnts *= s.learntGrowth
+		if s.opts.LearntCap <= 0 {
+			s.maxLearnts *= s.learntGrowth
+		}
 	}
 }
 

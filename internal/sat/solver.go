@@ -47,6 +47,37 @@ type Options struct {
 	// with StopReason() == StopConflicts. Prefer the per-call
 	// Budget.MaxConflicts of SolveCtx for new code.
 	MaxConflicts int64
+	// RestartBase, when positive, replaces the default Luby restart unit
+	// (100 conflicts). Small values restart aggressively, large values let
+	// each search run long — the main diversification axis for portfolios.
+	RestartBase int64
+	// PhaseSeed, when non-zero, seeds deterministic per-variable jitter:
+	// initial decision polarity and a tiny initial activity perturbation
+	// that reorders ties in the decision heap. Two solvers over the same
+	// clauses with different seeds explore different parts of the space.
+	PhaseSeed uint64
+	// LearntCap, when positive, pins the learnt-clause database limit to a
+	// fixed size instead of the default third-of-problem-clauses with
+	// geometric growth. Small caps keep the solver lean (frequent
+	// reduceDB), another portfolio diversification axis.
+	LearntCap int
+}
+
+// restartBase returns the Luby restart unit in conflicts.
+func (o Options) restartBase() int64 {
+	if o.RestartBase > 0 {
+		return o.RestartBase
+	}
+	return 100
+}
+
+// splitmix64 is the SplitMix64 mixing function — a cheap, deterministic
+// uint64→uint64 hash used for seeded polarity/activity jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Solver is an incremental CDCL SAT solver. Create one with New, introduce
@@ -134,11 +165,20 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NewVar introduces a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
+	phase := true // default phase: false branch first
+	activity := 0.0
+	if s.opts.PhaseSeed != 0 {
+		h := splitmix64(s.opts.PhaseSeed + uint64(v))
+		phase = h&1 == 0
+		// Sub-1e-3 jitter: far below any bumped activity, so it only
+		// breaks ties among never-bumped variables.
+		activity = float64(h>>40) * (1.0 / (1 << 34))
+	}
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
-	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default phase: false branch first
+	s.activity = append(s.activity, activity)
+	s.polarity = append(s.polarity, phase)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
 	if s.opts.NaivePropagation {

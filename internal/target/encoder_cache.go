@@ -1,0 +1,80 @@
+package target
+
+import (
+	"strconv"
+	"strings"
+
+	"muppet/internal/sat"
+)
+
+// EncoderCache memoises totalizer encodings per mismatch-literal set so
+// that repeated Minimize calls on one long-lived solver session share a
+// single cardinality encoding instead of emitting a fresh one each time.
+// The cache is sound because the totalizer clauses are one-directional
+// definitions over fresh variables — satisfiable under any assignment of
+// their inputs — so a cached encoder never constrains a run it was not
+// built for, provided every distance cap is assumption-based (retractable
+// probing); Minimize enforces that condition before consulting the cache.
+//
+// Encoders are truncated at the requesting run's initial distance, like
+// the uncached path: a full-width encoder would cost O(n²) clauses and —
+// far worse — force every UNSAT bound proof to reason over the whole
+// counter tree instead of a d-truncated one, which at sweep scale turns a
+// seconds-long minimisation into minutes. A later run whose initial
+// distance exceeds the cached truncation rebuilds at the larger bound;
+// the orphaned encoder's clauses stay behind as inert definitions, a
+// bounded cost since bounds grow at most log-many times to the soft-set
+// size and steady-state workloads re-ask the same-shaped question.
+//
+// Keys are the exact mismatch-literal sequence, so soft sets that differ
+// in content, order, or polarity get separate encoders; a workflow
+// session sees only a handful of distinct soft sets (one per offer
+// configuration), keeping the cache small.
+//
+// An EncoderCache is tied to one solver session: its cached output
+// variables are meaningless on any other solver. It is not safe for
+// concurrent use, matching the sessions it serves.
+type EncoderCache struct {
+	encs  map[string]*cachedEncoder
+	hits  int
+	built int
+}
+
+type cachedEncoder struct {
+	tot   *totalizer
+	bound int
+}
+
+// NewEncoderCache returns an empty cache for one solver session.
+func NewEncoderCache() *EncoderCache {
+	return &EncoderCache{encs: make(map[string]*cachedEncoder)}
+}
+
+// Hits reports how many Minimize runs reused a cached encoding.
+func (c *EncoderCache) Hits() int { return c.hits }
+
+// Built reports how many encodings the cache has emitted (rebuilds at a
+// larger truncation count separately).
+func (c *EncoderCache) Built() int { return c.built }
+
+// get returns an encoder covering bounds below the given initial
+// distance, reusing the memoised one when its truncation suffices.
+func (c *EncoderCache) get(s *sat.Solver, mism []sat.Lit, bound int) *totalizer {
+	if bound > len(mism) {
+		bound = len(mism)
+	}
+	var kb strings.Builder
+	for _, l := range mism {
+		kb.WriteString(strconv.Itoa(int(l)))
+		kb.WriteByte(';')
+	}
+	key := kb.String()
+	if e, ok := c.encs[key]; ok && e.bound >= bound {
+		c.hits++
+		return e.tot
+	}
+	t := newTotalizer(s, mism, bound)
+	c.encs[key] = &cachedEncoder{tot: t, bound: bound}
+	c.built++
+	return t
+}

@@ -153,6 +153,27 @@ type Options struct {
 	// exhaustion Minimize degrades like MaxSolves: best model so far,
 	// Optimal == false, the cause recorded in Stats.Stop.
 	Budget sat.Budget
+	// Assumptions are threaded into every solver probe, so Minimize can
+	// run against a retractable constraint set (selector-guarded groups)
+	// instead of requiring the caller to harden it into clauses first.
+	Assumptions []sat.Lit
+	// Retractable makes linear descent cap the distance with assumption
+	// literals instead of permanently asserted unit clauses, leaving the
+	// clause set reusable for later solves on the same session. The
+	// totalizer clauses themselves are still added permanently — they are
+	// one-directional definitions, satisfiable under any assignment of the
+	// inputs, so they never constrain later runs. Binary search is
+	// retractable by construction.
+	Retractable bool
+	// Encoder, when non-nil, memoises the totalizer encoding across
+	// Minimize calls on the same solver. Without it every call emits a
+	// fresh O(n·d) cardinality encoding permanently into the session, so
+	// a long-lived reused session accumulates dead clauses linearly in
+	// the number of minimisations — the cache keeps the clause set flat.
+	// Requires retractable probing (Retractable or StrategyBinary): a
+	// permanently asserted cap would poison the cached encoder for every
+	// later run.
+	Encoder *EncoderCache
 	// OnStep, when non-nil, observes every solver probe as it happens.
 	OnStep func(Step)
 }
@@ -246,7 +267,13 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 			r.Stats.Stop = stop
 			return sat.Unknown
 		}
-		status := s.SolveCtx(ctx, b, assumps...)
+		all := assumps
+		if len(opts.Assumptions) > 0 {
+			all = make([]sat.Lit, 0, len(opts.Assumptions)+len(assumps))
+			all = append(all, opts.Assumptions...)
+			all = append(all, assumps...)
+		}
+		status := s.SolveCtx(ctx, b, all...)
 		if status == sat.Unknown {
 			r.Stats.Stop = FromSat(s.StopReason())
 		}
@@ -296,32 +323,48 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 	for i, l := range soft {
 		mism[i] = l.Not()
 	}
-	tot := newTotalizer(s, mism, r.Distance)
+	var tot *totalizer
+	if opts.Encoder != nil && (opts.Retractable || st == StrategyBinary) {
+		tot = opts.Encoder.get(s, mism, r.Distance)
+	} else {
+		tot = newTotalizer(s, mism, r.Distance)
+	}
 
 	switch st {
 	case StrategyBinary:
 		binarySearch(s, soft, tot, &r, probe, budgetLeft)
 	default:
-		linearDescent(s, soft, tot, &r, probe, budgetLeft)
+		linearDescent(s, soft, tot, &r, probe, budgetLeft, opts.Retractable)
 	}
 	return finish()
 }
 
-// linearDescent repeatedly asserts "distance ≤ current − 1" permanently
-// and re-solves; UNSAT proves the current distance minimal.
+// linearDescent repeatedly caps "distance ≤ current − 1" and re-solves;
+// UNSAT proves the current distance minimal. The cap is a permanently
+// asserted unit clause by default (learnt clauses compound across probes),
+// or an assumption literal in retractable mode (the session stays clean).
 func linearDescent(s *sat.Solver, soft []sat.Lit, tot *totalizer, r *Result,
-	probe func(int, ...sat.Lit) sat.Status, budgetLeft func() bool) {
+	probe func(int, ...sat.Lit) sat.Status, budgetLeft func() bool, retractable bool) {
 	for r.Distance > 0 {
 		if !budgetLeft() {
 			return // best-so-far, Optimal stays false
 		}
-		if !tot.assertAtMost(s, r.Distance-1) {
+		var caps []sat.Lit
+		if retractable {
+			capLit, ok := tot.atMostLit(r.Distance - 1)
+			if !ok {
+				// Beyond the truncated range; cannot happen since the
+				// encoder covers [0, firstDistance), but fail safe.
+				return
+			}
+			caps = []sat.Lit{capLit}
+		} else if !tot.assertAtMost(s, r.Distance-1) {
 			// Level-0 conflict while asserting the bound: nothing below
 			// the current distance exists.
 			r.Optimal = true
 			return
 		}
-		switch probe(r.Distance - 1) {
+		switch probe(r.Distance-1, caps...) {
 		case sat.Sat:
 			r.Model = s.Model()
 			r.Distance = distance(r.Model, soft)

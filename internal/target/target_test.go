@@ -351,3 +351,45 @@ func benchmarkMinimize(b *testing.B, st Strategy) {
 
 func BenchmarkMinimizeLinear(b *testing.B) { benchmarkMinimize(b, StrategyLinear) }
 func BenchmarkMinimizeBinary(b *testing.B) { benchmarkMinimize(b, StrategyBinary) }
+
+// TestMinimizeEncoderCache proves the cache changes nothing semantically
+// (same optimal distance as brute force, run after run) while keeping the
+// session's variable and clause counts flat across repeated minimisations
+// — the property long-lived reused sessions depend on.
+func TestMinimizeEncoderCache(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in := randomInstance(rand.New(rand.NewSource(seed)))
+		want, feasible := in.bruteForce()
+		if !feasible {
+			continue
+		}
+		s := in.solver()
+		cache := NewEncoderCache()
+		opts := Options{Retractable: true, Encoder: cache}
+		var vars, clauses int
+		for run := 0; run < 4; run++ {
+			res := Minimize(s, in.soft, opts)
+			if res.Status != sat.Sat || !res.Optimal {
+				t.Fatalf("seed %d run %d: status %v optimal %v", seed, run, res.Status, res.Optimal)
+			}
+			if res.Distance != want {
+				t.Fatalf("seed %d run %d: distance %d, brute force %d", seed, run, res.Distance, want)
+			}
+			checkModel(t, in, res)
+			if run == 0 {
+				vars, clauses = s.NumVars(), s.NumClauses()
+				continue
+			}
+			if s.NumVars() != vars || s.NumClauses() != clauses {
+				t.Fatalf("seed %d run %d: session grew (%d→%d vars, %d→%d clauses) despite encoder cache",
+					seed, run, vars, s.NumVars(), clauses, s.NumClauses())
+			}
+		}
+		if want > 0 && cache.Built() != 1 {
+			t.Fatalf("seed %d: built %d encoders, want 1", seed, cache.Built())
+		}
+		if want > 0 && cache.Hits() != 3 {
+			t.Fatalf("seed %d: %d cache hits, want 3", seed, cache.Hits())
+		}
+	}
+}

@@ -148,6 +148,44 @@ const (
 	StopMaxSolves    = target.StopMaxSolves
 )
 
+// Incremental reuse and parallel solving. A SolveCache keeps live solving
+// sessions across workflow calls (negotiation rounds, conformance retries,
+// repeated checks), turning them into incremental solves; the portfolio
+// width races diversified solver configurations inside each solve. Both
+// are performance features only: verdicts, models' validity, and blame
+// cores are identical with or without them.
+type (
+	// SolveCache serves the workflow queries from live, reusable solving
+	// sessions. Single-goroutine; use one per worker (see FanOut).
+	SolveCache = core.SolveCache
+	// ReuseStats counts sessions built vs. reused and translation-cache
+	// hits across a SolveCache.
+	ReuseStats = core.ReuseStats
+	// TranslationStats counts formula-translation cache hits and misses.
+	TranslationStats = relational.CacheStats
+	// WorkerStats reports one portfolio worker's outcome and search stats.
+	WorkerStats = sat.WorkerStats
+)
+
+// NewSolveCache creates an empty solving-session cache.
+func NewSolveCache() *SolveCache { return core.NewSolveCache() }
+
+// SetPortfolioWorkers sets the package-wide portfolio width for workflow
+// solves and returns the previous value: n > 1 races n diversified solver
+// configurations per solve, n ≤ 1 solves sequentially. Safe to call
+// concurrently with running queries.
+func SetPortfolioWorkers(n int) int { return core.SetPortfolioWorkers(n) }
+
+// PortfolioWorkers reports the current portfolio width.
+func PortfolioWorkers() int { return core.PortfolioWorkers() }
+
+// FanOut serves n independent workflow queries across a bounded goroutine
+// pool sharing one (immutable) System; each task owns its parties and any
+// SolveCache. The first error cancels the rest.
+func FanOut(ctx context.Context, workers, n int, task func(ctx context.Context, i int) error) error {
+	return core.FanOut(ctx, workers, n, task)
+}
+
 // Negotiation terminal reasons.
 const (
 	ReasonReconciled      = core.ReasonReconciled
