@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: `make check`.
 GO ?= go
 
-.PHONY: check build vet test race fmt bench bench-smoke
+.PHONY: check build vet test race fmt bench bench-smoke smoke
 
 check: fmt build vet test race
 
@@ -33,3 +33,8 @@ bench:
 # to catch harness rot and emit a comparable JSON artifact.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# smoke boots a real muppetd over the Fig. 1 testdata, probes /healthz,
+# runs one check, and asserts a clean SIGTERM drain.
+smoke:
+	GO="$(GO)" ./scripts/daemon_smoke.sh

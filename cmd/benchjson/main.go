@@ -28,22 +28,28 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Report is the archived document.
+// Report is the archived document. Go version, GOMAXPROCS, and CPU
+// count pin the machine shape, so bench trajectories stay comparable
+// across hosts.
 type Report struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPU       string   `json:"cpu,omitempty"`
-	Results   []Result `json:"results"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	CPU        string   `json:"cpu,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
 	rep := Report{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"muppet/internal/server"
+)
+
+// clientExecute routes one mediation request through a running muppetd
+// at addr and prints its verdict, which is byte-identical to the local
+// one (both render through server.Exec). Budgets travel as headers; the
+// solver-configuration flags are daemon-startup knobs, so using them
+// together with -addr is an error rather than a silent no-op.
+func clientExecute(ctx context.Context, addr string, lim *limits, strategy string, req server.Request) error {
+	if lim.portfolio != 0 {
+		return fmt.Errorf("-portfolio is a daemon-side setting; start muppetd with it instead of combining it with -addr")
+	}
+	if strategy != "" && strategy != "auto" {
+		return fmt.Errorf("-strategy is a daemon-side setting; start muppetd with it instead of combining it with -addr")
+	}
+	if lim.verbose {
+		return fmt.Errorf("-v statistics live on the daemon; scrape its /metrics endpoint instead of combining -v with -addr")
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(base, "/")+"/v1/"+req.Op, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if lim.timeout > 0 {
+		hr.Header.Set(server.HeaderTimeout, lim.timeout.String())
+	}
+	if lim.maxConflicts > 0 {
+		hr.Header.Set(server.HeaderMaxConflicts, strconv.FormatInt(lim.maxConflicts, 10))
+	}
+	// The transport deadline must outlast the solve budget; with no budget
+	// the request waits as long as the daemon does.
+	client := &http.Client{}
+	if lim.timeout > 0 {
+		client.Timeout = lim.timeout + 30*time.Second
+	}
+	res, err := client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	switch res.StatusCode {
+	case http.StatusOK:
+		var out server.Response
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			return fmt.Errorf("bad daemon response: %v", err)
+		}
+		fmt.Print(out.Output)
+		if out.Code != exitSat {
+			return statusErr(out.Code)
+		}
+		return nil
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("daemon overloaded (retry after %ss)", res.Header.Get("Retry-After"))
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("daemon is draining")
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4096))
+		err := fmt.Errorf("daemon: %s: %s", res.Status, strings.TrimSpace(string(msg)))
+		if res.StatusCode == http.StatusBadRequest {
+			return fmt.Errorf("%w: %v", server.ErrUsage, err)
+		}
+		return err
+	}
+}

@@ -8,16 +8,20 @@
 //	muppet negotiate  — the negotiation workflow (Fig. 9)
 //	muppet eval       — evaluate one flow under concrete configurations
 //	muppet bench      — serve repeated queries, optionally in parallel
+//	muppet version    — report the build's version and VCS revision
 //
 // System structure and current configurations come from YAML files (K8s
 // Services and NetworkPolicies, Istio AuthorizationPolicies); goals come
 // from CSV tables (see package goals for the format).
 //
-// Solving commands accept -timeout and -max-conflicts budgets, a
-// -portfolio width racing diversified solver configurations per solve, and
-// a -v flag printing session-reuse and portfolio worker statistics; they
-// honour SIGINT/SIGTERM; an interrupted solve reports INDETERMINATE with the
-// stop reason rather than a fabricated verdict. Exit codes are distinct:
+// The workflow commands solve locally by default; with -addr they route
+// the same request through a running muppetd daemon instead, and print
+// its (byte-identical) verdict. Solving commands accept -timeout and
+// -max-conflicts budgets, a -portfolio width racing diversified solver
+// configurations per solve, and a -v flag printing session-reuse and
+// portfolio worker statistics; they honour SIGINT/SIGTERM; an interrupted
+// solve reports INDETERMINATE with the stop reason rather than a
+// fabricated verdict. Exit codes are distinct:
 //
 //	0 — satisfiable / workflow succeeded
 //	1 — unsatisfiable / workflow failed with blame
@@ -41,18 +45,20 @@ import (
 	"time"
 
 	"muppet"
+	"muppet/internal/buildinfo"
+	"muppet/internal/server"
 	"muppet/internal/target"
 )
 
-// Exit codes. Distinct values for sat/unsat/indeterminate let scripted
-// callers (and the paper's Fig. 7/9 driver loops) branch on the verdict
-// without scraping output.
+// Exit codes, shared with the daemon's verdict codes so scripted callers
+// (and the paper's Fig. 7/9 driver loops) branch identically against
+// either front end.
 const (
-	exitSat           = 0
-	exitUnsat         = 1
-	exitUsage         = 2
-	exitIndeterminate = 3
-	exitInternal      = 4
+	exitSat           = server.CodeSat
+	exitUnsat         = server.CodeUnsat
+	exitUsage         = server.CodeUsage
+	exitIndeterminate = server.CodeIndeterminate
+	exitInternal      = server.CodeInternal
 )
 
 // statusErr carries an exit code through the command's error return when
@@ -95,6 +101,9 @@ func runCtx(ctx context.Context, argv []string) (code int) {
 			return int(se)
 		}
 		fmt.Fprintln(os.Stderr, "muppet:", err)
+		if errors.Is(err, server.ErrUsage) {
+			return exitUsage
+		}
 		return exitInternal
 	}
 	return exitSat
@@ -119,6 +128,9 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return runEval(ctx, args)
 	case "bench":
 		return runBench(ctx, args)
+	case "version":
+		fmt.Println("muppet", buildinfo.Version())
+		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -140,6 +152,7 @@ commands:
   negotiate  run the negotiation workflow (Fig. 9)
   eval       evaluate a single flow under the loaded configurations
   bench      serve repeated queries from warm sessions, optionally parallel
+  version    report the build's version and VCS revision
 
 common flags:
   -files        comma-separated YAML files (Services, NetworkPolicies,
@@ -149,6 +162,11 @@ common flags:
   -k8s-offer    fixed|soft|holes (default fixed)
   -istio-offer  fixed|soft|holes (default soft)
   -ports        comma-separated extra ports for the inventory
+
+check/envelope/reconcile/conform/negotiate also accept:
+  -addr           route the request through a running muppetd at host:port
+                  instead of solving locally (budgets travel as headers;
+                  -portfolio/-strategy/-v are daemon-side and rejected)
 
 check/envelope/reconcile/conform/negotiate/bench also accept:
   -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
@@ -169,24 +187,22 @@ exit codes: 0 sat/success, 1 unsat/failure, 2 usage,
 `)
 }
 
-// inputs gathers the flags shared by all workflow commands.
+// inputs gathers the flags shared by all workflow commands; it is the
+// CLI face of server.Config.
 type inputs struct {
-	files      string
-	k8sGoals   string
-	istioGoals string
-	k8sOffer   string
-	istioOffer string
-	ports      string
+	cfg server.Config
 }
 
 func (in *inputs) register(fs *flag.FlagSet) {
-	fs.StringVar(&in.files, "files", "", "comma-separated YAML files")
-	fs.StringVar(&in.k8sGoals, "k8s-goals", "", "K8s goals CSV")
-	fs.StringVar(&in.istioGoals, "istio-goals", "", "Istio goals CSV")
-	fs.StringVar(&in.k8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
-	fs.StringVar(&in.istioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
-	fs.StringVar(&in.ports, "ports", "", "extra ports, comma-separated")
+	fs.StringVar(&in.cfg.Files, "files", "", "comma-separated YAML files")
+	fs.StringVar(&in.cfg.K8sGoals, "k8s-goals", "", "K8s goals CSV")
+	fs.StringVar(&in.cfg.IstioGoals, "istio-goals", "", "Istio goals CSV")
+	fs.StringVar(&in.cfg.K8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
+	fs.StringVar(&in.cfg.IstioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
+	fs.StringVar(&in.cfg.Ports, "ports", "", "extra ports, comma-separated")
 }
+
+func (in *inputs) load() (*server.State, error) { return server.Load(in.cfg) }
 
 // limits gathers the solve-budget and solver-configuration flags shared by
 // the solving commands.
@@ -222,103 +238,45 @@ func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc
 	return ctx, cancel, b
 }
 
-// indeterminate prints the stop reason and converts it into the
-// indeterminate exit code.
-func indeterminate(stop target.StopReason) error {
-	fmt.Printf("INDETERMINATE (%s)\n", stop)
-	return statusErr(exitIndeterminate)
+// registerAddr adds the daemon-routing flag shared by the workflow
+// commands.
+func registerAddr(fs *flag.FlagSet) *string {
+	return fs.String("addr", "",
+		"route the request through a running muppetd at host:port instead of solving locally")
 }
 
-// warnDegraded notes an interrupted minimal-edit search on an otherwise
-// successful result: the completion is valid, its edits possibly
-// non-minimal.
-func warnDegraded(stop target.StopReason) {
-	if stop != muppet.StopNone {
-		fmt.Printf("  (edit search interrupted: %s; edits may be non-minimal)\n", stop)
+// execute runs one mediation request: locally through server.Exec (the
+// same renderer the daemon uses, so both modes produce byte-identical
+// verdicts), or against a running daemon when addr is set. strategy is ""
+// for commands without a -strategy flag.
+func execute(ctx context.Context, in *inputs, lim *limits, strategy, addr string, req server.Request) error {
+	if addr != "" {
+		return clientExecute(ctx, addr, lim, strategy, req)
 	}
-}
-
-type session struct {
-	sys        *muppet.System
-	k8sParty   *muppet.Party
-	k8sState   *muppet.K8sPartyState
-	istioParty *muppet.Party
-	istioState *muppet.IstioPartyState
-
-	// Retained inputs, so bench workers can build their own parties over
-	// the shared (immutable) system.
-	bundle               *muppet.Bundle
-	kg                   []muppet.K8sGoal
-	ig                   []muppet.IstioGoal
-	k8sOffer, istioOffer muppet.Offer
-}
-
-// freshParties builds a new party pair over the session's system — the
-// per-worker mutable state of a concurrent serving loop.
-func (s *session) freshParties() (*muppet.Party, *muppet.Party, error) {
-	k8sParty, _, err := muppet.NewK8sParty(s.sys, s.bundle.K8s, s.k8sOffer, s.kg)
-	if err != nil {
-		return nil, nil, err
-	}
-	istioParty, _, err := muppet.NewIstioParty(s.sys, s.bundle.Istio, s.istioOffer, s.ig)
-	if err != nil {
-		return nil, nil, err
-	}
-	return k8sParty, istioParty, nil
-}
-
-func (in *inputs) load() (*session, error) {
-	if in.files == "" {
-		return nil, fmt.Errorf("-files is required")
-	}
-	bundle, err := muppet.LoadFiles(strings.Split(in.files, ",")...)
-	if err != nil {
-		return nil, err
-	}
-	var kg []muppet.K8sGoal
-	if in.k8sGoals != "" {
-		if kg, err = muppet.LoadK8sGoals(in.k8sGoals); err != nil {
-			return nil, err
+	if strategy != "" {
+		if err := applyStrategy(strategy); err != nil {
+			return err
 		}
 	}
-	var ig []muppet.IstioGoal
-	if in.istioGoals != "" {
-		if ig, err = muppet.LoadIstioGoals(in.istioGoals); err != nil {
-			return nil, err
-		}
-	}
-	extra, err := parsePorts(in.ports)
+	ctx, cancel, budget := lim.apply(ctx)
+	defer cancel()
+	st, err := in.load()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for _, g := range kg {
-		extra = append(extra, g.Port)
-	}
-	for _, g := range ig {
-		for _, t := range []muppet.PortTerm{g.SrcPort, g.DstPort} {
-			if t.Kind == muppet.PortLit {
-				extra = append(extra, t.Port)
-			}
-		}
-	}
-	sys, err := muppet.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies, extra)
+	cache := muppet.NewSolveCache()
+	resp, err := server.Exec(ctx, st, cache, req, budget)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s := &session{sys: sys, bundle: bundle, kg: kg, ig: ig}
-	if s.k8sOffer, err = parseOffer(in.k8sOffer); err != nil {
-		return nil, err
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
 	}
-	if s.istioOffer, err = parseOffer(in.istioOffer); err != nil {
-		return nil, err
+	fmt.Print(resp.Output)
+	if resp.Code != exitSat {
+		return statusErr(resp.Code)
 	}
-	if s.k8sParty, s.k8sState, err = muppet.NewK8sParty(sys, bundle.K8s, s.k8sOffer, kg); err != nil {
-		return nil, err
-	}
-	if s.istioParty, s.istioState, err = muppet.NewIstioParty(sys, bundle.Istio, s.istioOffer, ig); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return nil
 }
 
 // printReuse reports -v statistics: how much grounding the solve cache
@@ -335,18 +293,6 @@ func printReuse(st muppet.ReuseStats, workers []muppet.WorkerStats) {
 		fmt.Printf("// %s worker %-12s %-7v conflicts=%d restarts=%d decisions=%d\n",
 			mark, w.Name, w.Status, w.Stats.Conflicts, w.Stats.Restarts, w.Stats.Decisions)
 	}
-}
-
-func parseOffer(s string) (muppet.Offer, error) {
-	switch s {
-	case "fixed", "":
-		return muppet.Offer{}, nil
-	case "soft":
-		return muppet.AllSoft(), nil
-	case "holes":
-		return muppet.AllHoles(), nil
-	}
-	return muppet.Offer{}, fmt.Errorf("bad offer mode %q (want fixed|soft|holes)", s)
 }
 
 // registerStrategy adds the -strategy flag shared by the commands that
@@ -366,72 +312,16 @@ func applyStrategy(name string) error {
 	return nil
 }
 
-func parsePorts(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad port %q", part)
-		}
-		out = append(out, p)
-	}
-	return out, nil
-}
-
-func (s *session) party(name string) (*muppet.Party, error) {
-	switch strings.ToLower(name) {
-	case "k8s", "kubernetes":
-		return s.k8sParty, nil
-	case "istio":
-		return s.istioParty, nil
-	}
-	return nil, fmt.Errorf("unknown party %q (want k8s or istio)", name)
-}
-
 func runCheck(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	var in inputs
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
+	addr := registerAddr(fs)
 	party := fs.String("party", "k8s", "party to check: k8s|istio")
 	fs.Parse(args)
-	ctx, cancel, budget := lim.apply(ctx)
-	defer cancel()
-	s, err := in.load()
-	if err != nil {
-		return err
-	}
-	subject, err := s.party(*party)
-	if err != nil {
-		return err
-	}
-	other := s.istioParty
-	if subject == s.istioParty {
-		other = s.k8sParty
-	}
-	cache := muppet.NewSolveCache()
-	res := cache.LocalConsistencyCtx(ctx, s.sys, subject, []*muppet.Party{other}, budget)
-	if lim.verbose {
-		printReuse(cache.Stats(), cache.Workers())
-	}
-	if res.Indeterminate {
-		return indeterminate(res.Stop)
-	}
-	if !res.OK {
-		fmt.Println("INCONSISTENT")
-		fmt.Println(res.Feedback)
-		return statusErr(exitUnsat)
-	}
-	fmt.Println("CONSISTENT")
-	warnDegraded(res.Stop)
-	for _, e := range res.Edits {
-		fmt.Println("  soft edit:", e)
-	}
-	return nil
+	return execute(ctx, &in, &lim, "", *addr, server.Request{Op: "check", Party: *party})
 }
 
 func runEnvelope(ctx context.Context, args []string) error {
@@ -440,41 +330,15 @@ func runEnvelope(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
+	addr := registerAddr(fs)
 	from := fs.String("from", "k8s", "sender party")
 	to := fs.String("to", "istio", "recipient party")
 	leakage := fs.Bool("leakage", false, "also print the leaked atoms")
 	english := fs.Bool("english", false, "also print a prose rendering")
 	fs.Parse(args)
-	ctx, cancel, _ := lim.apply(ctx)
-	defer cancel()
-	s, err := in.load()
-	if err != nil {
-		return err
-	}
-	sender, err := s.party(*from)
-	if err != nil {
-		return err
-	}
-	recipient, err := s.party(*to)
-	if err != nil {
-		return err
-	}
-	env, err := muppet.ComputeEnvelopeCtx(ctx, s.sys, recipient, []*muppet.Party{sender})
-	if err != nil {
-		return indeterminate(muppet.StopCancelled)
-	}
-	fmt.Print(env)
-	if env.Unsatisfiable() {
-		fmt.Println("// WARNING: unsatisfiable — the sender's own settings defeat its goals")
-	}
-	if *english {
-		fmt.Println()
-		fmt.Print(muppet.EnglishEnvelope(s.sys, env))
-	}
-	if *leakage {
-		fmt.Println("// leaked atoms:", strings.Join(env.LeakedAtoms(), ", "))
-	}
-	return nil
+	return execute(ctx, &in, &lim, "", *addr, server.Request{
+		Op: "envelope", From: *from, To: *to, Leakage: *leakage, English: *english,
+	})
 }
 
 func runReconcile(ctx context.Context, args []string) error {
@@ -483,42 +347,10 @@ func runReconcile(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
+	addr := registerAddr(fs)
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	if err := applyStrategy(*strategy); err != nil {
-		return err
-	}
-	ctx, cancel, budget := lim.apply(ctx)
-	defer cancel()
-	s, err := in.load()
-	if err != nil {
-		return err
-	}
-	cache := muppet.NewSolveCache()
-	res := cache.ReconcileCtx(ctx, s.sys, []*muppet.Party{s.k8sParty, s.istioParty}, budget)
-	if lim.verbose {
-		printReuse(cache.Stats(), cache.Workers())
-	}
-	if res.Indeterminate {
-		return indeterminate(res.Stop)
-	}
-	if !res.OK {
-		fmt.Println("CANNOT RECONCILE")
-		fmt.Println(res.Feedback)
-		return statusErr(exitUnsat)
-	}
-	s.k8sParty.Adopt(res.Instance)
-	s.istioParty.Adopt(res.Instance)
-	fmt.Println("RECONCILED")
-	warnDegraded(res.Stop)
-	for _, e := range res.Edits {
-		fmt.Println("  soft edit:", e)
-	}
-	fmt.Println("--- K8s configuration ---")
-	fmt.Print(s.k8sParty.Describe())
-	fmt.Println("--- Istio configuration ---")
-	fmt.Print(s.istioParty.Describe())
-	return nil
+	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "reconcile"})
 }
 
 func runConform(ctx context.Context, args []string) error {
@@ -527,53 +359,11 @@ func runConform(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
+	addr := registerAddr(fs)
 	provider := fs.String("provider", "k8s", "inflexible provider party")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	if err := applyStrategy(*strategy); err != nil {
-		return err
-	}
-	ctx, cancel, budget := lim.apply(ctx)
-	defer cancel()
-	s, err := in.load()
-	if err != nil {
-		return err
-	}
-	prov, err := s.party(*provider)
-	if err != nil {
-		return err
-	}
-	tenant := s.istioParty
-	if prov == s.istioParty {
-		tenant = s.k8sParty
-	}
-	cache := muppet.NewSolveCache()
-	out := cache.RunConformanceCtx(ctx, s.sys, prov, tenant, budget)
-	if lim.verbose {
-		printReuse(cache.Stats(), cache.Workers())
-	}
-	if out.Indeterminate {
-		fmt.Printf("INDETERMINATE at %s (%s)\n", out.FailedStep, out.Stop)
-		return statusErr(exitIndeterminate)
-	}
-	fmt.Printf("provider locally consistent: %v\n", out.ProviderConsistent)
-	if out.Envelope != nil {
-		fmt.Print(out.Envelope)
-	}
-	if len(out.Edits) > 0 {
-		fmt.Println("tenant revision edits:")
-		for _, e := range out.Edits {
-			fmt.Println("  ", e)
-		}
-	}
-	if !out.Reconciled {
-		fmt.Printf("FAILED at %s\n%s\n", out.FailedStep, out.Feedback)
-		return statusErr(exitUnsat)
-	}
-	fmt.Println("CONFORMED")
-	fmt.Println("--- delivered tenant configuration ---")
-	fmt.Print(tenant.Describe())
-	return nil
+	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "conform", Provider: *provider})
 }
 
 func runNegotiate(ctx context.Context, args []string) error {
@@ -582,60 +372,11 @@ func runNegotiate(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
+	addr := registerAddr(fs)
 	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	if err := applyStrategy(*strategy); err != nil {
-		return err
-	}
-	ctx, cancel, budget := lim.apply(ctx)
-	defer cancel()
-	s, err := in.load()
-	if err != nil {
-		return err
-	}
-	cache := muppet.NewSolveCache()
-	n := muppet.NewNegotiation(s.sys, s.k8sParty, s.istioParty).UseCache(cache)
-	if *rounds > 0 {
-		n.MaxRounds = *rounds
-	}
-	out := n.RunCtx(ctx, budget)
-	if lim.verbose {
-		printReuse(cache.Stats(), cache.Workers())
-	}
-	if out.InitialReconcile {
-		fmt.Println("initial offers reconciled immediately")
-	}
-	for _, r := range out.Rounds {
-		fmt.Printf("round %d: %s ", r.Round, r.Party)
-		switch {
-		case r.Indeterminate:
-			fmt.Println("was interrupted mid-round")
-		case r.Stuck:
-			fmt.Println("is stuck — administrators must talk")
-		case r.ConformedAlready:
-			fmt.Println("already conforms")
-		case r.Revised:
-			fmt.Printf("revised with %d edits\n", len(r.Edits))
-		}
-		if r.Reconciled {
-			fmt.Println("  → reconciled")
-		}
-	}
-	if out.Reason == muppet.ReasonIndeterminate {
-		fmt.Printf("NEGOTIATION INDETERMINATE (%s)\n", out.Stop)
-		return statusErr(exitIndeterminate)
-	}
-	if !out.Reconciled {
-		fmt.Printf("NEGOTIATION FAILED (%s)\n%s\n", out.Reason, out.Feedback)
-		return statusErr(exitUnsat)
-	}
-	fmt.Println("NEGOTIATED")
-	fmt.Println("--- K8s configuration ---")
-	fmt.Print(s.k8sParty.Describe())
-	fmt.Println("--- Istio configuration ---")
-	fmt.Print(s.istioParty.Describe())
-	return nil
+	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "negotiate", Rounds: *rounds})
 }
 
 // runBench serves -n independent queries across -parallel workers sharing
@@ -653,7 +394,7 @@ func runBench(ctx context.Context, args []string) error {
 	fs.Parse(args)
 	ctx, cancel, budget := lim.apply(ctx)
 	defer cancel()
-	s, err := in.load()
+	st, err := in.load()
 	if err != nil {
 		return err
 	}
@@ -678,7 +419,7 @@ func runBench(ctx context.Context, args []string) error {
 	// Each FanOut task is one worker serving its share of the queries from
 	// its own warm sessions; only the System is shared.
 	err = muppet.FanOut(ctx, workers, workers, func(ctx context.Context, w int) error {
-		k8sParty, istioParty, err := s.freshParties()
+		k8sParty, istioParty, err := st.FreshParties()
 		if err != nil {
 			return err
 		}
@@ -687,16 +428,16 @@ func runBench(ctx context.Context, args []string) error {
 		for q := w; q < *n; q += workers {
 			switch kinds[q%len(kinds)] {
 			case "consistency":
-				res := cache.LocalConsistencyCtx(ctx, s.sys, k8sParty, []*muppet.Party{istioParty}, budget)
+				res := cache.LocalConsistencyCtx(ctx, st.Sys, k8sParty, []*muppet.Party{istioParty}, budget)
 				if res.Indeterminate {
 					return fmt.Errorf("query %d indeterminate (%s)", q, res.Stop)
 				}
 			case "envelope":
-				if _, err := muppet.ComputeEnvelopeCtx(ctx, s.sys, istioParty, []*muppet.Party{k8sParty}); err != nil {
+				if _, err := muppet.ComputeEnvelopeCtx(ctx, st.Sys, istioParty, []*muppet.Party{k8sParty}); err != nil {
 					return err
 				}
 			case "reconcile":
-				res := cache.ReconcileCtx(ctx, s.sys, []*muppet.Party{k8sParty, istioParty}, budget)
+				res := cache.ReconcileCtx(ctx, st.Sys, []*muppet.Party{k8sParty, istioParty}, budget)
 				if res.Indeterminate {
 					return fmt.Errorf("query %d indeterminate (%s)", q, res.Stop)
 				}
@@ -712,12 +453,7 @@ func runBench(ctx context.Context, args []string) error {
 			if c == nil {
 				continue
 			}
-			st := c.Stats()
-			agg.Sessions += st.Sessions
-			agg.Reuses += st.Reuses
-			agg.Translation.PointerHits += st.Translation.PointerHits
-			agg.Translation.StructHits += st.Translation.StructHits
-			agg.Translation.Misses += st.Translation.Misses
+			agg.Add(c.Stats())
 		}
 		printReuse(agg, nil)
 	}
@@ -745,10 +481,10 @@ func runEval(ctx context.Context, args []string) error {
 	if *src == "" || *dst == "" || *port == 0 {
 		return fmt.Errorf("eval needs -src, -dst and -port")
 	}
-	if in.files == "" {
+	if in.cfg.Files == "" {
 		return fmt.Errorf("-files is required")
 	}
-	bundle, err := muppet.LoadFiles(strings.Split(in.files, ",")...)
+	bundle, err := muppet.LoadFiles(strings.Split(in.cfg.Files, ",")...)
 	if err != nil {
 		return err
 	}

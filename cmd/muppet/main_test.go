@@ -3,73 +3,33 @@ package main
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
 	"testing"
 
 	"muppet"
+	"muppet/internal/server"
 )
 
 const fig1Files = "../../testdata/fig1/mesh.yaml,../../testdata/fig1/k8s_current.yaml,../../testdata/fig1/istio_current.yaml"
 
-func TestParseOffer(t *testing.T) {
-	for _, c := range []struct {
-		in   string
-		soft int
-		hole int
-	}{
-		{"fixed", 0, 0},
-		{"", 0, 0},
-		{"soft", 1, 0},
-		{"holes", 0, 1},
-	} {
-		o, err := parseOffer(c.in)
-		if err != nil {
-			t.Fatalf("%q: %v", c.in, err)
-		}
-		if len(o.Soft) != c.soft || len(o.Holes) != c.hole {
-			t.Fatalf("%q: got %+v", c.in, o)
-		}
-	}
-	if _, err := parseOffer("bogus"); err == nil {
-		t.Fatal("bogus offer mode must error")
-	}
-}
-
-func TestParsePorts(t *testing.T) {
-	ports, err := parsePorts("23, 80,443")
-	if err != nil || len(ports) != 3 || ports[0] != 23 || ports[2] != 443 {
-		t.Fatalf("ports=%v err=%v", ports, err)
-	}
-	if _, err := parsePorts("x"); err == nil {
-		t.Fatal("bad port must error")
-	}
-	if ports, err := parsePorts(""); err != nil || ports != nil {
-		t.Fatalf("empty ports: %v %v", ports, err)
-	}
-}
-
 func TestInputsLoad(t *testing.T) {
-	in := inputs{
-		files:      fig1Files,
-		k8sGoals:   "../../testdata/fig1/k8s_goals.csv",
-		istioGoals: "../../testdata/fig1/istio_goals_revised.csv",
-		k8sOffer:   "fixed",
-		istioOffer: "soft",
-	}
-	s, err := in.load()
+	in := inputs{cfg: server.Config{
+		Files:      fig1Files,
+		K8sGoals:   "../../testdata/fig1/k8s_goals.csv",
+		IstioGoals: "../../testdata/fig1/istio_goals_revised.csv",
+		K8sOffer:   "fixed",
+		IstioOffer: "soft",
+	}}
+	st, err := in.load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.k8sParty == nil || s.istioParty == nil {
-		t.Fatal("parties not built")
-	}
-	if p, err := s.party("k8s"); err != nil || p != s.k8sParty {
-		t.Fatalf("party lookup k8s: %v", err)
-	}
-	if p, err := s.party("Istio"); err != nil || p != s.istioParty {
-		t.Fatalf("party lookup istio: %v", err)
-	}
-	if _, err := s.party("router"); err == nil {
-		t.Fatal("unknown party must error")
+	k8sParty, istioParty, err := st.FreshParties()
+	if err != nil || k8sParty == nil || istioParty == nil {
+		t.Fatalf("parties not built: %v", err)
 	}
 }
 
@@ -77,11 +37,11 @@ func TestInputsLoadErrors(t *testing.T) {
 	if _, err := (&inputs{}).load(); err == nil {
 		t.Fatal("missing -files must error")
 	}
-	in := inputs{files: "does-not-exist.yaml"}
+	in := inputs{cfg: server.Config{Files: "does-not-exist.yaml"}}
 	if _, err := in.load(); err == nil {
 		t.Fatal("missing file must error")
 	}
-	in = inputs{files: fig1Files, k8sOffer: "bogus"}
+	in = inputs{cfg: server.Config{Files: fig1Files, K8sOffer: "bogus"}}
 	if _, err := in.load(); err == nil {
 		t.Fatal("bad offer must error")
 	}
@@ -180,18 +140,104 @@ func TestRunEvalSucceeds(t *testing.T) {
 }
 
 func TestExtraPortsFlowIntoSystem(t *testing.T) {
-	in := inputs{
-		files: fig1Files,
-		ports: "9999",
-	}
-	s, err := in.load()
+	in := inputs{cfg: server.Config{
+		Files: fig1Files,
+		Ports: "9999",
+	}}
+	st, err := in.load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !s.sys.HasPort(9999) {
+	if !st.Sys.HasPort(9999) {
 		t.Fatal("-ports must extend the inventory")
 	}
 	_ = muppet.Flow{}
+}
+
+func TestVersionCommand(t *testing.T) {
+	if code := runCtx(context.Background(), []string{"version"}); code != exitSat {
+		t.Fatalf("version: exit %d", code)
+	}
+}
+
+// captureRun runs runCtx with os.Stdout captured, returning what the
+// command printed and its exit code.
+func captureRun(t *testing.T, argv []string) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	code := runCtx(context.Background(), argv)
+	w.Close()
+	os.Stdout = old
+	return <-outc, code
+}
+
+// TestClientModeMatchesLocal is the parity acceptance test: every
+// workflow command routed through a running daemon (-addr) must print
+// byte-identical output and exit with the same code as the local solve.
+func TestClientModeMatchesLocal(t *testing.T) {
+	st, err := server.Load(server.Config{
+		Files:      fig1Files,
+		K8sGoals:   "../../testdata/fig1/k8s_goals.csv",
+		IstioGoals: "../../testdata/fig1/istio_goals_revised.csv",
+		K8sOffer:   "soft",
+		IstioOffer: "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(st, server.Options{Concurrency: 2, QueueDepth: 8})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	addr := strings.TrimPrefix(hs.URL, "http://")
+
+	base := []string{
+		"-files", fig1Files,
+		"-k8s-goals", "../../testdata/fig1/k8s_goals.csv",
+		"-istio-goals", "../../testdata/fig1/istio_goals_revised.csv",
+		"-k8s-offer", "soft", "-istio-offer", "soft",
+	}
+	cases := [][]string{
+		{"check", "-party", "k8s"},
+		{"check", "-party", "istio"},
+		{"envelope", "-english", "-leakage"},
+		{"reconcile"},
+		{"conform"},
+		{"negotiate"},
+	}
+	for _, c := range cases {
+		argv := append(append([]string{c[0]}, base...), c[1:]...)
+		localOut, localCode := captureRun(t, argv)
+		clientOut, clientCode := captureRun(t, append(argv, "-addr", addr))
+		if clientCode != localCode {
+			t.Errorf("%v: client exit %d, local exit %d", c, clientCode, localCode)
+		}
+		if clientOut != localOut {
+			t.Errorf("%v: client output differs from local\n--- local ---\n%s\n--- client ---\n%s", c, localOut, clientOut)
+		}
+	}
+}
+
+func TestClientModeRejectsDaemonSideFlags(t *testing.T) {
+	for _, argv := range [][]string{
+		{"reconcile", "-files", fig1Files, "-addr", "127.0.0.1:1", "-portfolio", "2"},
+		{"reconcile", "-files", fig1Files, "-addr", "127.0.0.1:1", "-strategy", "linear"},
+		{"reconcile", "-files", fig1Files, "-addr", "127.0.0.1:1", "-v"},
+	} {
+		if code := runCtx(context.Background(), argv); code != exitInternal {
+			t.Errorf("%v: exit %d, want %d", argv, code, exitInternal)
+		}
+	}
 }
 
 func TestRunCtxUsageExitCodes(t *testing.T) {

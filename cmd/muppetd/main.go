@@ -1,0 +1,136 @@
+// Command muppetd is the long-running mediation daemon: it loads a
+// mesh/goal bundle once, compiles the system, and serves the paper's
+// workflows over HTTP/JSON from a pool of workers with warm solver
+// sessions.
+//
+// Endpoints:
+//
+//	POST /v1/check      — local consistency of one party's offer (Alg. 1)
+//	POST /v1/envelope   — compute E_{A→B} (Alg. 3)
+//	POST /v1/reconcile  — reconcile all offers (Alg. 2)
+//	POST /v1/conform    — the conformance workflow (Fig. 7)
+//	POST /v1/negotiate  — the negotiation workflow (Fig. 9)
+//	GET  /healthz       — liveness
+//	GET  /readyz        — readiness (503 while draining)
+//	GET  /metrics       — Prometheus text exposition
+//
+// Request bodies are JSON (see internal/server.Request); budgets travel
+// in the X-Muppet-Timeout and X-Muppet-Max-Conflicts headers, capped by
+// -max-timeout. Overload is rejected with 429 + Retry-After. SIGINT or
+// SIGTERM drains gracefully: admission stops, in-flight solves get
+// -drain-grace to finish, then are cancelled and answered indeterminate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"muppet"
+	"muppet/internal/buildinfo"
+	"muppet/internal/server"
+	"muppet/internal/target"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], nil))
+}
+
+// run is the testable daemon body: parse flags, load state, serve until
+// a signal, then drain. ready (optional) receives the bound address once
+// the listener is up, so tests can use ":0" and discover the port.
+func run(argv []string, ready func(addr string)) int {
+	fs := flag.NewFlagSet("muppetd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var cfg server.Config
+	fs.StringVar(&cfg.Files, "files", "", "comma-separated YAML files (required)")
+	fs.StringVar(&cfg.K8sGoals, "k8s-goals", "", "K8s goals CSV")
+	fs.StringVar(&cfg.IstioGoals, "istio-goals", "", "Istio goals CSV")
+	fs.StringVar(&cfg.K8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
+	fs.StringVar(&cfg.IstioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
+	fs.StringVar(&cfg.Ports, "ports", "", "extra ports, comma-separated")
+	addr := fs.String("addr", "127.0.0.1:8337", "listen address")
+	concurrency := fs.Int("concurrency", 0, "solver workers (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (0 = 2×concurrency)")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second,
+		"cap on per-request deadlines, also the default budget (0 = unbounded)")
+	drainGrace := fs.Duration("drain-grace", 5*time.Second,
+		"how long in-flight solves may run after a shutdown signal before being cancelled")
+	portfolio := fs.Int("portfolio", 0, "race N diversified solver configurations per solve (0/1 = off)")
+	strategy := fs.String("strategy", "auto", "minimal-edit distance search: auto|linear|binary")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(argv); err != nil {
+		return server.CodeUsage
+	}
+	if *version {
+		fmt.Println("muppetd", buildinfo.Version())
+		return 0
+	}
+	// Strategy and portfolio width are process-wide solver configuration,
+	// so they are daemon-startup knobs, never per-request ones.
+	st, ok := target.ParseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "muppetd: bad -strategy %q (want auto|linear|binary)\n", *strategy)
+		return server.CodeUsage
+	}
+	target.SetDefaultStrategy(st)
+	muppet.SetPortfolioWorkers(*portfolio)
+
+	state, err := server.Load(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muppetd:", err)
+		return server.CodeInternal
+	}
+	s := server.New(state, server.Options{
+		Concurrency: *concurrency,
+		QueueDepth:  *queueDepth,
+		MaxTimeout:  *maxTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muppetd:", err)
+		return server.CodeInternal
+	}
+	log.Printf("muppetd %s serving on http://%s", buildinfo.Version(), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "muppetd:", err)
+		return server.CodeInternal
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	log.Printf("muppetd: draining (grace %v)", *drainGrace)
+	s.Drain()
+	// After the grace period, cancel in-flight solves: they finish
+	// immediately with structured indeterminate responses, so Shutdown
+	// below completes without tearing any response mid-write.
+	hammer := time.AfterFunc(*drainGrace, s.CancelSolves)
+	defer hammer.Stop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("muppetd: forced shutdown: %v", err)
+		hs.Close()
+	}
+	s.Close()
+	log.Printf("muppetd: drained")
+	return 0
+}

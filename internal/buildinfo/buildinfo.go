@@ -1,0 +1,51 @@
+// Package buildinfo renders the binary's provenance — module version,
+// VCS revision, and toolchain — from the build metadata the Go linker
+// stamps into every binary, so `muppet version` and `muppetd -version`
+// need no ldflags plumbing.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version reports the module version plus VCS revision when the binary
+// was built from a checkout, e.g. "devel (a1b2c3d4e5f6+dirty) go1.22.0".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return render(bi)
+}
+
+// render is the testable core of Version.
+func render(bi *debug.BuildInfo) string {
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(v)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" (" + rev + dirty + ")")
+	}
+	if bi.GoVersion != "" {
+		b.WriteString(" " + bi.GoVersion)
+	}
+	return b.String()
+}

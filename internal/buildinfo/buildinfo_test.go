@@ -1,0 +1,33 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionNeverEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version must never be empty")
+	}
+}
+
+func TestRender(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.22.0"}
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := render(bi)
+	want := "devel (0123456789ab+dirty) go1.22.0"
+	if got != want {
+		t.Fatalf("render: %q, want %q", got, want)
+	}
+
+	bi = &debug.BuildInfo{GoVersion: "go1.22.0"}
+	bi.Main.Version = "v1.2.3"
+	if got := render(bi); !strings.HasPrefix(got, "v1.2.3") {
+		t.Fatalf("tagged build renders %q", got)
+	}
+}

@@ -46,6 +46,17 @@ type ReuseStats struct {
 	Translation relational.CacheStats
 }
 
+// Add accumulates t's counters into s — the aggregation step when one
+// serving process sums per-worker caches for a stats report or a metrics
+// scrape.
+func (s *ReuseStats) Add(t ReuseStats) {
+	s.Sessions += t.Sessions
+	s.Reuses += t.Reuses
+	s.Translation.PointerHits += t.Translation.PointerHits
+	s.Translation.StructHits += t.Translation.StructHits
+	s.Translation.Misses += t.Translation.Misses
+}
+
 // Stats reports the cache's effectiveness counters.
 func (c *SolveCache) Stats() ReuseStats {
 	if c == nil {

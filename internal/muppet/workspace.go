@@ -268,15 +268,18 @@ func (ws *workspace) assertHard(fs ...relational.Formula) {
 
 // minimize finds the model closest to the soft-knob preferences. On a
 // one-shot workspace, call after harden; on a reusable one the named
-// assumptions are threaded into every probe and the distance bounds are
-// retractable, so the session's clause set stays clean for later calls.
-// On budget exhaustion mid-search it degrades to the best model found
+// assumptions are threaded into every probe, so the session's clause set
+// stays clean for later calls. Distance bounds are always retractable and
+// the result is always canonicalized: the returned model is the unique
+// lexicographically-preferred minimal one, so one-shot, cached-cold and
+// cached-warm runs of the same query yield byte-identical models — the
+// idempotence a long-lived mediation daemon serves on top of. On budget
+// exhaustion mid-search it degrades to the best model found
 // (Result.Optimal false, Stats.Stop set).
 func (ws *workspace) minimize(ctx context.Context, b sat.Budget) target.Result {
-	opts := target.Options{Context: ctx, Budget: b}
+	opts := target.Options{Context: ctx, Budget: b, Retractable: true, Canonical: true}
 	if ws.reusable {
 		opts.Assumptions = ws.assumps
-		opts.Retractable = true
 		if ws.enc == nil {
 			ws.enc = target.NewEncoderCache()
 		}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// job is one admitted request: the query, its budget caps as requested
+// (the worker starts the deadline clock at dequeue, so queue wait does
+// not eat the solve budget), and a buffered channel the worker hands the
+// result back on — buffered so an abandoned job never blocks its worker.
+type job struct {
+	ctx          context.Context
+	req          Request
+	timeout      time.Duration
+	maxConflicts int64
+	done         chan jobResult
+}
+
+type jobResult struct {
+	resp Response
+	err  error
+}
+
+// pool is the admission layer: a bounded queue in front of a fixed set of
+// worker goroutines. Admission never blocks — a full queue is an overload
+// signal the HTTP layer turns into 429 — so goroutine count and memory
+// stay bounded no matter the offered load.
+type pool struct {
+	queue chan *job
+	run   func(ctx context.Context, worker int, j *job) (Response, error)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, depth int, run func(ctx context.Context, worker int, j *job) (Response, error)) *pool {
+	p := &pool{queue: make(chan *job, depth), run: run}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *pool) worker(w int) {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if err := j.ctx.Err(); err != nil {
+			// The client gave up while the job sat in the queue: don't
+			// burn a solve on an answer nobody will read.
+			j.done <- jobResult{err: err}
+			continue
+		}
+		resp, err := p.run(j.ctx, w, j)
+		j.done <- jobResult{resp: resp, err: err}
+	}
+}
+
+// admit enqueues j if there is room, reporting false on overload or
+// after close. It never blocks.
+func (p *pool) admit(j *job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth reports the current queue backlog (admitted, not yet dequeued).
+func (p *pool) depth() int { return len(p.queue) }
+
+// capacity reports the queue bound.
+func (p *pool) capacity() int { return cap(p.queue) }
+
+// close stops admission and waits for the workers to finish the backlog.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

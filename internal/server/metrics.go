@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"muppet"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen for a
+// workload spanning sub-millisecond warm cache hits to multi-second cold
+// portfolio solves.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket latency histogram in Prometheus's
+// cumulative exposition shape.
+type histogram struct {
+	counts []int64 // per-bucket, non-cumulative; cumulated at exposition
+	count  int64
+	sum    float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBuckets))
+	}
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+			break
+		}
+	}
+	h.count++
+	h.sum += seconds
+}
+
+// metrics aggregates the serving counters the /metrics endpoint exposes.
+// All request-path updates take one short mutex; the scrape path reads
+// under the same mutex plus per-worker snapshot locks — it never touches
+// the live single-goroutine SolveCaches.
+type metrics struct {
+	mu         sync.Mutex
+	requests   map[string]map[int]int64 // op → verdict code → count
+	latency    map[string]*histogram    // op → seconds histogram
+	rejections int64
+	drops      int64 // admitted jobs abandoned before a worker picked them up
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) observe(op string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[op]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[op] = byCode
+	}
+	byCode[code]++
+	h := m.latency[op]
+	if h == nil {
+		h = &histogram{}
+		m.latency[op] = h
+	}
+	h.observe(seconds)
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejections++
+	m.mu.Unlock()
+}
+
+func (m *metrics) drop() {
+	m.mu.Lock()
+	m.drops++
+	m.mu.Unlock()
+}
+
+// write renders the Prometheus text exposition format (version 0.0.4) by
+// hand — the format is a stable line protocol, and hand-rolling it keeps
+// the daemon dependency-free.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, reuse muppet.ReuseStats, portfolio []muppet.WorkerStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP muppetd_requests_total Mediation requests served, by op and verdict code.")
+	fmt.Fprintln(w, "# TYPE muppetd_requests_total counter")
+	for _, op := range sortedKeys(m.requests) {
+		byCode := m.requests[op]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "muppetd_requests_total{op=%q,code=\"%d\"} %d\n", op, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_request_duration_seconds Request latency from admission to response, by op.")
+	fmt.Fprintln(w, "# TYPE muppetd_request_duration_seconds histogram")
+	for _, op := range sortedKeys(m.latency) {
+		h := m.latency[op]
+		var cum int64
+		for i, le := range latencyBuckets {
+			if h.counts != nil {
+				cum += h.counts[i]
+			}
+			fmt.Fprintf(w, "muppetd_request_duration_seconds_bucket{op=%q,le=\"%g\"} %d\n", op, le, cum)
+		}
+		fmt.Fprintf(w, "muppetd_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, h.count)
+		fmt.Fprintf(w, "muppetd_request_duration_seconds_sum{op=%q} %g\n", op, h.sum)
+		fmt.Fprintf(w, "muppetd_request_duration_seconds_count{op=%q} %d\n", op, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_rejections_total Requests rejected 429 by the admission queue.")
+	fmt.Fprintln(w, "# TYPE muppetd_rejections_total counter")
+	fmt.Fprintf(w, "muppetd_rejections_total %d\n", m.rejections)
+
+	fmt.Fprintln(w, "# HELP muppetd_queue_drops_total Admitted jobs whose client vanished before a worker picked them up.")
+	fmt.Fprintln(w, "# TYPE muppetd_queue_drops_total counter")
+	fmt.Fprintf(w, "muppetd_queue_drops_total %d\n", m.drops)
+
+	fmt.Fprintln(w, "# HELP muppetd_queue_depth Jobs admitted and waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE muppetd_queue_depth gauge")
+	fmt.Fprintf(w, "muppetd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP muppetd_queue_capacity Admission queue bound.")
+	fmt.Fprintln(w, "# TYPE muppetd_queue_capacity gauge")
+	fmt.Fprintf(w, "muppetd_queue_capacity %d\n", queueCap)
+
+	fmt.Fprintln(w, "# HELP muppetd_workers Solver worker goroutines.")
+	fmt.Fprintln(w, "# TYPE muppetd_workers gauge")
+	fmt.Fprintf(w, "muppetd_workers %d\n", workers)
+
+	fmt.Fprintln(w, "# HELP muppetd_sessions_built_total Solver sessions built (SolveCache misses), summed over workers.")
+	fmt.Fprintln(w, "# TYPE muppetd_sessions_built_total counter")
+	fmt.Fprintf(w, "muppetd_sessions_built_total %d\n", reuse.Sessions)
+
+	fmt.Fprintln(w, "# HELP muppetd_session_reuses_total Requests served from a live warm session, summed over workers.")
+	fmt.Fprintln(w, "# TYPE muppetd_session_reuses_total counter")
+	fmt.Fprintf(w, "muppetd_session_reuses_total %d\n", reuse.Reuses)
+
+	fmt.Fprintln(w, "# HELP muppetd_translation_cache_total Translation-cache events across live sessions, by kind.")
+	fmt.Fprintln(w, "# TYPE muppetd_translation_cache_total counter")
+	fmt.Fprintf(w, "muppetd_translation_cache_total{kind=\"pointer_hit\"} %d\n", reuse.Translation.PointerHits)
+	fmt.Fprintf(w, "muppetd_translation_cache_total{kind=\"struct_hit\"} %d\n", reuse.Translation.StructHits)
+	fmt.Fprintf(w, "muppetd_translation_cache_total{kind=\"miss\"} %d\n", reuse.Translation.Misses)
+
+	if len(portfolio) > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_portfolio_worker_conflicts Conflicts per portfolio worker in the most recent portfolio solve.")
+		fmt.Fprintln(w, "# TYPE muppetd_portfolio_worker_conflicts gauge")
+		for _, pw := range portfolio {
+			fmt.Fprintf(w, "muppetd_portfolio_worker_conflicts{worker=%q,winner=\"%t\"} %d\n",
+				pw.Name, pw.Winner, pw.Stats.Conflicts)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"muppet"
+)
+
+// Options tunes the serving machinery.
+type Options struct {
+	// Concurrency is the number of solver workers (0 = GOMAXPROCS). Each
+	// worker owns one SolveCache, so memory scales with this knob.
+	Concurrency int
+	// QueueDepth bounds the admission queue beyond the in-flight jobs
+	// (0 = 2×Concurrency). Overflow is rejected with 429.
+	QueueDepth int
+	// MaxTimeout caps per-request deadlines and is the default when a
+	// request names none (0 = no cap, no default).
+	MaxTimeout time.Duration
+}
+
+// workerSlot pairs a worker's private warm SolveCache with a snapshot of
+// its stats. The cache is single-goroutine and only its owning worker
+// touches it; the snapshot is refreshed under mu after every job, so the
+// metrics scrape path never races the solver.
+type workerSlot struct {
+	cache *muppet.SolveCache
+
+	mu        sync.Mutex
+	stats     muppet.ReuseStats
+	portfolio []muppet.WorkerStats
+}
+
+// Server is the mediation daemon's HTTP surface: the five workflow
+// endpoints under /v1/, health and readiness probes, and /metrics. It is
+// an http.Handler; lifecycle is driven from outside via Drain,
+// CancelSolves, and Close (see cmd/muppetd for the signal wiring).
+type Server struct {
+	st      *State
+	opts    Options
+	pool    *pool
+	slots   []*workerSlot
+	metrics *metrics
+	mux     *http.ServeMux
+
+	draining     chan struct{} // closed by Drain
+	drainOnce    sync.Once
+	solveCtx     context.Context // cancelled by CancelSolves
+	cancelSolves context.CancelFunc
+
+	// execFn is the per-job execution function, a seam tests override to
+	// simulate slow solves without burning CPU.
+	execFn func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error)
+}
+
+// New builds a Server over the loaded state and starts its worker pool.
+func New(st *State, opts Options) *Server {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Concurrency
+	}
+	s := &Server{
+		st:       st,
+		opts:     opts,
+		metrics:  newMetrics(),
+		draining: make(chan struct{}),
+	}
+	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
+	s.execFn = func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error) {
+		return Exec(ctx, s.st, slot.cache, req, b)
+	}
+	s.slots = make([]*workerSlot, opts.Concurrency)
+	for i := range s.slots {
+		s.slots[i] = &workerSlot{cache: muppet.NewSolveCache()}
+	}
+	s.pool = newPool(opts.Concurrency, opts.QueueDepth, s.runJob)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/", s.handleOp)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting work: /readyz flips to 503 and new workflow
+// requests are refused, while in-flight and queued jobs keep running.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// CancelSolves cancels every in-flight and future solve — the drain
+// grace timer's hammer. Interrupted solves surface as structured
+// indeterminate responses, never torn ones.
+func (s *Server) CancelSolves() { s.cancelSolves() }
+
+// Close drains the queue and waits for the workers to exit. Call after
+// the HTTP listener has stopped accepting.
+func (s *Server) Close() {
+	s.Drain()
+	s.pool.close()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// runJob executes one dequeued job on worker w's slot. The deadline
+// clock starts here — queue wait does not consume solve budget — and the
+// solve context is the request context merged with the server-wide
+// cancel, so either a vanished client or a drain hammer stops it.
+func (s *Server) runJob(ctx context.Context, w int, j *job) (Response, error) {
+	slot := s.slots[w]
+	timeout := j.timeout
+	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
+		timeout = s.opts.MaxTimeout
+	}
+	b := muppet.Budget{MaxConflicts: j.maxConflicts}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.solveCtx, cancel)
+	defer stop()
+	if timeout > 0 {
+		b.Deadline = time.Now().Add(timeout)
+		var cancelDL context.CancelFunc
+		ctx, cancelDL = context.WithDeadline(ctx, b.Deadline)
+		defer cancelDL()
+	}
+	resp, err := s.execFn(ctx, slot, j.req, b)
+	slot.mu.Lock()
+	slot.stats = slot.cache.Stats()
+	slot.portfolio = slot.cache.Workers()
+	slot.mu.Unlock()
+	return resp, err
+}
+
+// reuseSnapshot sums the per-worker stats snapshots.
+func (s *Server) reuseSnapshot() (muppet.ReuseStats, []muppet.WorkerStats) {
+	var agg muppet.ReuseStats
+	var portfolio []muppet.WorkerStats
+	for _, slot := range s.slots {
+		slot.mu.Lock()
+		agg.Add(slot.stats)
+		if slot.portfolio != nil {
+			portfolio = slot.portfolio
+		}
+		slot.mu.Unlock()
+	}
+	return agg, portfolio
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reuse, portfolio := s.reuseSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.pool.depth(), s.pool.capacity(), len(s.slots), reuse, portfolio)
+}
+
+// Budget headers. The timeout is a Go duration string; the conflict cap
+// a decimal integer. Absent headers mean "server defaults" (MaxTimeout).
+const (
+	HeaderTimeout      = "X-Muppet-Timeout"
+	HeaderMaxConflicts = "X-Muppet-Max-Conflicts"
+)
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/v1/")
+	known := false
+	for _, o := range Ops() {
+		if o == op {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.Error(w, fmt.Sprintf("unknown op %q", op), http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req Request
+	if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	req.Op = op
+
+	var timeout time.Duration
+	if h := r.Header.Get(HeaderTimeout); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d < 0 {
+			http.Error(w, "bad "+HeaderTimeout+" header", http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	var maxConflicts int64
+	if h := r.Header.Get(HeaderMaxConflicts); h != "" {
+		n, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad "+HeaderMaxConflicts+" header", http.StatusBadRequest)
+			return
+		}
+		maxConflicts = n
+	}
+
+	start := time.Now()
+	j := &job{
+		ctx:          r.Context(),
+		req:          req,
+		timeout:      timeout,
+		maxConflicts: maxConflicts,
+		done:         make(chan jobResult, 1),
+	}
+	if !s.pool.admit(j) {
+		s.metrics.reject()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
+				s.metrics.drop()
+				return // client is gone; nothing to write
+			}
+			code := http.StatusInternalServerError
+			if errors.Is(res.err, ErrUsage) {
+				code = http.StatusBadRequest
+			}
+			http.Error(w, res.err.Error(), code)
+			return
+		}
+		s.metrics.observe(op, res.resp.Code, time.Since(start).Seconds())
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res.resp)
+	case <-r.Context().Done():
+		// The client hung up; the worker (or the queue scan) will notice
+		// via the job context and discard the result.
+		s.metrics.drop()
+	}
+}

@@ -1,0 +1,143 @@
+// Package server implements the long-running mediation service behind
+// cmd/muppetd: a load-once, serve-many front end over the solving core.
+// It loads a mesh/goal bundle into one immutable encode.System, then
+// serves the paper's workflows (check, envelope, reconcile, conform,
+// negotiate) from a pool of workers, each owning a warm SolveCache, with
+// bounded admission, per-request budgets, graceful drain, and a
+// Prometheus-text metrics surface.
+//
+// The same Exec path also backs the muppet CLI's local mode, so daemon
+// and CLI verdicts are identical by construction.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"muppet"
+)
+
+// Config names the inputs of one mediation state: the YAML bundle, the
+// goal tables, the offer modes, and extra inventory ports. String fields
+// mirror the CLI flags verbatim so both front ends share one loader.
+type Config struct {
+	Files      string // comma-separated YAML files (required)
+	K8sGoals   string // K8s goals CSV ("" = none)
+	IstioGoals string // Istio goals CSV ("" = none)
+	K8sOffer   string // fixed|soft|holes ("" = fixed)
+	IstioOffer string // fixed|soft|holes ("" = fixed)
+	Ports      string // comma-separated extra ports ("" = none)
+}
+
+// State is the shared, immutable serving state: the compiled system and
+// the retained inputs from which every request builds its own parties.
+// Parties are mutable (Adopt rewrites their configuration), so they are
+// per-request; only the System and the loaded inputs are shared.
+type State struct {
+	Sys    *muppet.System
+	Bundle *muppet.Bundle
+
+	K8sGoalRows   []muppet.K8sGoal
+	IstioGoalRows []muppet.IstioGoal
+	K8sOffer      muppet.Offer
+	IstioOffer    muppet.Offer
+}
+
+// Load builds the serving state from cfg: parse the bundle and goal
+// tables, collect the port inventory, compile the system, and validate
+// the offer modes. It also builds one throwaway party pair so malformed
+// goals surface at load time, not on the first request.
+func Load(cfg Config) (*State, error) {
+	if cfg.Files == "" {
+		return nil, fmt.Errorf("-files is required")
+	}
+	bundle, err := muppet.LoadFiles(strings.Split(cfg.Files, ",")...)
+	if err != nil {
+		return nil, err
+	}
+	var kg []muppet.K8sGoal
+	if cfg.K8sGoals != "" {
+		if kg, err = muppet.LoadK8sGoals(cfg.K8sGoals); err != nil {
+			return nil, err
+		}
+	}
+	var ig []muppet.IstioGoal
+	if cfg.IstioGoals != "" {
+		if ig, err = muppet.LoadIstioGoals(cfg.IstioGoals); err != nil {
+			return nil, err
+		}
+	}
+	extra, err := ParsePorts(cfg.Ports)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range kg {
+		extra = append(extra, g.Port)
+	}
+	for _, g := range ig {
+		for _, t := range []muppet.PortTerm{g.SrcPort, g.DstPort} {
+			if t.Kind == muppet.PortLit {
+				extra = append(extra, t.Port)
+			}
+		}
+	}
+	sys, err := muppet.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies, extra)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{Sys: sys, Bundle: bundle, K8sGoalRows: kg, IstioGoalRows: ig}
+	if st.K8sOffer, err = ParseOffer(cfg.K8sOffer); err != nil {
+		return nil, err
+	}
+	if st.IstioOffer, err = ParseOffer(cfg.IstioOffer); err != nil {
+		return nil, err
+	}
+	if _, _, err := st.FreshParties(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// FreshParties builds a new party pair over the shared system — the
+// per-request mutable state of the serving loop.
+func (st *State) FreshParties() (k8s, istio *muppet.Party, err error) {
+	k8s, _, err = muppet.NewK8sParty(st.Sys, st.Bundle.K8s, st.K8sOffer, st.K8sGoalRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	istio, _, err = muppet.NewIstioParty(st.Sys, st.Bundle.Istio, st.IstioOffer, st.IstioGoalRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k8s, istio, nil
+}
+
+// ParseOffer maps an offer-mode name to an Offer, "" meaning fixed.
+func ParseOffer(s string) (muppet.Offer, error) {
+	switch s {
+	case "fixed", "":
+		return muppet.Offer{}, nil
+	case "soft":
+		return muppet.AllSoft(), nil
+	case "holes":
+		return muppet.AllHoles(), nil
+	}
+	return muppet.Offer{}, fmt.Errorf("bad offer mode %q (want fixed|soft|holes)", s)
+}
+
+// ParsePorts parses a comma-separated port list, "" meaning none.
+func ParsePorts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad port %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -174,6 +174,19 @@ type Options struct {
 	// permanently asserted cap would poison the cached encoder for every
 	// later run.
 	Encoder *EncoderCache
+	// Canonical, after a proved-minimal Sat result, replaces the model
+	// with the unique lexicographically-preferred minimal model: scanning
+	// the soft literals in order, each is pinned to its desired polarity
+	// whenever some model at the minimal distance, consistent with the
+	// pins so far, allows it. The result then depends only on the clause
+	// set — never on solver heuristic state (learnt clauses, activities,
+	// saved phases) — so a warm, reused session returns byte-identical
+	// models to a cold one, and repeated identical queries are idempotent
+	// (what a long-lived mediation daemon must guarantee). Costs at most
+	// ~2·distance extra assumption probes plus one confirming solve.
+	// Requires retractable probing, like Encoder. Degraded (non-Optimal)
+	// results are left as found: they are budget-starved already.
+	Canonical bool
 	// OnStep, when non-nil, observes every solver probe as it happens.
 	OnStep func(Step)
 }
@@ -195,7 +208,10 @@ type Stats struct {
 	// Stop records why the run gave up before proving optimality
 	// (StopNone when it ran to completion). When Result.Status is Sat and
 	// Stop is not StopNone, Result.Model is the best model found before
-	// the interruption and Result.Optimal is false.
+	// the interruption and Result.Optimal is false — except with
+	// Options.Canonical, where Stop may be set with Optimal still true:
+	// the distance was proved minimal and only the canonicalization
+	// tie-break was cut short.
 	Stop StopReason
 }
 
@@ -323,11 +339,19 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 	for i, l := range soft {
 		mism[i] = l.Not()
 	}
+	retractable := opts.Retractable || st == StrategyBinary
+	bound := r.Distance
+	if opts.Canonical && retractable {
+		// The canonical pass caps probes at the *achieved* distance, so
+		// the counter must express ≤ d even when the first model is
+		// already optimal (no descent happened): truncate one level later.
+		bound++
+	}
 	var tot *totalizer
-	if opts.Encoder != nil && (opts.Retractable || st == StrategyBinary) {
-		tot = opts.Encoder.get(s, mism, r.Distance)
+	if opts.Encoder != nil && retractable {
+		tot = opts.Encoder.get(s, mism, bound)
 	} else {
-		tot = newTotalizer(s, mism, r.Distance)
+		tot = newTotalizer(s, mism, bound)
 	}
 
 	switch st {
@@ -336,7 +360,60 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 	default:
 		linearDescent(s, soft, tot, &r, probe, budgetLeft, opts.Retractable)
 	}
+	if opts.Canonical && retractable && r.Status == sat.Sat && r.Optimal && r.Distance > 0 {
+		canonicalize(s, soft, tot, &r, probe, budgetLeft)
+	}
 	return finish()
+}
+
+// canonicalize pins the soft projection of a proved-minimal model to the
+// unique lexicographically-preferred one (Options.Canonical). Every probe
+// keeps the distance capped at the proved minimum, so the scan only ever
+// chooses among equally-optimal models. Soft literals the current model
+// already satisfies are pinned without a solver call; only currently
+// mismatched literals cost a probe (Sat adopts a lex-better model, Unsat
+// pins the mismatch as unavoidable), so the pass issues at most ~2·d
+// probes. No final re-solve is needed: Unsat probes leave the solver's
+// retained model untouched, so it always equals the adopted model.
+func canonicalize(s *sat.Solver, soft []sat.Lit, tot *totalizer, r *Result,
+	probe func(int, ...sat.Lit) sat.Status, budgetLeft func() bool) {
+	pins := make([]sat.Lit, 0, len(soft)+1)
+	if capLit, ok := tot.atMostLit(r.Distance); ok {
+		pins = append(pins, capLit)
+	} else if r.Distance < len(soft) {
+		// Cannot happen: the truncation covers [0, firstDistance]; a cap is
+		// absent only when every soft literal mismatches (vacuous). Fail
+		// safe rather than probe uncapped.
+		return
+	}
+	model := r.Model
+scan:
+	for _, l := range soft {
+		if model[l.Var()] != l.Neg() {
+			// Already at the desired polarity: consistent with the current
+			// model, pin for free.
+			pins = append(pins, l)
+			continue
+		}
+		if !budgetLeft() {
+			break
+		}
+		// Full-capacity slice so later appends to pins cannot alias.
+		switch probe(r.Distance, append(pins[:len(pins):len(pins)], l)...) {
+		case sat.Sat:
+			model = s.Model()
+			pins = append(pins, l)
+		case sat.Unsat:
+			pins = append(pins, l.Not())
+		default:
+			// Interrupted (Stats.Stop says why): keep the lex-best model
+			// found so far. Optimal stays true — the distance is proved
+			// minimal, only the tie-break is incomplete.
+			break scan
+		}
+	}
+	r.Model = model
+	r.Distance = distance(model, soft)
 }
 
 // linearDescent repeatedly caps "distance ≤ current − 1" and re-solves;

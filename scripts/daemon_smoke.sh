@@ -1,0 +1,72 @@
+#!/bin/sh
+# Daemon smoke test: build muppetd, start it on an ephemeral port over the
+# Fig. 1 testdata, probe /healthz, run one check, then SIGTERM it and
+# assert a clean drain. Run from the repository root (`make smoke`).
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/muppetd" ./cmd/muppetd
+
+"$tmp/muppetd" -addr 127.0.0.1:0 \
+	-files testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml \
+	-k8s-goals testdata/fig1/k8s_goals.csv \
+	-istio-goals testdata/fig1/istio_goals_revised.csv \
+	-k8s-offer soft -istio-offer soft \
+	>"$tmp/log" 2>&1 &
+pid=$!
+
+# The daemon logs its bound address once the listener is up.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr="$(sed -n 's/.*serving on http:\/\/\([^ ]*\).*/\1/p' "$tmp/log" | head -n 1)"
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "daemon smoke: muppetd never came up" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+
+curl -fsS "http://$addr/healthz" >/dev/null
+curl -fsS "http://$addr/readyz" >/dev/null
+
+verdict="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d '{"party":"k8s"}' "http://$addr/v1/check")"
+case "$verdict" in
+*'"code":0'*) ;;
+*)
+	echo "daemon smoke: unexpected check verdict: $verdict" >&2
+	exit 1
+	;;
+esac
+
+curl -fsS "http://$addr/metrics" | grep -q '^muppetd_requests_total{op="check",code="0"} 1$' || {
+	echo "daemon smoke: /metrics did not count the check" >&2
+	exit 1
+}
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+	echo "daemon smoke: muppetd exited non-zero" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+pid=""
+grep -q "drained" "$tmp/log" || {
+	echo "daemon smoke: no clean drain in log" >&2
+	cat "$tmp/log" >&2
+	exit 1
+}
+echo "daemon smoke OK ($addr)"

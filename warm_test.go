@@ -1,0 +1,114 @@
+package muppet_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"muppet"
+)
+
+// fig1System builds the Fig. 1 system plus loaded goal sets, shared by the
+// warm-stability tests below.
+func fig1System(t *testing.T) (*muppet.System, *muppet.Bundle, []muppet.K8sGoal, []muppet.IstioGoal) {
+	t.Helper()
+	bundle, err := muppet.LoadFiles(
+		"testdata/fig1/mesh.yaml",
+		"testdata/fig1/k8s_current.yaml",
+		"testdata/fig1/istio_current.yaml",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := muppet.LoadK8sGoals("testdata/fig1/k8s_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := muppet.LoadIstioGoals("testdata/fig1/istio_goals_revised.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra []int
+	for _, g := range kg {
+		extra = append(extra, g.Port)
+	}
+	for _, g := range ig {
+		for _, tm := range []muppet.PortTerm{g.SrcPort, g.DstPort} {
+			if tm.Kind == muppet.PortLit {
+				extra = append(extra, tm.Port)
+			}
+		}
+	}
+	sys, err := muppet.NewSystem(bundle.Mesh, bundle.K8s.Policies, bundle.Istio.Policies, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, bundle, kg, ig
+}
+
+// TestWarmReconcileByteStable asserts the guarantee the mediation daemon
+// depends on: a reconcile served from a warm SolveCache session (with
+// learnt clauses and heuristic state accumulated over prior queries)
+// renders byte-identically to a cold run — not just the same verdict and
+// edit distance, but the same canonical model, edits, and configurations.
+func TestWarmReconcileByteStable(t *testing.T) {
+	sys, bundle, kg, ig := fig1System(t)
+	run := func(cache *muppet.SolveCache) string {
+		k8sParty, _, err := muppet.NewK8sParty(sys, bundle.K8s, muppet.AllSoft(), kg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		istioParty, _, err := muppet.NewIstioParty(sys, bundle.Istio, muppet.AllSoft(), ig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := cache.ReconcileCtx(context.Background(), sys, []*muppet.Party{k8sParty, istioParty}, muppet.Budget{})
+		if !res.OK {
+			t.Fatalf("reconcile failed: indeterminate=%v feedback=%v", res.Indeterminate, res.Feedback)
+		}
+		k8sParty.Adopt(res.Instance)
+		istioParty.Adopt(res.Instance)
+		out := ""
+		for _, e := range res.Edits {
+			out += "edit: " + e.String() + "\n"
+		}
+		return out + k8sParty.Describe() + istioParty.Describe()
+	}
+	cold := run(muppet.NewSolveCache())
+	cache := muppet.NewSolveCache()
+	for i := 0; i < 5; i++ {
+		if warm := run(cache); warm != cold {
+			t.Fatalf("warm iteration %d differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", i, cold, warm)
+		}
+	}
+	if st := cache.Stats(); st.Reuses == 0 {
+		t.Fatalf("expected warm session reuse, stats %+v", st)
+	}
+}
+
+// TestWarmNegotiationByteStable extends the byte-stability guarantee to
+// the multi-round negotiation workflow, whose rounds all share one cache.
+func TestWarmNegotiationByteStable(t *testing.T) {
+	sys, bundle, kg, ig := fig1System(t)
+	run := func(cache *muppet.SolveCache) string {
+		k8sParty, _, err := muppet.NewK8sParty(sys, bundle.K8s, muppet.AllSoft(), kg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		istioParty, _, err := muppet.NewIstioParty(sys, bundle.Istio, muppet.AllSoft(), ig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := muppet.NewNegotiation(sys, k8sParty, istioParty).UseCache(cache)
+		out := n.RunCtx(context.Background(), muppet.Budget{})
+		return fmt.Sprintf("reconciled=%v reason=%v rounds=%d\n%s%s",
+			out.Reconciled, out.Reason, len(out.Rounds), k8sParty.Describe(), istioParty.Describe())
+	}
+	cold := run(muppet.NewSolveCache())
+	cache := muppet.NewSolveCache()
+	for i := 0; i < 5; i++ {
+		if warm := run(cache); warm != cold {
+			t.Fatalf("warm iteration %d differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", i, cold, warm)
+		}
+	}
+}
