@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: `make check`.
 GO ?= go
 
-.PHONY: check build vet test race fmt bench bench-smoke smoke
+.PHONY: check build vet test race fmt bench bench-smoke bench-diff smoke
 
 check: fmt build vet test race
 
@@ -33,6 +33,18 @@ bench:
 # to catch harness rot and emit a comparable JSON artifact.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-diff re-measures the encoding ablation family and gates its
+# deterministic size metrics against the most recent committed
+# BENCH_*.json: any benchmark whose post-preprocessing clause count grew
+# more than 25% over the baseline fails the target. A CPU profile of the
+# run is left in bench.pprof for the CI artifact.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	$(GO) test -run '^$$' -bench '^BenchmarkEncoding' -cpuprofile bench.pprof . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > bench-current.json
+	$(GO) run ./cmd/benchdiff -metric solver-clauses -max-regress 0.25 \
+		$(BENCH_BASELINE) bench-current.json
 
 # smoke boots a real muppetd over the Fig. 1 testdata, probes /healthz,
 # runs one check, and asserts a clean SIGTERM drain.

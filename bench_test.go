@@ -314,12 +314,19 @@ func BenchmarkScalingSweep(b *testing.B) {
 	}
 }
 
-// reportReuse surfaces SolveCache effectiveness as benchmark metrics.
+// reportReuse surfaces SolveCache effectiveness and encoding sizes as
+// benchmark metrics, so BENCH_<date>.json archives how big the live clause
+// databases were and how much preprocessing removed.
 func reportReuse(b *testing.B, st muppet.ReuseStats) {
 	b.ReportMetric(float64(st.Reuses), "session-reuses")
 	if total := st.Translation.Hits() + st.Translation.Misses; total > 0 {
 		b.ReportMetric(float64(st.Translation.Hits())/float64(total), "xlate-hit-rate")
 	}
+	b.ReportMetric(float64(st.Encoding.CircuitNodes), "circuit-nodes")
+	b.ReportMetric(float64(st.Encoding.SolverVars), "solver-vars")
+	b.ReportMetric(float64(st.Encoding.SolverClauses), "solver-clauses")
+	b.ReportMetric(float64(st.Encoding.VarsEliminated), "vars-eliminated")
+	b.ReportMetric(float64(st.Encoding.ClausesRemoved), "clauses-removed")
 }
 
 // BenchmarkAlg2ReconcileWarm is Alg. 2 on the walkthrough served from a
@@ -420,6 +427,63 @@ func BenchmarkAblationNoRestarts(b *testing.B) {
 // factory.
 func BenchmarkAblationNoHashCons(b *testing.B) {
 	benchSolveWith(b, sat.Options{}, boolcirc.Options{NoHashCons: true})
+}
+
+// --- encoding ablations (DESIGN.md Sec. 11) ---
+
+// benchEncodingWith solves the Fig. 1 reconciliation under one encoding
+// configuration and reports the resulting encoding sizes, so the archived
+// bench JSON records the clause-count trajectory of each pipeline stage.
+// The preprocessing floor is lifted (SimpMinClauses: -1) so the simp
+// stage is measurable at walkthrough scale, where production solvers
+// would defer it.
+func benchEncodingWith(b *testing.B, satOpts sat.Options, cnfOpts boolcirc.CNFOptions) {
+	satOpts.SimpMinClauses = -1
+	_, f, bounds := fig1Problem(b)
+	var ss *relational.Session
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss = relational.NewSessionWithOptions(bounds,
+			boolcirc.New(), sat.NewWithOptions(satOpts), cnfOpts)
+		ss.Assert(f)
+		if ss.Solve() != sat.Sat {
+			b.Fatal("expected SAT")
+		}
+	}
+	s := ss.Solver()
+	b.ReportMetric(float64(ss.CNF().Factory().NumNodes()), "circuit-nodes")
+	b.ReportMetric(float64(s.NumVars()), "solver-vars")
+	b.ReportMetric(float64(s.NumClauses()), "solver-clauses")
+	b.ReportMetric(float64(s.Stats.SimpVarsEliminated), "vars-eliminated")
+	b.ReportMetric(float64(s.Stats.SimpClausesRemoved), "clauses-removed")
+}
+
+// BenchmarkEncodingFull is the production pipeline: polarity-aware
+// Tseitin, AIG sweeping, and CNF preprocessing all on.
+func BenchmarkEncodingFull(b *testing.B) {
+	benchEncodingWith(b, sat.Options{}, boolcirc.CNFOptions{})
+}
+
+// BenchmarkEncodingNoPolarity emits the full biconditional for every gate.
+func BenchmarkEncodingNoPolarity(b *testing.B) {
+	benchEncodingWith(b, sat.Options{}, boolcirc.CNFOptions{NoPolarity: true})
+}
+
+// BenchmarkEncodingNoSweep skips functional AIG sweeping before emission.
+func BenchmarkEncodingNoSweep(b *testing.B) {
+	benchEncodingWith(b, sat.Options{}, boolcirc.CNFOptions{NoSweep: true})
+}
+
+// BenchmarkEncodingNoSimp skips CNF preprocessing in the solver.
+func BenchmarkEncodingNoSimp(b *testing.B) {
+	benchEncodingWith(b, sat.Options{DisableSimp: true}, boolcirc.CNFOptions{})
+}
+
+// BenchmarkEncodingLegacy is the seed encoding: full Tseitin, no sweep, no
+// preprocessing — the before side of every shrink comparison.
+func BenchmarkEncodingLegacy(b *testing.B) {
+	benchEncodingWith(b, sat.Options{DisableSimp: true},
+		boolcirc.CNFOptions{NoPolarity: true, NoSweep: true})
 }
 
 // BenchmarkAblationEnvelopeNoSimplify computes the Fig. 5 envelope without

@@ -1,0 +1,121 @@
+// Command benchdiff compares two benchjson reports (baseline, current) and
+// enforces the encoding-size regression gate: for every benchmark present
+// in both reports, deterministic size metrics (solver-clauses by default)
+// may not grow by more than the allowed fraction. Timing metrics are
+// printed for context but never gate — CI machines are too noisy for
+// one-iteration wall-clock comparisons, while clause counts are exact.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-metric solver-clauses] [-max-regress 0.25] baseline.json current.json
+//
+// Exit status 1 means at least one gated metric regressed past the bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/benchjson's per-benchmark record.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document shape; fields irrelevant to
+// diffing are ignored by the decoder.
+type Report struct {
+	Date    string   `json:"date"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	metric := flag.String("metric", "solver-clauses", "deterministic size metric to gate on")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional growth of the gated metric")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	baseBy := byName(base)
+	curBy := byName(cur)
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		if _, ok := curBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+
+	failed := 0
+	for _, name := range names {
+		b, c := baseBy[name], curBy[name]
+		bv, bok := b.Metrics[*metric]
+		cv, cok := c.Metrics[*metric]
+		if bok && cok && bv > 0 {
+			growth := cv/bv - 1
+			status := "ok"
+			if growth > *maxRegress {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-45s %s %10.0f -> %10.0f  (%+.1f%%)  [%s]\n",
+				name, *metric, bv, cv, 100*growth, status)
+		}
+		if bt, ok := b.Metrics["ns/op"]; ok {
+			if ct, ok := c.Metrics["ns/op"]; ok && bt > 0 {
+				fmt.Printf("%-45s ns/op    %12.0f -> %12.0f  (%+.1f%%)  [info]\n",
+					name, bt, ct, 100*(ct/bt-1))
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed %s by more than %.0f%%\n",
+			failed, *metric, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s within %.0f%% of baseline on all %d common benchmarks\n",
+		*metric, 100**maxRegress, len(names))
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func byName(rep *Report) map[string]Result {
+	m := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

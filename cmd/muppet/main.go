@@ -172,7 +172,9 @@ check/envelope/reconcile/conform/negotiate/bench also accept:
   -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
   -max-conflicts  solver conflict budget (0 = none)
   -portfolio      race N diversified solver configurations per solve (0/1 = off)
-  -v              print session-reuse and portfolio worker statistics
+  -encoding       encoding pipeline: full (default) | legacy | comma list of
+                  no-polarity,no-sweep,no-simp
+  -v              print session-reuse, encoding, and portfolio statistics
 
 bench also accepts:
   -n         number of queries to serve (default 64)
@@ -210,6 +212,7 @@ type limits struct {
 	timeout      time.Duration
 	maxConflicts int64
 	portfolio    int
+	encoding     string
 	verbose      bool
 }
 
@@ -220,22 +223,53 @@ func (l *limits) register(fs *flag.FlagSet) {
 		"solver conflict budget (0 = none)")
 	fs.IntVar(&l.portfolio, "portfolio", 0,
 		"race N diversified solver configurations per solve (0/1 = sequential)")
+	fs.StringVar(&l.encoding, "encoding", "full",
+		"encoding pipeline: full|legacy or comma list of no-polarity,no-sweep,no-simp")
 	fs.BoolVar(&l.verbose, "v", false,
 		"print session-reuse and portfolio worker statistics")
+}
+
+// parseEncoding maps the -encoding flag to an encoding configuration.
+func parseEncoding(s string) (muppet.Encoding, error) {
+	switch s {
+	case "", "full":
+		return muppet.Encoding{}, nil
+	case "legacy":
+		return muppet.Encoding{NoPolarity: true, NoSweep: true, NoPreprocess: true}, nil
+	}
+	var e muppet.Encoding
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "no-polarity":
+			e.NoPolarity = true
+		case "no-sweep":
+			e.NoSweep = true
+		case "no-simp":
+			e.NoPreprocess = true
+		default:
+			return e, fmt.Errorf("bad -encoding %q (want full|legacy or no-polarity,no-sweep,no-simp)", s)
+		}
+	}
+	return e, nil
 }
 
 // apply derives the solving context and budget. The deadline clock starts
 // here — before input loading — so -timeout bounds the whole command, not
 // just the solver. The returned cancel must be deferred.
-func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc, muppet.Budget) {
+func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc, muppet.Budget, error) {
 	muppet.SetPortfolioWorkers(l.portfolio)
+	enc, err := parseEncoding(l.encoding)
+	if err != nil {
+		return ctx, func() {}, muppet.Budget{}, err
+	}
+	muppet.SetEncoding(enc)
 	b := muppet.Budget{MaxConflicts: l.maxConflicts}
 	cancel := context.CancelFunc(func() {})
 	if l.timeout > 0 {
 		b.Deadline = time.Now().Add(l.timeout)
 		ctx, cancel = context.WithDeadline(ctx, b.Deadline)
 	}
-	return ctx, cancel, b
+	return ctx, cancel, b, nil
 }
 
 // registerAddr adds the daemon-routing flag shared by the workflow
@@ -258,7 +292,10 @@ func execute(ctx context.Context, in *inputs, lim *limits, strategy, addr string
 			return err
 		}
 	}
-	ctx, cancel, budget := lim.apply(ctx)
+	ctx, cancel, budget, err := lim.apply(ctx)
+	if err != nil {
+		return err
+	}
 	defer cancel()
 	st, err := in.load()
 	if err != nil {
@@ -285,6 +322,9 @@ func printReuse(st muppet.ReuseStats, workers []muppet.WorkerStats) {
 	t := st.Translation
 	fmt.Printf("// sessions: %d built, %d reused; translation cache: %d pointer hits, %d structural hits, %d misses\n",
 		st.Sessions, st.Reuses, t.PointerHits, t.StructHits, t.Misses)
+	e := st.Encoding
+	fmt.Printf("// encoding: %d circuit nodes, %d vars, %d clauses; preprocessing eliminated %d vars, removed %d clauses\n",
+		e.CircuitNodes, e.SolverVars, e.SolverClauses, e.VarsEliminated, e.ClausesRemoved)
 	for _, w := range workers {
 		mark := " "
 		if w.Winner {
@@ -392,7 +432,10 @@ func runBench(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 1, "worker goroutines (0 = GOMAXPROCS)")
 	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed")
 	fs.Parse(args)
-	ctx, cancel, budget := lim.apply(ctx)
+	ctx, cancel, budget, err := lim.apply(ctx)
+	if err != nil {
+		return err
+	}
 	defer cancel()
 	st, err := in.load()
 	if err != nil {

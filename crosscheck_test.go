@@ -1,0 +1,231 @@
+package muppet_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"muppet"
+	"muppet/internal/server"
+)
+
+// The encoding cross-check suite asserts the core promise of the encoding
+// pipeline (polarity-aware Tseitin, AIG sweeping, CNF preprocessing):
+// every configuration — including the legacy seed encoding with all three
+// off — produces byte-identical verdicts, canonical models, edits, blame
+// cores, and negotiation transcripts. The optimisations may only change
+// encoding size and speed, never observable output.
+
+// encodingConfigs spans the ablation lattice from the full pipeline to
+// the seed encoding.
+var encodingConfigs = []struct {
+	name string
+	enc  muppet.Encoding
+}{
+	{"full", muppet.Encoding{}},
+	{"no-simp", muppet.Encoding{NoPreprocess: true}},
+	{"no-polarity", muppet.Encoding{NoPolarity: true}},
+	{"no-sweep", muppet.Encoding{NoSweep: true}},
+	{"legacy", muppet.Encoding{NoPolarity: true, NoSweep: true, NoPreprocess: true}},
+}
+
+// withEncoding runs f under e, restoring the previous configuration.
+func withEncoding(e muppet.Encoding, f func()) {
+	prev := muppet.SetEncoding(e)
+	defer muppet.SetEncoding(prev)
+	f()
+}
+
+// TestEncodingCrossCheckExec drives every mediation op the daemon serves
+// over the Fig. 1 inputs — in both the reconcilable (relaxed) and the
+// conflicting (strict, blame-core-producing) variants — and requires the
+// rendered output and exit code to be byte-identical across encodings.
+func TestEncodingCrossCheckExec(t *testing.T) {
+	states := []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"relaxed", server.Config{
+			Files:      "testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml",
+			K8sGoals:   "testdata/fig1/k8s_goals.csv",
+			IstioGoals: "testdata/fig1/istio_goals_revised.csv",
+			K8sOffer:   "soft",
+			IstioOffer: "soft",
+		}},
+		{"strict", server.Config{
+			Files:      "testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml",
+			K8sGoals:   "testdata/fig1/k8s_goals.csv",
+			IstioGoals: "testdata/fig1/istio_goals.csv",
+			K8sOffer:   "fixed",
+			IstioOffer: "soft",
+		}},
+	}
+	reqs := []server.Request{
+		{Op: "check", Party: "k8s"},
+		{Op: "check", Party: "istio"},
+		{Op: "envelope", From: "k8s", To: "istio", Leakage: true},
+		{Op: "reconcile"},
+		{Op: "conform", Provider: "k8s"},
+		{Op: "negotiate"},
+	}
+	for _, stc := range states {
+		st, err := server.Load(stc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range reqs {
+			req := req
+			t.Run(stc.name+"/"+req.Op+"/"+req.Party, func(t *testing.T) {
+				type outcome struct {
+					code   int
+					output string
+				}
+				var base outcome
+				for i, cfg := range encodingConfigs {
+					var got outcome
+					withEncoding(cfg.enc, func() {
+						resp, err := server.Exec(context.Background(), st, muppet.NewSolveCache(), req, muppet.Budget{})
+						if err != nil {
+							t.Fatalf("%s: %v", cfg.name, err)
+						}
+						got = outcome{resp.Code, resp.Output}
+					})
+					if i == 0 {
+						base = got
+						continue
+					}
+					if got.code != base.code {
+						t.Fatalf("%s: code %d, full pipeline %d", cfg.name, got.code, base.code)
+					}
+					if got.output != base.output {
+						t.Fatalf("%s output differs from full pipeline:\n--- full ---\n%s\n--- %s ---\n%s",
+							cfg.name, base.output, cfg.name, got.output)
+					}
+				}
+			})
+		}
+	}
+}
+
+// renderResult flattens everything observable about a workflow result.
+func renderResult(res *muppet.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok=%v indeterminate=%v stop=%v\n", res.OK, res.Indeterminate, res.Stop)
+	for _, e := range res.Edits {
+		fmt.Fprintf(&b, "edit: %s\n", e.String())
+	}
+	if res.Feedback != nil {
+		fmt.Fprintln(&b, res.Feedback.String())
+	}
+	return b.String()
+}
+
+// TestEncodingCrossCheckScenarios sweeps generated scenarios (the Fig. 8
+// corpus shape) through consistency, reconciliation — against both the
+// relaxed and the conflicting strict goals — and full negotiations,
+// comparing adopted configurations, edits, and blame across encodings.
+func TestEncodingCrossCheckScenarios(t *testing.T) {
+	for _, services := range []int{3, 6, 12} {
+		sc := muppet.GenerateScenario(muppet.ScenarioParams{
+			Services:        services,
+			PortsPerService: 2,
+			Flows:           services,
+			BannedPorts:     1 + services/8,
+			Seed:            42,
+		})
+		sys, err := sc.System()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(strict bool) string {
+			ig := sc.IstioRelaxed
+			if strict {
+				ig = sc.IstioStrict
+			}
+			k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), sc.K8sGoals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), ig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			lc := muppet.LocalConsistency(sys, k8sParty, []*muppet.Party{istioParty})
+			fmt.Fprintf(&b, "consistency:\n%s", renderResult(lc))
+			rec := muppet.Reconcile(sys, []*muppet.Party{k8sParty, istioParty})
+			fmt.Fprintf(&b, "reconcile:\n%s", renderResult(rec))
+			if rec.OK {
+				k8sParty.Adopt(rec.Instance)
+				istioParty.Adopt(rec.Instance)
+				b.WriteString(k8sParty.Describe())
+				b.WriteString(istioParty.Describe())
+			}
+			out := muppet.NewNegotiation(sys, k8sParty, istioParty).Run()
+			fmt.Fprintf(&b, "negotiation: reconciled=%v reason=%v rounds=%d\n",
+				out.Reconciled, out.Reason, len(out.Rounds))
+			return b.String()
+		}
+		for _, strict := range []bool{false, true} {
+			name := fmt.Sprintf("services=%d/strict=%v", services, strict)
+			t.Run(name, func(t *testing.T) {
+				var base string
+				for i, cfg := range encodingConfigs {
+					var got string
+					withEncoding(cfg.enc, func() { got = run(strict) })
+					if i == 0 {
+						base = got
+					} else if got != base {
+						t.Fatalf("%s differs from full pipeline:\n--- full ---\n%s\n--- %s ---\n%s",
+							cfg.name, base, cfg.name, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEncodingShrinks pins the headline claim: on a mid-size scenario the
+// full pipeline's post-preprocessing clause count is at least 30% below
+// the legacy (seed) encoding's.
+func TestEncodingShrinks(t *testing.T) {
+	sc := muppet.GenerateScenario(muppet.ScenarioParams{
+		Services: 12, PortsPerService: 2, Flows: 12, BannedPorts: 2, Seed: 42,
+	})
+	sys, err := sc.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(enc muppet.Encoding) muppet.EncodingStats {
+		var st muppet.EncodingStats
+		withEncoding(enc, func() {
+			k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), sc.K8sGoals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := muppet.NewSolveCache()
+			if res := cache.ReconcileCtx(context.Background(), sys, []*muppet.Party{k8sParty, istioParty}, muppet.Budget{}); !res.OK {
+				t.Fatal("must reconcile")
+			}
+			st = cache.Stats().Encoding
+		})
+		return st
+	}
+	full := measure(muppet.Encoding{})
+	legacy := measure(muppet.Encoding{NoPolarity: true, NoSweep: true, NoPreprocess: true})
+	t.Logf("full: %+v", full)
+	t.Logf("legacy: %+v", legacy)
+	if full.SolverClauses >= legacy.SolverClauses {
+		t.Fatalf("full pipeline has %d clauses, legacy %d", full.SolverClauses, legacy.SolverClauses)
+	}
+	reduction := 1 - float64(full.SolverClauses)/float64(legacy.SolverClauses)
+	if reduction < 0.30 {
+		t.Fatalf("clause reduction %.1f%% below the 30%% target (full %d, legacy %d)",
+			100*reduction, full.SolverClauses, legacy.SolverClauses)
+	}
+}

@@ -190,9 +190,16 @@ func (f *Factory) and2(a, b Ref) Ref {
 }
 
 // Eval computes the value of r under the variable assignment varVal
-// (indexed by variable id as returned by VarID).
+// (indexed by variable id as returned by VarID). The memo is a dense
+// slice keyed by node index — one allocation, no hashing — which is what
+// makes repeated envelope/feedback evaluation over large circuits cheap.
 func (f *Factory) Eval(r Ref, varVal func(int) bool) bool {
-	memo := make(map[int32]bool)
+	const (
+		unknown uint8 = iota
+		valFalse
+		valTrue
+	)
+	memo := make([]uint8, len(f.nodes))
 	var rec func(Ref) bool
 	rec = func(e Ref) bool {
 		ni := e.node()
@@ -204,11 +211,15 @@ func (f *Factory) Eval(r Ref, varVal func(int) bool) bool {
 		case kindVar:
 			v = varVal(int(n.a))
 		case kindAnd:
-			if got, ok := memo[ni]; ok {
-				v = got
+			if m := memo[ni]; m != unknown {
+				v = m == valTrue
 			} else {
 				v = rec(n.a) && rec(n.b)
-				memo[ni] = v
+				if v {
+					memo[ni] = valTrue
+				} else {
+					memo[ni] = valFalse
+				}
 			}
 		}
 		if e.complemented() {
@@ -219,89 +230,205 @@ func (f *Factory) Eval(r Ref, varVal func(int) bool) bool {
 	return rec(r)
 }
 
+// Polarity bits track which implication direction of a gate's Tseitin
+// definition has been emitted. polPos is the clauses for v → gate (needed
+// where the gate is used positively), polNeg the clauses for gate → v.
+const (
+	polPos  uint8 = 1
+	polNeg  uint8 = 2
+	polBoth uint8 = polPos | polNeg
+)
+
+// flipPol swaps the two single directions; a complemented edge inverts
+// which direction of the child supports the parent's.
+func flipPol(p uint8) uint8 {
+	switch p {
+	case polPos:
+		return polNeg
+	case polNeg:
+		return polPos
+	}
+	return p
+}
+
+// CNFOptions configure the circuit-to-CNF emission; the zero value is the
+// recommended default. The toggles exist for the ablation benchmarks.
+type CNFOptions struct {
+	// NoPolarity always emits the full three-clause biconditional per AND
+	// gate instead of Plaisted–Greenbaum polarity-aware emission.
+	NoPolarity bool
+	// NoSweep disables the AIG sweep pass (constant propagation,
+	// duplicate-cone merging, dead-node elimination) before emission.
+	NoSweep bool
+}
+
 // CNF incrementally emits circuit nodes into a SAT solver via the Tseitin
 // transformation. One CNF may serve many Assert/LitFor calls; node→solver
-// variable mappings are memoised.
+// variable mappings and emitted polarities are memoised.
+//
+// Emission is polarity-aware (Plaisted–Greenbaum): Assert emits only the
+// implication direction the asserted polarity needs, and a gate first
+// reached through one polarity is lazily upgraded to the full
+// biconditional if the other polarity is requested later — the
+// incremental solver makes adding the missing clauses sound at any time.
+// LitFor always emits both directions: its literal is handed out for
+// assumptions, unsat-core selectors and soft targets, all of which rely
+// on the literal being equivalent to the cone, not merely implying it.
+//
+// Every literal the CNF hands out — LitFor roots and circuit variables —
+// is frozen in the solver, so CNF-level identities survive CNF-level
+// preprocessing (see internal/simp).
 type CNF struct {
 	f       *Factory
 	s       *sat.Solver
+	opts    CNFOptions
 	nodeVar map[int32]sat.Var // circuit node index → solver variable
+	nodePol map[int32]uint8   // circuit node index → emitted polarities
 	varVar  map[int32]sat.Var // circuit variable id → solver variable
+	sw      *sweeper
 }
 
-// NewCNF couples a factory with a solver.
+// NewCNF couples a factory with a solver using default options.
 func NewCNF(f *Factory, s *sat.Solver) *CNF {
-	return &CNF{
+	return NewCNFWithOptions(f, s, CNFOptions{})
+}
+
+// NewCNFWithOptions couples a factory with a solver.
+func NewCNFWithOptions(f *Factory, s *sat.Solver, opts CNFOptions) *CNF {
+	c := &CNF{
 		f:       f,
 		s:       s,
+		opts:    opts,
 		nodeVar: make(map[int32]sat.Var),
+		nodePol: make(map[int32]uint8),
 		varVar:  make(map[int32]sat.Var),
 	}
+	if !opts.NoSweep {
+		c.sw = newSweeper(f)
+	}
+	return c
 }
 
 // Solver returns the underlying SAT solver.
 func (c *CNF) Solver() *sat.Solver { return c.s }
 
+// Factory returns the circuit factory this CNF emits from.
+func (c *CNF) Factory() *Factory { return c.f }
+
 // SolverVar returns the solver variable allocated for circuit variable id,
-// creating it if needed.
+// creating (and freezing) it if needed.
 func (c *CNF) SolverVar(id int) sat.Var {
 	if v, ok := c.varVar[int32(id)]; ok {
 		return v
 	}
 	v := c.s.NewVar()
+	c.s.Freeze(v)
 	c.varVar[int32(id)] = v
 	return v
 }
 
-// LitFor returns a solver literal equivalent to the circuit edge r, emitting
-// Tseitin definitions for any AND gates not yet encoded. Constants are
-// encoded through a dedicated always-true variable.
+// sweep maps r to its canonical equivalent (identity when sweeping is
+// disabled).
+func (c *CNF) sweep(r Ref) Ref {
+	if c.sw == nil {
+		return r
+	}
+	return c.sw.sweep(r)
+}
+
+// LitFor returns a solver literal equivalent to the circuit edge r,
+// emitting Tseitin definitions (both polarities) for any AND gates not
+// yet encoded. Constants are encoded through a dedicated always-true
+// variable. The literal's variable is frozen: callers use it as an
+// assumption, selector, or soft target, and read it from models.
 func (c *CNF) LitFor(r Ref) sat.Lit {
-	v := c.litForNode(r.node())
+	r = c.sweep(r)
+	v := c.litForNode(r.node(), polBoth)
+	c.s.Freeze(v)
 	return sat.MkLit(v, r.complemented())
 }
 
-func (c *CNF) litForNode(ni int32) sat.Var {
-	if v, ok := c.nodeVar[ni]; ok {
-		return v
+// litForNode returns the solver variable for a circuit node, emitting any
+// not-yet-emitted definition clauses for the requested polarity of the
+// node's own function (callers account for edge complementation).
+func (c *CNF) litForNode(ni int32, pol uint8) sat.Var {
+	if c.opts.NoPolarity {
+		pol = polBoth
 	}
 	n := c.f.nodes[ni]
-	var v sat.Var
-	switch n.kind {
-	case kindConst:
-		v = c.s.NewVar()
-		c.s.AddClause(sat.PosLit(v)) // the true node
-	case kindVar:
-		v = c.SolverVar(int(n.a))
-	case kindAnd:
-		la := c.LitFor(n.a)
-		lb := c.LitFor(n.b)
-		v = c.s.NewVar()
-		out := sat.PosLit(v)
-		// v ↔ la ∧ lb
+	v, ok := c.nodeVar[ni]
+	if !ok {
+		switch n.kind {
+		case kindConst:
+			v = c.s.NewVar()
+			c.s.AddClause(sat.PosLit(v)) // the true node
+		case kindVar:
+			v = c.SolverVar(int(n.a))
+		case kindAnd:
+			v = c.s.NewVar()
+		default:
+			panic(fmt.Sprintf("boolcirc: unknown node kind %d", n.kind))
+		}
+		c.nodeVar[ni] = v
+	}
+	if n.kind != kindAnd {
+		return v
+	}
+	missing := pol &^ c.nodePol[ni]
+	if missing == 0 {
+		return v
+	}
+	// Mark before descending (children never cycle back — the circuit is
+	// a DAG — but the mark keeps re-entrant requests cheap).
+	c.nodePol[ni] |= pol
+	out := sat.PosLit(v)
+	if missing&polPos != 0 {
+		// v → a ∧ b: children used positively.
+		la := c.litEdge(n.a, polPos)
+		lb := c.litEdge(n.b, polPos)
 		c.s.AddClause(out.Not(), la)
 		c.s.AddClause(out.Not(), lb)
-		c.s.AddClause(la.Not(), lb.Not(), out)
-	default:
-		panic(fmt.Sprintf("boolcirc: unknown node kind %d", n.kind))
 	}
-	c.nodeVar[ni] = v
+	if missing&polNeg != 0 {
+		// a ∧ b → v: children used negatively.
+		la := c.litEdge(n.a, polNeg)
+		lb := c.litEdge(n.b, polNeg)
+		c.s.AddClause(la.Not(), lb.Not(), out)
+	}
 	return v
 }
 
-// Assert adds the constraint that r must be true.
+// litEdge returns the literal for child edge e when the parent needs
+// polarity pol of the edge's function; a complement edge flips which
+// direction of the child node's definition is required.
+func (c *CNF) litEdge(e Ref, pol uint8) sat.Lit {
+	if e.complemented() {
+		pol = flipPol(pol)
+	}
+	v := c.litForNode(e.node(), pol)
+	return sat.MkLit(v, e.complemented())
+}
+
+// Assert adds the constraint that r must be true, emitting only the
+// implication direction the assertion needs: asserting a positive edge
+// needs v → cone, asserting a complemented edge needs cone → v.
 func (c *CNF) Assert(r Ref) {
+	r = c.sweep(r)
 	switch r {
 	case True:
 		return
 	case False:
-		// Force unsatisfiability explicitly.
-		v := c.s.NewVar()
-		c.s.AddClause(sat.PosLit(v))
-		c.s.AddClause(sat.NegLit(v))
+		// Force unsatisfiability through the memoised constant node: the
+		// always-true variable (minted once per CNF) plus its negation.
+		c.s.AddClause(sat.MkLit(c.litForNode(True.node(), polBoth), true))
 		return
 	}
-	c.s.AddClause(c.LitFor(r))
+	pol := polPos
+	if r.complemented() {
+		pol = polNeg
+	}
+	v := c.litForNode(r.node(), pol)
+	c.s.AddClause(sat.MkLit(v, r.complemented()))
 }
 
 // VarValue reads the model value of circuit variable id after a Sat solve.

@@ -1,0 +1,196 @@
+package boolcirc
+
+import (
+	"math/rand"
+	"testing"
+
+	"muppet/internal/sat"
+)
+
+// assertOnlyCircuit builds a deep conjunction of disjunctions — the shape
+// envelope/feedback assertions take — used positively only.
+func assertOnlyCircuit(f *Factory, nVars int) Ref {
+	vars := make([]Ref, nVars)
+	for i := range vars {
+		vars[i] = f.Var()
+	}
+	acc := True
+	for i := 0; i+2 < nVars; i++ {
+		acc = f.And(acc, f.Or(vars[i], vars[i+1].Not(), vars[i+2]))
+	}
+	return acc
+}
+
+// TestPolarityEmitsFewerClauses: an assert-only cone needs one implication
+// direction per gate; the full biconditional is strictly larger.
+func TestPolarityEmitsFewerClauses(t *testing.T) {
+	count := func(opts CNFOptions) int {
+		f := New()
+		root := assertOnlyCircuit(f, 24)
+		s := sat.NewWithOptions(sat.Options{DisableSimp: true})
+		NewCNFWithOptions(f, s, opts).Assert(root)
+		return s.NumClauses()
+	}
+	pol := count(CNFOptions{NoSweep: true})
+	full := count(CNFOptions{NoSweep: true, NoPolarity: true})
+	if pol >= full {
+		t.Fatalf("polarity-aware emitted %d clauses, full biconditional %d", pol, full)
+	}
+}
+
+// TestLazyPolarityUpgrade: a gate first reached through one polarity must
+// gain the other direction when LitFor later demands equivalence.
+func TestLazyPolarityUpgrade(t *testing.T) {
+	f := New()
+	x, y, z := f.Var(), f.Var(), f.Var()
+	g := f.And(x, y)
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	// g → z uses g negatively: only cone→var is emitted for g here.
+	cnf.Assert(f.Implies(g, z))
+	// LitFor upgrades g to a full biconditional: assuming the literal must
+	// now force the cone's inputs.
+	lg := cnf.LitFor(g)
+	if s.Solve(lg) != sat.Sat {
+		t.Fatal("assuming g should be satisfiable")
+	}
+	if !s.Value(cnf.SolverVar(f.VarID(x))) || !s.Value(cnf.SolverVar(f.VarID(y))) {
+		t.Fatal("assuming g must force x and y true (missing var→cone direction)")
+	}
+	if s.Solve(lg.Not(), cnf.LitFor(x), cnf.LitFor(y)) != sat.Unsat {
+		t.Fatal("¬g with x∧y must be unsatisfiable (missing cone→var direction)")
+	}
+}
+
+// TestSweepEquivalence: sweeping must preserve the function exactly.
+func TestSweepEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 2 + rng.Intn(6)
+		f := New()
+		root := randomCircuit(rng, f, nVars, 5)
+		sw := newSweeper(f)
+		swept := sw.sweep(root)
+		for mask := 0; mask < 1<<nVars; mask++ {
+			val := func(id int) bool { return mask>>id&1 == 1 }
+			if f.Eval(root, val) != f.Eval(swept, val) {
+				t.Fatalf("iter %d mask %b: sweep changed the function", iter, mask)
+			}
+		}
+	}
+}
+
+// TestSweepMergesDuplicateCones: functionally identical, structurally
+// different cones share one Tseitin variable.
+func TestSweepMergesDuplicateCones(t *testing.T) {
+	f := New()
+	x, y, z := f.Var(), f.Var(), f.Var()
+	a := f.And(x, f.Or(y, z))
+	b := f.Or(f.And(x, y), f.And(x, z)) // distributed form, same function
+	if a == b {
+		t.Fatal("test premise broken: structural sharing already merged them")
+	}
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	la := cnf.LitFor(a)
+	nVars := s.NumVars()
+	lb := cnf.LitFor(b)
+	if la != lb {
+		t.Fatalf("duplicate cones got distinct literals: %v vs %v", la, lb)
+	}
+	if s.NumVars() != nVars {
+		t.Fatal("second cone allocated fresh solver variables")
+	}
+	// Complement-canonicalisation: the complement shares the entry too.
+	if got := cnf.LitFor(b.Not()); got != la.Not() {
+		t.Fatalf("complement cone: got %v want %v", got, la.Not())
+	}
+}
+
+// TestSweepCollapsesSemanticConstants: cones that are semantically
+// constant but structurally nontrivial fold to the constants.
+func TestSweepCollapsesSemanticConstants(t *testing.T) {
+	f := New()
+	x, y := f.Var(), f.Var()
+	contradiction := f.And(f.Or(x, y), f.And(x.Not(), y.Not()))
+	tautology := f.Or(f.And(x, y), f.Or(x.Not(), y.Not()))
+	sw := newSweeper(f)
+	if got := sw.sweep(contradiction); got != False {
+		t.Fatalf("contradiction swept to %v, want False", got)
+	}
+	if got := sw.sweep(tautology); got != True {
+		t.Fatalf("tautology swept to %v, want True", got)
+	}
+}
+
+// TestAssertFalseMemoised: repeated Assert(False) reuses the constant
+// node's variable instead of minting fresh pairs.
+func TestAssertFalseMemoised(t *testing.T) {
+	f := New()
+	s := sat.New()
+	cnf := NewCNF(f, s)
+	cnf.Assert(False)
+	n := s.NumVars()
+	cnf.Assert(False)
+	cnf.Assert(False)
+	if s.NumVars() != n {
+		t.Fatalf("Assert(False) allocated variables: %d -> %d", n, s.NumVars())
+	}
+	if s.Solve() != sat.Unsat {
+		t.Fatal("want unsat")
+	}
+}
+
+// TestEncodingOptionsAgree: every combination of polarity/sweep/simp
+// reaches the same verdict, and Sat models satisfy the circuit.
+func TestEncodingOptionsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	combos := []struct {
+		cnf  CNFOptions
+		simp bool
+	}{
+		{CNFOptions{}, false},
+		{CNFOptions{}, true},
+		{CNFOptions{NoPolarity: true}, false},
+		{CNFOptions{NoSweep: true}, false},
+		{CNFOptions{NoPolarity: true, NoSweep: true}, true}, // the seed encoding
+	}
+	for iter := 0; iter < 150; iter++ {
+		nVars := 2 + rng.Intn(6)
+		seed := rng.Int63()
+		var want sat.Status
+		for ci, combo := range combos {
+			f := New()
+			root := randomCircuit(rand.New(rand.NewSource(seed)), f, nVars, 5)
+			s := sat.NewWithOptions(sat.Options{DisableSimp: combo.simp})
+			cnf := NewCNFWithOptions(f, s, combo.cnf)
+			cnf.Assert(root)
+			got := s.Solve()
+			if ci == 0 {
+				want = got
+			} else if got != want {
+				t.Fatalf("iter %d combo %d: verdict %v, want %v", iter, ci, got, want)
+			}
+			if got == sat.Sat && !f.Eval(root, cnf.VarValue) {
+				t.Fatalf("iter %d combo %d: model does not satisfy circuit", iter, ci)
+			}
+		}
+	}
+}
+
+// BenchmarkEval measures repeated evaluation over one large shared
+// circuit — the dense slice memo is what this exercises.
+func BenchmarkEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	f := New()
+	root := randomCircuit(rng, f, 24, 14)
+	vals := make([]bool, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range vals {
+			vals[j] = (i>>uint(j%16))&1 == 1
+		}
+		f.Eval(root, func(id int) bool { return vals[id] })
+	}
+}

@@ -1,0 +1,301 @@
+package boolcirc
+
+// AIG sweeping: before a cone is emitted to CNF it is rewritten to a
+// canonical equivalent. Three effects compound:
+//
+//   - constant propagation: rebuilding every AND bottom-up through the
+//     factory's folding rules collapses cones that became constant or
+//     collapsed onto a child;
+//   - duplicate-cone merging: cones with at most sweepMaxSupport distinct
+//     input variables get an exact 64-bit truth table over their sorted
+//     support; functionally identical cones (up to complementation) map
+//     to one canonical node, so they share one Tseitin variable;
+//   - dead-node elimination: nodes swept away are simply never emitted —
+//     the CNF layer only ever sees canonical cones.
+//
+// Wider cones fall back to structural hash-consing (the factory's cons
+// map), which the bottom-up rebuild exercises for free. Sweeping is exact
+// (truth tables, not simulation samples), so no SAT check is needed to
+// confirm a merge.
+
+// sweepMaxSupport bounds the support size for exact functional hashing;
+// 2^(2^6) functions fit a uint64 truth table.
+const sweepMaxSupport = 6
+
+type sweeper struct {
+	f *Factory
+	// canonOf maps a node index to the canonical edge computing the
+	// node's positive function. Canonical nodes map to themselves.
+	canonOf map[int32]Ref
+	// suppOf/ttOf describe canonical nodes: sorted support variable ids
+	// and the truth table of the node's positive function over them. A
+	// present-but-nil support marks a wide cone (no truth table).
+	suppOf map[int32][]int32
+	ttOf   map[int32]uint64
+	// canon maps a (support, truth table) key — complement-canonicalised
+	// so bit 0 is clear — to the edge computing that function.
+	canon map[string]Ref
+}
+
+func newSweeper(f *Factory) *sweeper {
+	return &sweeper{
+		f:       f,
+		canonOf: make(map[int32]Ref),
+		suppOf:  make(map[int32][]int32),
+		ttOf:    make(map[int32]uint64),
+		canon:   make(map[string]Ref),
+	}
+}
+
+// sweep returns the canonical edge equivalent to r.
+func (sw *sweeper) sweep(r Ref) Ref {
+	ce := sw.canonNode(r.node())
+	if r.complemented() {
+		return ce.Not()
+	}
+	return ce
+}
+
+// canonNode returns the canonical edge for the node's positive function,
+// rebuilding AND cones bottom-up through the factory's folding rules.
+func (sw *sweeper) canonNode(ni int32) Ref {
+	if ce, ok := sw.canonOf[ni]; ok {
+		return ce
+	}
+	n := sw.f.nodes[ni]
+	var result Ref
+	switch n.kind {
+	case kindConst:
+		result = True
+	case kindVar:
+		sw.registerLeaf(ni, int32(n.a))
+		result = Ref(ni << 1)
+	case kindAnd:
+		ea := sw.sweep(n.a)
+		eb := sw.sweep(n.b)
+		result = sw.canonAnd(sw.f.and2(ea, eb))
+	}
+	sw.canonOf[ni] = result
+	return result
+}
+
+// canonAnd canonicalises the result of a rebuilt AND. The edge's node
+// either is already canonical (folding returned a child or an earlier
+// canonical node), or is an AND over canonical children that still needs
+// functional hashing.
+func (sw *sweeper) canonAnd(r Ref) Ref {
+	if r.IsConst() {
+		return r
+	}
+	ni := r.node()
+	if ce, ok := sw.canonOf[ni]; ok {
+		if r.complemented() {
+			return ce.Not()
+		}
+		return ce
+	}
+	n := sw.f.nodes[ni]
+	var ce Ref
+	if n.kind == kindAnd {
+		ce = sw.hashAnd(ni, n)
+	} else {
+		// Defensive: folding handed back an unseen leaf.
+		if n.kind == kindVar {
+			sw.registerLeaf(ni, int32(n.a))
+		}
+		ce = Ref(ni << 1)
+	}
+	sw.canonOf[ni] = ce
+	if r.complemented() {
+		return ce.Not()
+	}
+	return ce
+}
+
+// hashAnd computes the exact function of an AND node over canonical
+// children and merges it with any functionally identical earlier cone.
+// It returns the canonical edge for the node's positive function.
+func (sw *sweeper) hashAnd(ni int32, n node) Ref {
+	pos := Ref(ni << 1)
+	suppA, ttA, okA := sw.childInfo(n.a)
+	suppB, ttB, okB := sw.childInfo(n.b)
+	if !okA || !okB {
+		sw.suppOf[ni] = nil // wide cone: structural sharing only
+		return pos
+	}
+	supp := unionSupport(suppA, suppB)
+	if len(supp) > sweepMaxSupport {
+		sw.suppOf[ni] = nil
+		return pos
+	}
+	tt := expandTT(ttA, suppA, supp) & expandTT(ttB, suppB, supp)
+	supp, tt = minimizeSupport(supp, tt)
+	switch {
+	case tt == 0:
+		return False
+	case tt == ttMask(len(supp)):
+		return True
+	}
+	// Complement canonicalisation: store the phase whose table has bit 0
+	// clear, so a cone and its complement share one entry.
+	neg := tt&1 == 1
+	ktt := tt
+	if neg {
+		ktt = ^tt & ttMask(len(supp))
+	}
+	key := canonKey(supp, ktt)
+	if ce, ok := sw.canon[key]; ok {
+		if neg {
+			return ce.Not()
+		}
+		return ce
+	}
+	sw.suppOf[ni] = supp
+	sw.ttOf[ni] = tt
+	reg := pos
+	if neg {
+		reg = pos.Not()
+	}
+	sw.canon[key] = reg
+	return pos
+}
+
+// registerLeaf gives a variable node its one-variable truth table and
+// claims the canon entry for that function, so any cone that minimises
+// to a single variable collapses onto the variable itself.
+func (sw *sweeper) registerLeaf(ni, varID int32) {
+	if _, ok := sw.suppOf[ni]; ok {
+		return
+	}
+	supp := []int32{varID}
+	sw.suppOf[ni] = supp
+	sw.ttOf[ni] = 0b10 // value = the variable
+	key := canonKey(supp, 0b10)
+	if _, ok := sw.canon[key]; !ok {
+		sw.canon[key] = Ref(ni << 1)
+	}
+}
+
+// childInfo returns the support and truth table of a canonical child
+// edge, complementing the table for complement edges. ok is false for
+// wide cones.
+func (sw *sweeper) childInfo(e Ref) ([]int32, uint64, bool) {
+	supp, ok := sw.suppOf[e.node()]
+	if !ok || supp == nil {
+		return nil, 0, false
+	}
+	tt := sw.ttOf[e.node()]
+	if e.complemented() {
+		tt = ^tt & ttMask(len(supp))
+	}
+	return supp, tt, true
+}
+
+// ttMask is the mask of valid truth-table bits for k support variables.
+// k = 6 shifts by 64, which in Go yields 0, so the mask wraps to all-ones.
+func ttMask(k int) uint64 {
+	return (uint64(1) << (1 << uint(k))) - 1
+}
+
+// unionSupport merges two sorted id slices into a fresh sorted slice.
+func unionSupport(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// expandTT re-expresses a truth table over the sub-support from onto the
+// super-support to. Assignment j over to indexes bit j; the value comes
+// from the assignment's projection onto from.
+func expandTT(tt uint64, from, to []int32) uint64 {
+	if len(from) == len(to) {
+		return tt // from ⊆ to, equal lengths ⇒ identical supports
+	}
+	pos := make([]int, len(from))
+	for i, v := range from {
+		for j, w := range to {
+			if v == w {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	var out uint64
+	n := 1 << uint(len(to))
+	for j := 0; j < n; j++ {
+		jj := 0
+		for i, p := range pos {
+			if j>>uint(p)&1 == 1 {
+				jj |= 1 << uint(i)
+			}
+		}
+		if tt>>uint(jj)&1 == 1 {
+			out |= uint64(1) << uint(j)
+		}
+	}
+	return out
+}
+
+// minimizeSupport drops variables the function does not depend on
+// (cofactor equality), compressing the truth table accordingly.
+func minimizeSupport(supp []int32, tt uint64) ([]int32, uint64) {
+	for i := 0; i < len(supp); {
+		n := 1 << uint(len(supp))
+		dep := false
+		for j := 0; j < n; j++ {
+			if j>>uint(i)&1 == 1 {
+				continue
+			}
+			if (tt>>uint(j))&1 != (tt>>uint(j|1<<uint(i)))&1 {
+				dep = true
+				break
+			}
+		}
+		if dep {
+			i++
+			continue
+		}
+		var nt uint64
+		k := 0
+		for j := 0; j < n; j++ {
+			if j>>uint(i)&1 == 1 {
+				continue
+			}
+			if tt>>uint(j)&1 == 1 {
+				nt |= uint64(1) << uint(k)
+			}
+			k++
+		}
+		tt = nt
+		supp = append(supp[:i], supp[i+1:]...)
+	}
+	return supp, tt
+}
+
+// canonKey packs a support and canonical truth table into a map key.
+func canonKey(supp []int32, tt uint64) string {
+	b := make([]byte, 0, len(supp)*4+8)
+	for _, v := range supp {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	b = append(b,
+		byte(tt), byte(tt>>8), byte(tt>>16), byte(tt>>24),
+		byte(tt>>32), byte(tt>>40), byte(tt>>48), byte(tt>>56))
+	return string(b)
+}

@@ -244,7 +244,7 @@ func GoalsCompatibleCtx(ctx context.Context, sys *encode.System, recipient *Part
 	for _, r := range recipient.Domain {
 		delete(merged, r)
 	}
-	ws := newWorkspace(sys, []partySpec{{party: recipient}}) // fully free
+	ws := newWorkspace(sys, []partySpec{{party: recipient}}, false) // fully free
 	ws.addNamed(recipient.Name+"/envelope", ws.ss.Lit(env.Formula()))
 	for _, g := range recipient.Goals {
 		f := relational.Substitute(g.Formula, merged)
@@ -277,7 +277,7 @@ func SynthesizeMonolithicCtx(ctx context.Context, sys *encode.System, parties []
 	for i, p := range parties {
 		specs[i] = partySpec{party: p, includeGoals: true}
 	}
-	ws := newWorkspace(sys, specs)
+	ws := newWorkspace(sys, specs, false)
 	switch ws.solve(ctx, b) {
 	case sat.Sat:
 		return &Result{OK: true, Instance: ws.instance()}

@@ -44,6 +44,44 @@ type ReuseStats struct {
 	// Translation aggregates the translation-cache counters across all
 	// live sessions.
 	Translation relational.CacheStats
+	// Encoding aggregates encoding-size counters across all live sessions.
+	Encoding EncodingStats
+}
+
+// EncodingStats sizes the encoding pipeline across live sessions: how big
+// the circuits and clause databases are, and how much the preprocessing
+// layers took off.
+type EncodingStats struct {
+	// CircuitNodes is the total number of AIG nodes allocated.
+	CircuitNodes int64
+	// SolverVars and SolverClauses size the live SAT databases (clauses
+	// counts problem clauses after preprocessing).
+	SolverVars    int64
+	SolverClauses int64
+	// VarsEliminated is the number of variables currently eliminated by
+	// CNF preprocessing; ClausesRemoved accumulates clauses it removed.
+	VarsEliminated int64
+	ClausesRemoved int64
+}
+
+func (e *EncodingStats) add(t EncodingStats) {
+	e.CircuitNodes += t.CircuitNodes
+	e.SolverVars += t.SolverVars
+	e.SolverClauses += t.SolverClauses
+	e.VarsEliminated += t.VarsEliminated
+	e.ClausesRemoved += t.ClausesRemoved
+}
+
+// sessionEncodingStats snapshots one live session's encoding sizes.
+func sessionEncodingStats(ss *relational.Session) EncodingStats {
+	s := ss.Solver()
+	return EncodingStats{
+		CircuitNodes:   int64(ss.CNF().Factory().NumNodes()),
+		SolverVars:     int64(s.NumVars()),
+		SolverClauses:  int64(s.NumClauses()),
+		VarsEliminated: s.Stats.SimpVarsEliminated,
+		ClausesRemoved: s.Stats.SimpClausesRemoved,
+	}
 }
 
 // Add accumulates t's counters into s — the aggregation step when one
@@ -55,6 +93,7 @@ func (s *ReuseStats) Add(t ReuseStats) {
 	s.Translation.PointerHits += t.Translation.PointerHits
 	s.Translation.StructHits += t.Translation.StructHits
 	s.Translation.Misses += t.Translation.Misses
+	s.Encoding.add(t.Encoding)
 }
 
 // Stats reports the cache's effectiveness counters.
@@ -68,6 +107,7 @@ func (c *SolveCache) Stats() ReuseStats {
 		st.Translation.PointerHits += t.PointerHits
 		st.Translation.StructHits += t.StructHits
 		st.Translation.Misses += t.Misses
+		st.Encoding.add(sessionEncodingStats(ws.ss))
 	}
 	return st
 }
@@ -114,7 +154,7 @@ func specsKey(specs []partySpec) string {
 // workspace when the receiver is nil.
 func (c *SolveCache) workspaceFor(sys *encode.System, specs []partySpec) *workspace {
 	if c == nil {
-		return newWorkspace(sys, specs)
+		return newWorkspace(sys, specs, false)
 	}
 	key := specsKey(specs)
 	if ws, ok := c.entries[key]; ok && ws.sys == sys {
@@ -126,8 +166,7 @@ func (c *SolveCache) workspaceFor(sys *encode.System, specs []partySpec) *worksp
 		ws.reset()
 		return ws
 	}
-	ws := newWorkspace(sys, specs)
-	ws.reusable = true
+	ws := newWorkspace(sys, specs, true)
 	c.entries[key] = ws
 	c.sessions++
 	return ws

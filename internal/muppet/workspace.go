@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"muppet/internal/boolcirc"
 	"muppet/internal/encode"
 	"muppet/internal/relational"
 	"muppet/internal/sat"
@@ -72,21 +73,97 @@ type softRef struct {
 	info  encode.KnobInfo
 }
 
-func newWorkspace(sys *encode.System, specs []partySpec) *workspace {
+func newWorkspace(sys *encode.System, specs []partySpec, reusable bool) *workspace {
 	b := sys.NewBounds()
 	ws := &workspace{
 		sys:       sys,
 		specs:     specs,
 		b:         b,
+		reusable:  reusable,
 		oms:       make(map[*Party]*encode.OfferMap),
 		fixedSels: make(map[string]sat.Lit),
 	}
 	// Bind every party's relations before the session is built: the
 	// translator allocates its relation variables eagerly at construction.
 	ws.bindOffers()
-	ws.ss = relational.NewSession(b)
+	cfg := EncodingConfig()
+	satOpts := sat.Options{DisableSimp: cfg.NoPreprocess}
+	if !reusable {
+		// A one-shot workspace hardens its whole problem before the first
+		// Solve, so preprocessing runs unconditionally there: once, early,
+		// on the complete database — its cheapest and most effective point.
+		// Deferring it behind a size floor mis-fires badly (a pass landing
+		// mid-minimisation on a grown database costs 3× more, and payoff
+		// tracks search difficulty, not clause count: services=12 one-shot
+		// reconcile is 0.24 s with the pass vs 1.2 s without), while the
+		// worst case of always running it is a few ms at walkthrough scale.
+		// Cache-owned sessions keep the solver's default floor: small warm
+		// sessions skip the pass, large ones amortise it across queries.
+		satOpts.SimpMinClauses = -1
+	}
+	ws.ss = relational.NewSessionWithOptions(b,
+		boolcirc.New(),
+		sat.NewWithOptions(satOpts),
+		boolcirc.CNFOptions{NoPolarity: cfg.NoPolarity, NoSweep: cfg.NoSweep})
 	ws.populate()
 	return ws
+}
+
+// Encoding is the package-wide encoding pipeline configuration for
+// workflow solves. The zero value — polarity-aware Tseitin, AIG sweep,
+// and CNF preprocessing all on — is the default; the switches exist for
+// ablation runs and as an escape hatch (wired to the muppet CLI's
+// -encoding flag). Like the portfolio width it is stored atomically so
+// concurrent workflow queries may read it while a test or the CLI
+// configures it; it takes effect for workspaces built after the call.
+type Encoding struct {
+	// NoPolarity emits full Tseitin biconditionals for every gate.
+	NoPolarity bool
+	// NoSweep disables AIG sweeping before emission.
+	NoSweep bool
+	// NoPreprocess disables CNF preprocessing in the solver.
+	NoPreprocess bool
+}
+
+const (
+	encNoPolarity uint32 = 1 << iota
+	encNoSweep
+	encNoPreprocess
+)
+
+var encodingFlags atomic.Uint32
+
+func (e Encoding) pack() uint32 {
+	var f uint32
+	if e.NoPolarity {
+		f |= encNoPolarity
+	}
+	if e.NoSweep {
+		f |= encNoSweep
+	}
+	if e.NoPreprocess {
+		f |= encNoPreprocess
+	}
+	return f
+}
+
+// SetEncoding installs the encoding configuration for subsequently built
+// workspaces and returns the previous one.
+func SetEncoding(e Encoding) Encoding {
+	return unpackEncoding(encodingFlags.Swap(e.pack()))
+}
+
+// EncodingConfig reports the current encoding configuration.
+func EncodingConfig() Encoding {
+	return unpackEncoding(encodingFlags.Load())
+}
+
+func unpackEncoding(f uint32) Encoding {
+	return Encoding{
+		NoPolarity:   f&encNoPolarity != 0,
+		NoSweep:      f&encNoSweep != 0,
+		NoPreprocess: f&encNoPreprocess != 0,
+	}
 }
 
 // bindOffers (re-)binds each party's free bounds and captures the offer
@@ -194,6 +271,9 @@ func (ws *workspace) enforceFixed(p *Party, om *encode.OfferMap) {
 		sel, seen := ws.fixedSels[key]
 		if !seen {
 			sel = sat.PosLit(ws.ss.Solver().NewVar())
+			// The selector is assumed across calls and named in cores;
+			// preprocessing must not eliminate it between uses.
+			ws.ss.Solver().FreezeLit(sel)
 			for _, l := range lits {
 				ws.ss.Solver().AddClause(sel.Not(), l)
 			}

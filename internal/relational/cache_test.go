@@ -68,21 +68,23 @@ func TestTranslationCacheStructuralHit(t *testing.T) {
 }
 
 // TestTranslationCacheDistinguishes checks near-miss structures do NOT
-// collide: different quantifier kind, different relation, different bound
-// variable wiring.
+// collide in the translation cache: different quantifier kind, different
+// connective, different bound variable wiring. Semantically distinct
+// variants must yield distinct literals; semantically EQUIVALENT variants
+// (a vacuous extra binder) may share a literal — that merge comes from
+// AIG sweeping below the cache, not from a cache hit, which StructHits
+// staying at zero proves.
 func TestTranslationCacheDistinguishes(t *testing.T) {
 	ss, r, e := cacheFixture(t)
 	x := NewVar("x")
 	y := NewVar("y")
-	variants := []Formula{
+	distinct := []Formula{
 		Forall([]Decl{NewDecl(x, r)}, Some(Join(x, e))),
 		Exists([]Decl{NewDecl(x, r)}, Some(Join(x, e))),
 		Forall([]Decl{NewDecl(x, r)}, No(Join(x, e))),
-		Forall([]Decl{NewDecl(x, r), NewDecl(y, r)}, Some(Join(x, e))),
-		Forall([]Decl{NewDecl(x, r), NewDecl(y, r)}, Some(Join(y, e))),
 	}
 	var lits []interface{}
-	for i, f := range variants {
+	for i, f := range distinct {
 		li := ss.Lit(f)
 		for j, prev := range lits {
 			if li == prev {
@@ -90,6 +92,19 @@ func TestTranslationCacheDistinguishes(t *testing.T) {
 			}
 		}
 		lits = append(lits, li)
+	}
+	// ∀x,y∈R · φ(x) is equivalent to ∀x∈R · φ(x) (the y binder is
+	// vacuous): the sweep merges its cone onto the same solver literal
+	// while the cache still sees a distinct structure. ∀x,y∈R · φ(y) is
+	// equivalent too but its rebuilt cone is wide (support exceeds the
+	// exact-hashing bound), so it is only required not to cache-collide.
+	merged := Forall([]Decl{NewDecl(x, r), NewDecl(y, r)}, Some(Join(x, e)))
+	if li := ss.Lit(merged); li != lits[0] {
+		t.Fatalf("equivalent variant not merged by sweep: %v vs %v", li, lits[0])
+	}
+	wide := Forall([]Decl{NewDecl(x, r), NewDecl(y, r)}, Some(Join(y, e)))
+	if li := ss.Lit(wide); li == lits[1] || li == lits[2] {
+		t.Fatalf("wide variant collided with a semantically distinct one: %v", li)
 	}
 	if st := ss.CacheStats(); st.StructHits != 0 {
 		t.Fatalf("distinct structures produced structural hits: %+v", st)

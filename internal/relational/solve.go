@@ -31,9 +31,16 @@ func NewSession(b *Bounds) *Session {
 // NewSessionWith builds a session from explicit components, allowing custom
 // factory and solver options (used by the ablation benchmarks).
 func NewSessionWith(b *Bounds, f *boolcirc.Factory, s *sat.Solver) *Session {
+	return NewSessionWithOptions(b, f, s, boolcirc.CNFOptions{})
+}
+
+// NewSessionWithOptions additionally configures the circuit-to-CNF
+// emission (polarity-aware Tseitin, AIG sweeping) — the seam the encoding
+// ablations and the muppet-level encoding knob use.
+func NewSessionWithOptions(b *Bounds, f *boolcirc.Factory, s *sat.Solver, opts boolcirc.CNFOptions) *Session {
 	return &Session{
 		tr:  NewTranslator(b, f),
-		cnf: boolcirc.NewCNF(f, s),
+		cnf: boolcirc.NewCNFWithOptions(f, s, opts),
 	}
 }
 

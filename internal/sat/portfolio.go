@@ -37,6 +37,23 @@ func (s *Solver) CloneWithOptions(opts Options) *Solver {
 			return ns
 		}
 	}
+	// The clone starts from the receiver's already-simplified database:
+	// carry the frozen marks so any later preprocessing in the clone
+	// respects the same contract, and inherit the watermark so the clone
+	// does not redo the receiver's work. Variables the receiver eliminated
+	// simply do not occur in the replayed clauses; the receiver extends
+	// the winner's model over them (see SolvePortfolio).
+	if s.elim != nil && !opts.DisableSimp {
+		for v := 0; v < s.NumVars(); v++ {
+			if s.elim.Frozen(int32(v)) {
+				ns.Freeze(Var(v))
+			}
+		}
+	}
+	if s.simpRan {
+		ns.simpRan = true
+		ns.simpWatermark = len(ns.clauses)
+	}
 	return ns
 }
 
@@ -178,6 +195,7 @@ func (s *Solver) SolvePortfolio(ctx context.Context, b Budget, configs []Portfol
 		switch status {
 		case Sat:
 			s.model = w.Model()
+			s.extendModel()
 		case Unsat:
 			s.conflict = append(s.conflict[:0], w.conflict...)
 			if w.unsatLevel0 {

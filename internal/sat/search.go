@@ -323,6 +323,20 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		s.conflict = s.conflict[:0]
 		return Unsat
 	}
+	// Preprocess before search: assumption variables are frozen (and, if a
+	// previous run eliminated them, restored) so the assumptions name live
+	// variables, then the clause database is simplified if it is fresh or
+	// has grown enough since the last run. See simplify.go.
+	if !s.opts.DisableSimp {
+		for _, a := range assumps {
+			s.Freeze(a.Var())
+		}
+		s.maybeSimplify()
+		if s.unsatLevel0 {
+			s.conflict = s.conflict[:0]
+			return Unsat
+		}
+	}
 	s.assumptions = assumps
 	defer func() { s.assumptions = nil }()
 
@@ -347,6 +361,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 			for v := range s.assigns {
 				s.model[v] = s.assigns[v] == lTrue
 			}
+			s.extendModel()
 			s.cancelUntil(0)
 			return Sat
 		case Unsat:

@@ -1,0 +1,245 @@
+package sat
+
+import "muppet/internal/simp"
+
+// This file couples the solver to the internal/simp preprocessor: the
+// clause database is simplified (subsumption, self-subsuming resolution,
+// bounded variable elimination) before search, models are extended back
+// over eliminated variables, and incremental additions that mention an
+// eliminated variable transparently restore it. Preprocessing is on by
+// default; Options.DisableSimp is the ablation switch.
+
+// pp returns the solver's preprocessor, allocating it on first use.
+func (s *Solver) pp() *simp.Preprocessor {
+	if s.elim == nil {
+		s.elim = simp.New()
+	}
+	return s.elim
+}
+
+// Freeze marks v as structurally important: preprocessing must never
+// eliminate it. Callers freeze every variable whose identity matters
+// outside the clause database — variables they will read from models,
+// assume, or use as selectors. Assumption variables are additionally
+// frozen automatically at each Solve. Freezing an eliminated variable
+// restores it first. A no-op under DisableSimp.
+func (s *Solver) Freeze(v Var) {
+	if s.opts.DisableSimp {
+		return
+	}
+	p := s.pp()
+	if p.Eliminated(int32(v)) {
+		s.restoreVar(v)
+	}
+	p.Freeze(int32(v))
+}
+
+// FreezeLit freezes the literal's variable.
+func (s *Solver) FreezeLit(l Lit) { s.Freeze(l.Var()) }
+
+// Eliminated reports whether v is currently eliminated by preprocessing.
+// Eliminated variables occur in no live clause and are excluded from
+// decisions; their model values come from the reconstruction stack.
+func (s *Solver) Eliminated(v Var) bool { return s.eliminatedVar(v) }
+
+// eliminatedVar is the hot-path form of Eliminated.
+func (s *Solver) eliminatedVar(v Var) bool {
+	return s.elim != nil && s.elim.Eliminated(int32(v))
+}
+
+// restoreVar re-introduces an eliminated variable by re-adding the
+// clauses recorded at its elimination. Re-adding may recursively restore
+// other eliminated variables those clauses mention.
+func (s *Solver) restoreVar(v Var) {
+	cls := s.elim.Restore(int32(v))
+	if cls == nil {
+		return
+	}
+	s.order.push(v)
+	buf := make([]Lit, 0, 8)
+	for _, c := range cls {
+		buf = buf[:0]
+		for _, l := range c {
+			buf = append(buf, Lit(l))
+		}
+		s.AddClause(buf...)
+	}
+}
+
+// simpMinGrowth is how many new problem clauses must accumulate before
+// preprocessing runs again on an already-simplified database.
+func simpMinGrowth(base int) int {
+	g := base / 4
+	if g < 256 {
+		g = 256
+	}
+	return g
+}
+
+// simpDefaultMinClauses is the default preprocessing floor: below it a
+// solve finishes faster than a preprocessing pass, so running one is a
+// net loss. The Fig. 1 walkthrough (hundreds of clauses) stays under it;
+// the generated scaling scenarios from ~6 services upward cross it.
+const simpDefaultMinClauses = 4000
+
+// simpMinClauses resolves the Options floor (0 → default, <0 → none).
+func (s *Solver) simpMinClauses() int {
+	if m := s.opts.SimpMinClauses; m != 0 {
+		if m < 0 {
+			return 0
+		}
+		return m
+	}
+	return simpDefaultMinClauses
+}
+
+// maybeSimplify runs preprocessing when the database is big enough to be
+// worth it and is fresh or has grown enough since the last run. Called
+// from Solve at level 0, after propagation and assumption restoration.
+// Below the floor nothing is marked done, so a growing incremental
+// session gets its first pass as soon as it crosses the floor.
+func (s *Solver) maybeSimplify() {
+	if s.opts.DisableSimp || s.unsatLevel0 {
+		return
+	}
+	if !s.simpRan && len(s.clauses) < s.simpMinClauses() {
+		return
+	}
+	if s.simpRan && len(s.clauses) < s.simpWatermark+simpMinGrowth(s.simpWatermark) {
+		return
+	}
+	s.runSimplify()
+}
+
+// runSimplify hands the live problem clauses (reduced under the level-0
+// assignment) to the preprocessor and rebuilds the solver's clause
+// database, watches, and trail bookkeeping around the simplified set.
+// Learnt clauses survive unless they mention an eliminated variable.
+func (s *Solver) runSimplify() {
+	p := s.pp()
+	p.EnsureVars(len(s.assigns))
+	in := make([][]simp.Lit, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		lits := make([]simp.Lit, 0, len(c.lits))
+		sat0 := false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				sat0 = true
+			case lFalse:
+			default:
+				lits = append(lits, simp.Lit(l))
+			}
+			if sat0 {
+				break
+			}
+		}
+		if sat0 {
+			continue
+		}
+		switch len(lits) {
+		case 0:
+			s.unsatLevel0 = true
+			return
+		case 1:
+			// propagate ran just before; still, handle a stray unit.
+			s.uncheckedEnqueue(Lit(lits[0]), nil)
+			if s.propagate() != nil {
+				s.unsatLevel0 = true
+				return
+			}
+		default:
+			in = append(in, lits)
+		}
+	}
+
+	res := p.Run(in, func() bool { return s.stopNow() != StopNone })
+	s.Stats.SimpRuns++
+	s.Stats.SimpVarsEliminated = p.Stats.VarsEliminated
+	s.Stats.SimpClausesSubsumed = p.Stats.ClausesSubsumed
+	s.Stats.SimpLitsStrengthened = p.Stats.LitsStrengthened
+	s.Stats.SimpClausesRemoved += p.Stats.ClausesIn - p.Stats.ClausesOut
+	if res.Unsat {
+		s.unsatLevel0 = true
+		return
+	}
+
+	newCls := make([]*clause, 0, len(res.Clauses))
+	for _, lits := range res.Clauses {
+		out := make([]Lit, len(lits))
+		for i, l := range lits {
+			out[i] = Lit(l)
+		}
+		newCls = append(newCls, &clause{lits: out})
+	}
+	keptLearnts := s.learnts[:0]
+	for _, c := range s.learnts {
+		if c.deleted {
+			continue
+		}
+		drop := false
+		for _, l := range c.lits {
+			if p.Eliminated(int32(l.Var())) {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			s.Stats.Removed++
+			continue
+		}
+		keptLearnts = append(keptLearnts, c)
+	}
+	s.learnts = keptLearnts
+
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	if s.opts.NaivePropagation {
+		for i := range s.occs {
+			s.occs[i] = s.occs[i][:0]
+		}
+	}
+	s.clauses = newCls
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+	// The level-0 trail survives the rebuild, but its reason pointers
+	// refer to pre-simplification clauses; level-0 facts need no reason.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.qhead = 0
+	for _, u := range res.Units {
+		l := Lit(u)
+		switch s.value(l) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.unsatLevel0 = true
+			return
+		}
+		s.uncheckedEnqueue(l, nil)
+	}
+	if s.propagate() != nil {
+		s.unsatLevel0 = true
+		return
+	}
+	s.simpRan = true
+	s.simpWatermark = len(s.clauses)
+}
+
+// extendModel gives eliminated variables model values consistent with
+// their recorded clauses, so Value/Model behave exactly as without
+// preprocessing.
+func (s *Solver) extendModel() {
+	if s.elim != nil {
+		s.elim.Extend(s.model)
+	}
+}

@@ -3,6 +3,8 @@ package sat
 import (
 	"context"
 	"time"
+
+	"muppet/internal/simp"
 )
 
 // Status is the outcome of a Solve call.
@@ -61,6 +63,18 @@ type Options struct {
 	// geometric growth. Small caps keep the solver lean (frequent
 	// reduceDB), another portfolio diversification axis.
 	LearntCap int
+	// DisableSimp turns off SatELite-style preprocessing (subsumption,
+	// self-subsuming resolution, bounded variable elimination) of the
+	// clause database before search. Preprocessing is on by default;
+	// callers that read variables from models or use literals as
+	// assumptions/selectors must Freeze them (see Solver.Freeze).
+	DisableSimp bool
+	// SimpMinClauses is the live problem-clause count below which
+	// preprocessing is deferred: on small databases the solve is cheaper
+	// than the preprocessing pass, so simplification waits until the
+	// database grows past the floor. 0 means the default floor
+	// (simpDefaultMinClauses); negative means no floor.
+	SimpMinClauses int
 }
 
 // restartBase returns the Luby restart unit in conflicts.
@@ -126,6 +140,12 @@ type Solver struct {
 	pollTick    uint32
 	stopReason  StopReason
 
+	// Preprocessing state (see simplify.go): the preprocessor owns the
+	// frozen/eliminated marks and the model-reconstruction stack.
+	elim          *simp.Preprocessor
+	simpRan       bool
+	simpWatermark int // problem clause count right after the last run
+
 	// Stats accumulates counters across Solve calls.
 	Stats Stats
 }
@@ -138,6 +158,15 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Removed      int64
+
+	// Preprocessing counters (see simplify.go). SimpVarsEliminated is the
+	// current number of eliminated variables (net of restores); the others
+	// accumulate across runs.
+	SimpRuns             int64
+	SimpVarsEliminated   int64
+	SimpClausesSubsumed  int64
+	SimpLitsStrengthened int64
+	SimpClausesRemoved   int64
 }
 
 // New creates an empty solver with default options.
@@ -223,6 +252,20 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	s.cancelUntil(0)
+
+	// A clause mentioning an eliminated variable re-activates it: the
+	// clauses recorded at its elimination come back first, so the new
+	// clause constrains the variable it names, not a ghost.
+	if s.elim != nil && s.elim.NumEliminated() > 0 {
+		for _, l := range lits {
+			if s.elim.Eliminated(int32(l.Var())) {
+				s.restoreVar(l.Var())
+			}
+		}
+		if s.unsatLevel0 {
+			return false
+		}
+	}
 
 	// Normalise: sort-free dedupe, drop level-0-false lits, detect tautology
 	// and level-0-true lits.
@@ -355,10 +398,12 @@ func (s *Solver) claBump(c *clause) {
 func (s *Solver) claDecay() { s.claInc /= 0.999 }
 
 // pickBranchVar selects the next decision variable by activity.
+// Eliminated variables are skipped: no live clause mentions them, and
+// their model values come from the reconstruction stack instead.
 func (s *Solver) pickBranchVar() Lit {
 	for !s.order.empty() {
 		v := s.order.pop()
-		if s.assigns[v] == lUndef {
+		if s.assigns[v] == lUndef && !s.eliminatedVar(v) {
 			return MkLit(v, s.polarity[v])
 		}
 	}

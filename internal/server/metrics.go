@@ -155,6 +155,26 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, reuse mu
 	fmt.Fprintf(w, "muppetd_translation_cache_total{kind=\"struct_hit\"} %d\n", reuse.Translation.StructHits)
 	fmt.Fprintf(w, "muppetd_translation_cache_total{kind=\"miss\"} %d\n", reuse.Translation.Misses)
 
+	fmt.Fprintln(w, "# HELP muppetd_encoding_circuit_nodes AIG nodes allocated across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_encoding_circuit_nodes gauge")
+	fmt.Fprintf(w, "muppetd_encoding_circuit_nodes %d\n", reuse.Encoding.CircuitNodes)
+
+	fmt.Fprintln(w, "# HELP muppetd_encoding_solver_vars SAT variables across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_encoding_solver_vars gauge")
+	fmt.Fprintf(w, "muppetd_encoding_solver_vars %d\n", reuse.Encoding.SolverVars)
+
+	fmt.Fprintln(w, "# HELP muppetd_encoding_solver_clauses Problem clauses across live sessions, after preprocessing.")
+	fmt.Fprintln(w, "# TYPE muppetd_encoding_solver_clauses gauge")
+	fmt.Fprintf(w, "muppetd_encoding_solver_clauses %d\n", reuse.Encoding.SolverClauses)
+
+	fmt.Fprintln(w, "# HELP muppetd_encoding_vars_eliminated Variables currently eliminated by CNF preprocessing across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_encoding_vars_eliminated gauge")
+	fmt.Fprintf(w, "muppetd_encoding_vars_eliminated %d\n", reuse.Encoding.VarsEliminated)
+
+	fmt.Fprintln(w, "# HELP muppetd_encoding_clauses_removed_total Clauses removed by CNF preprocessing across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_encoding_clauses_removed_total counter")
+	fmt.Fprintf(w, "muppetd_encoding_clauses_removed_total %d\n", reuse.Encoding.ClausesRemoved)
+
 	if len(portfolio) > 0 {
 		fmt.Fprintln(w, "# HELP muppetd_portfolio_worker_conflicts Conflicts per portfolio worker in the most recent portfolio solve.")
 		fmt.Fprintln(w, "# TYPE muppetd_portfolio_worker_conflicts gauge")

@@ -1,0 +1,611 @@
+// Package simp implements SatELite-style CNF preprocessing: bounded
+// variable elimination by clause distribution, clause subsumption, and
+// self-subsuming resolution (strengthening), together with the two pieces
+// of bookkeeping that make preprocessing safe in an incremental,
+// model-producing solver:
+//
+//   - a frozen-variable interface: variables whose identity matters outside
+//     the clause database — relational tuple variables, assumption and
+//     selector literals, cardinality outputs — are frozen by the callers
+//     that own them and are never eliminated;
+//   - a model-reconstruction stack: eliminating a variable records the
+//     clauses it appeared in, and Extend replays the stack in reverse to
+//     give eliminated variables values consistent with every recorded
+//     clause, so a model of the simplified formula extends to a model of
+//     the original one.
+//
+// The package is deliberately below package sat in the import graph (sat
+// drives it before search), so it defines its own literal type with the
+// same encoding and no solver dependencies. All iteration is over slices
+// in index order: given the same input, a run makes the same eliminations
+// in the same order, which the byte-stability guarantees upstream rely on.
+package simp
+
+// Lit is a literal: variable v as 2v (positive) or 2v+1 (negated) — the
+// same encoding as sat.Lit, so conversion is a cast.
+type Lit int32
+
+// MkLit builds a literal from a variable index and a sign.
+func MkLit(v int32, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int32 { return int32(l) >> 1 }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Effort bounds keeping elimination cheap: a variable is only eliminated
+// when distributing its clauses does not grow the database (the classic
+// grow=0 rule), and pathological variables are skipped outright.
+const (
+	occLim    = 12  // skip if both polarities occur more often than this
+	pairLim   = 600 // skip if the resolvent candidate count exceeds this
+	clauseLim = 24  // never produce a resolvent longer than this
+)
+
+// Stats counts preprocessing work across a Preprocessor's lifetime.
+type Stats struct {
+	Runs             int64 // completed Run calls
+	VarsEliminated   int64 // variables eliminated (net of restores)
+	ClausesSubsumed  int64 // clauses deleted by subsumption
+	LitsStrengthened int64 // literals removed by self-subsuming resolution
+	ClausesIn        int64 // clauses most recently handed to Run
+	ClausesOut       int64 // clauses most recently returned by Run
+}
+
+// elimRecord is one entry of the reconstruction stack: the variable and
+// the clauses (all of which mention it) that were removed when it was
+// eliminated.
+type elimRecord struct {
+	v       int32
+	clauses [][]Lit
+	dead    bool // restored; skipped by Extend
+}
+
+// Preprocessor holds the state that must persist across runs of an
+// incremental solver: which variables are frozen, which are currently
+// eliminated, and the reconstruction stack. It is not safe for concurrent
+// use.
+type Preprocessor struct {
+	frozen  []bool
+	elim    []bool
+	records []elimRecord
+	recIdx  map[int32]int // eliminated var → live index into records
+
+	// Stats accumulates counters across Run calls.
+	Stats Stats
+}
+
+// New returns an empty preprocessor.
+func New() *Preprocessor {
+	return &Preprocessor{recIdx: make(map[int32]int)}
+}
+
+// EnsureVars grows the variable tables to cover at least n variables.
+func (p *Preprocessor) EnsureVars(n int) {
+	for len(p.frozen) < n {
+		p.frozen = append(p.frozen, false)
+		p.elim = append(p.elim, false)
+	}
+}
+
+// Freeze marks v as never-eliminate. Callers must Restore an eliminated
+// variable before freezing it (package sat does this transparently).
+func (p *Preprocessor) Freeze(v int32) {
+	p.EnsureVars(int(v) + 1)
+	p.frozen[v] = true
+}
+
+// Frozen reports whether v is frozen.
+func (p *Preprocessor) Frozen(v int32) bool {
+	return int(v) < len(p.frozen) && p.frozen[v]
+}
+
+// Eliminated reports whether v is currently eliminated.
+func (p *Preprocessor) Eliminated(v int32) bool {
+	return int(v) < len(p.elim) && p.elim[v]
+}
+
+// NumEliminated returns the number of currently eliminated variables.
+func (p *Preprocessor) NumEliminated() int { return len(p.recIdx) }
+
+// Restore un-eliminates v and returns the clauses recorded at its
+// elimination; the caller must re-add them to its database (they may
+// mention other eliminated variables, which then need restoring too).
+// Returns nil when v is not eliminated.
+func (p *Preprocessor) Restore(v int32) [][]Lit {
+	idx, ok := p.recIdx[v]
+	if !ok {
+		return nil
+	}
+	rec := &p.records[idx]
+	rec.dead = true
+	delete(p.recIdx, v)
+	p.elim[v] = false
+	p.Stats.VarsEliminated--
+	return rec.clauses
+}
+
+// Extend assigns every eliminated variable a value consistent with its
+// recorded clauses, walking the reconstruction stack newest-first so that
+// variables eliminated later (whose records the earlier ones may mention)
+// are valued first. model is indexed by variable and must cover every
+// recorded variable; entries for eliminated variables are overwritten.
+func (p *Preprocessor) Extend(model []bool) {
+	for i := len(p.records) - 1; i >= 0; i-- {
+		rec := &p.records[i]
+		if rec.dead {
+			continue
+		}
+		// Default false; a recorded clause that needs v true and is not
+		// otherwise satisfied forces true. The resolvents kept in the
+		// database guarantee no clause then needs v false.
+		val := false
+		for _, cls := range rec.clauses {
+			needsTrue, satisfied := false, false
+			for _, l := range cls {
+				if l.Var() == rec.v {
+					needsTrue = !l.Neg()
+					continue
+				}
+				if model[l.Var()] != l.Neg() {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied && needsTrue {
+				val = true
+				break
+			}
+		}
+		model[rec.v] = val
+	}
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Clauses is the simplified database (each with ≥ 2 literals, sorted,
+	// duplicate- and tautology-free).
+	Clauses [][]Lit
+	// Units are facts derived during simplification, to be enqueued at
+	// level 0 by the caller.
+	Units []Lit
+	// Unsat reports that simplification derived the empty clause.
+	Unsat bool
+}
+
+// Run simplifies the given clause database. Input clauses must be free of
+// duplicate literals and tautologies (sat.AddClause guarantees this) and
+// must not mention currently eliminated variables. abort, when non-nil,
+// is polled between variable eliminations; aborting returns the valid
+// partial result. The input slices are not modified.
+func (p *Preprocessor) Run(clauses [][]Lit, abort func() bool) Result {
+	p.Stats.Runs++
+	p.Stats.ClausesIn = int64(len(clauses))
+	rs := &runState{p: p, abort: abort}
+	for _, lits := range clauses {
+		for _, l := range lits {
+			p.EnsureVars(int(l.Var()) + 1)
+		}
+	}
+	rs.occ = make([][]*cl, 2*len(p.frozen))
+	rs.assigns = make([]int8, len(p.frozen))
+	for _, lits := range clauses {
+		rs.addClause(lits)
+		if rs.unsat {
+			return Result{Units: rs.units, Unsat: true}
+		}
+	}
+	rs.propagateUnits()
+
+	// Subsume and strengthen to a fixpoint, then eliminate variables;
+	// each elimination queues its resolvents for further subsumption, so
+	// alternate until neither pass changes anything.
+	rs.processSubsumption()
+	for !rs.unsat && rs.eliminateVars() {
+	}
+
+	res := Result{Units: rs.units, Unsat: rs.unsat}
+	if !rs.unsat {
+		for _, c := range rs.cls {
+			if !c.deleted {
+				res.Clauses = append(res.Clauses, c.lits)
+			}
+		}
+	}
+	p.Stats.ClausesOut = int64(len(res.Clauses))
+	return res
+}
+
+// cl is one working clause: literals kept sorted for two-pointer subset
+// checks, with a variable-set signature as a subsumption prefilter.
+type cl struct {
+	lits    []Lit
+	sig     uint64
+	deleted bool
+	queued  bool // pending in the subsumption queue
+}
+
+func sigOf(lits []Lit) uint64 {
+	var s uint64
+	for _, l := range lits {
+		s |= 1 << (uint(l.Var()) & 63)
+	}
+	return s
+}
+
+type runState struct {
+	p        *Preprocessor
+	cls      []*cl
+	occ      [][]*cl // indexed by literal; cleaned lazily
+	assigns  []int8  // 0 undef, +1 true, -1 false
+	units    []Lit
+	pending  []Lit // units awaiting propagation
+	subQueue []*cl
+	unsat    bool
+	abort    func() bool
+}
+
+func (rs *runState) val(l Lit) int8 {
+	v := rs.assigns[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// addClause installs a clause (copying and sorting its literals), reduced
+// against the current assignment, and queues it for subsumption.
+func (rs *runState) addClause(lits []Lit) {
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch rs.val(l) {
+		case 1:
+			return // satisfied
+		case -1:
+			continue
+		}
+		out = append(out, l)
+	}
+	sortLits(out)
+	switch len(out) {
+	case 0:
+		rs.unsat = true
+		return
+	case 1:
+		rs.enqueueUnit(out[0])
+		return
+	}
+	c := &cl{lits: out, sig: sigOf(out)}
+	rs.cls = append(rs.cls, c)
+	for _, l := range out {
+		rs.occ[l] = append(rs.occ[l], c)
+	}
+	rs.queueSub(c)
+}
+
+func sortLits(ls []Lit) {
+	// Insertion sort: clauses are short and often nearly sorted.
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+func (rs *runState) queueSub(c *cl) {
+	if !c.queued {
+		c.queued = true
+		rs.subQueue = append(rs.subQueue, c)
+	}
+}
+
+func (rs *runState) enqueueUnit(l Lit) {
+	switch rs.val(l) {
+	case 1:
+		return
+	case -1:
+		rs.unsat = true
+		return
+	}
+	if l.Neg() {
+		rs.assigns[l.Var()] = -1
+	} else {
+		rs.assigns[l.Var()] = 1
+	}
+	rs.units = append(rs.units, l)
+	rs.pending = append(rs.pending, l)
+}
+
+// propagateUnits applies pending unit facts to the clause database:
+// satisfied clauses are removed, falsified literals are stripped.
+func (rs *runState) propagateUnits() {
+	for len(rs.pending) > 0 && !rs.unsat {
+		l := rs.pending[0]
+		rs.pending = rs.pending[1:]
+		for _, c := range rs.occ[l] {
+			c.deleted = true
+		}
+		rs.occ[l] = nil
+		neg := l.Not()
+		for _, c := range rs.occ[neg] {
+			if c.deleted {
+				continue
+			}
+			rs.removeLit(c, neg)
+			if rs.unsat {
+				return
+			}
+		}
+		rs.occ[neg] = nil
+	}
+}
+
+// removeLit strengthens c by dropping l, handling the unit and empty
+// cases, and re-queues the stronger clause for subsumption.
+func (rs *runState) removeLit(c *cl, l Lit) {
+	n := c.lits[:0]
+	for _, q := range c.lits {
+		if q != l {
+			n = append(n, q)
+		}
+	}
+	c.lits = n
+	c.sig = sigOf(n)
+	switch len(c.lits) {
+	case 0:
+		rs.unsat = true
+	case 1:
+		c.deleted = true
+		rs.enqueueUnit(c.lits[0])
+	default:
+		rs.queueSub(c)
+	}
+}
+
+// liveOcc compacts and returns the live occurrence list of l: clauses
+// neither deleted nor strengthened past l (strengthening leaves stale
+// occurrence entries behind rather than scanning them out eagerly).
+func (rs *runState) liveOcc(l Lit) []*cl {
+	out := rs.occ[l][:0]
+	for _, c := range rs.occ[l] {
+		if !c.deleted && containsLit(c.lits, l) {
+			out = append(out, c)
+		}
+	}
+	rs.occ[l] = out
+	return out
+}
+
+func containsLit(sorted []Lit, l Lit) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == l
+}
+
+// subset reports a ⊆ b over sorted literal slices.
+func subset(a, b []Lit) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, l := range a {
+		for j < len(b) && b[j] < l {
+			j++
+		}
+		if j == len(b) || b[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// subsetWithFlip reports (a \ {flip}) ∪ {¬flip} ⊆ b. Flipping a literal
+// keeps the slice sorted (2v and 2v+1 are adjacent and a is
+// tautology-free), so the two-pointer walk substitutes in place.
+func subsetWithFlip(a, b []Lit, flip Lit) bool {
+	j := 0
+	for _, l := range a {
+		if l == flip {
+			l = flip.Not()
+		}
+		for j < len(b) && b[j] < l {
+			j++
+		}
+		if j == len(b) || b[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// processSubsumption drains the queue: each queued clause removes the
+// clauses it subsumes and strengthens the clauses it self-subsumes.
+func (rs *runState) processSubsumption() {
+	rs.propagateUnits()
+	for len(rs.subQueue) > 0 && !rs.unsat {
+		rs.propagateUnits()
+		if rs.unsat {
+			return
+		}
+		c := rs.subQueue[0]
+		rs.subQueue = rs.subQueue[1:]
+		c.queued = false
+		if c.deleted || len(c.lits) == 0 {
+			continue
+		}
+
+		// Scan the shortest occurrence list among c's literals: every
+		// clause containing all of c must appear in it.
+		best := c.lits[0]
+		for _, l := range c.lits[1:] {
+			if len(rs.occ[l]) < len(rs.occ[best]) {
+				best = l
+			}
+		}
+		for _, d := range rs.liveOcc(best) {
+			if d == c || d.deleted {
+				continue
+			}
+			if c.sig&^d.sig == 0 && subset(c.lits, d.lits) {
+				d.deleted = true
+				rs.p.Stats.ClausesSubsumed++
+			}
+		}
+
+		// Self-subsuming resolution: if c with one literal flipped is a
+		// subset of d, resolving c against d on that variable yields
+		// d minus the flipped literal — strengthen d in place.
+		for _, l := range c.lits {
+			if c.deleted {
+				break
+			}
+			neg := l.Not()
+			for _, d := range rs.liveOcc(neg) {
+				if d == c || d.deleted {
+					continue
+				}
+				if c.sig&^d.sig == 0 && subsetWithFlip(c.lits, d.lits, l) {
+					rs.removeLit(d, neg)
+					rs.p.Stats.LitsStrengthened++
+					if rs.unsat {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolve computes the resolvent of p (containing v positively) and n
+// (containing v negatively), both sorted; ok is false for tautologies.
+func resolve(pLits, nLits []Lit, v int32) (out []Lit, ok bool) {
+	out = make([]Lit, 0, len(pLits)+len(nLits)-2)
+	i, j := 0, 0
+	for i < len(pLits) || j < len(nLits) {
+		var l Lit
+		switch {
+		case i == len(pLits):
+			l = nLits[j]
+			j++
+		case j == len(nLits):
+			l = pLits[i]
+			i++
+		case pLits[i] <= nLits[j]:
+			l = pLits[i]
+			i++
+		default:
+			l = nLits[j]
+			j++
+		}
+		if l.Var() == v {
+			continue
+		}
+		if k := len(out); k > 0 {
+			if out[k-1] == l {
+				continue // duplicate
+			}
+			if out[k-1] == l.Not() {
+				return nil, false // tautology
+			}
+		}
+		out = append(out, l)
+	}
+	return out, true
+}
+
+// eliminateVars makes one ascending pass over the variables, eliminating
+// each one whose clause distribution does not grow the database. Returns
+// whether anything changed.
+func (rs *runState) eliminateVars() bool {
+	changed := false
+	for v := int32(0); int(v) < len(rs.p.frozen); v++ {
+		if rs.unsat {
+			return changed
+		}
+		if rs.abort != nil && rs.abort() {
+			return false
+		}
+		if rs.p.frozen[v] || rs.p.elim[v] || rs.assigns[v] != 0 {
+			continue
+		}
+		if rs.tryEliminate(v) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (rs *runState) tryEliminate(v int32) bool {
+	pos := rs.liveOcc(MkLit(v, false))
+	neg := rs.liveOcc(MkLit(v, true))
+	if len(pos)+len(neg) == 0 {
+		return false // unconstrained; leave to the search
+	}
+	if len(pos) > occLim && len(neg) > occLim {
+		return false
+	}
+	if len(pos)*len(neg) > pairLim {
+		return false
+	}
+	limit := len(pos) + len(neg) // grow = 0
+	resolvents := make([][]Lit, 0, limit)
+	for _, pc := range pos {
+		for _, nc := range neg {
+			r, ok := resolve(pc.lits, nc.lits, v)
+			if !ok {
+				continue
+			}
+			if len(r) > clauseLim {
+				return false
+			}
+			resolvents = append(resolvents, r)
+			if len(resolvents) > limit {
+				return false
+			}
+		}
+	}
+
+	// Commit: record and remove the variable's clauses, then distribute.
+	rec := elimRecord{v: v}
+	for _, c := range pos {
+		rec.clauses = append(rec.clauses, c.lits)
+		c.deleted = true
+	}
+	for _, c := range neg {
+		rec.clauses = append(rec.clauses, c.lits)
+		c.deleted = true
+	}
+	rs.occ[MkLit(v, false)] = nil
+	rs.occ[MkLit(v, true)] = nil
+	rs.p.recIdx[v] = len(rs.p.records)
+	rs.p.records = append(rs.p.records, rec)
+	rs.p.elim[v] = true
+	rs.p.Stats.VarsEliminated++
+	for _, r := range resolvents {
+		rs.addClause(r)
+		if rs.unsat {
+			return true
+		}
+	}
+	rs.processSubsumption()
+	return true
+}

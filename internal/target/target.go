@@ -249,6 +249,14 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 		st = defaultStrategy
 	}
 	r := Result{}
+	// Soft literals are probed as assumptions and read back from every
+	// model; they must keep their identity through CNF preprocessing.
+	for _, l := range soft {
+		s.FreezeLit(l)
+	}
+	for _, l := range opts.Assumptions {
+		s.FreezeLit(l)
+	}
 	startConflicts := s.Stats.Conflicts
 	startProps := s.Stats.Propagations
 

@@ -51,7 +51,11 @@ func merge(s *sat.Solver, a, b []sat.Lit, m int) []sat.Lit {
 	}
 	out := make([]sat.Lit, n)
 	for k := range out {
-		out[k] = sat.PosLit(s.NewVar())
+		v := s.NewVar()
+		// Counter outputs become assumption/cap literals later; keep them
+		// out of preprocessing's reach.
+		s.Freeze(v)
+		out[k] = sat.PosLit(v)
 	}
 	for i := 0; i <= len(a); i++ {
 		for j := 0; j <= len(b); j++ {

@@ -3,8 +3,10 @@
 // Clients attach each retractable constraint to a selector literal (for
 // circuit-grounded formulas, boolcirc.CNF.LitFor provides exactly that) and
 // ask for a core: a small named subset whose conjunction with the solver's
-// hard clauses is unsatisfiable. The initial core comes from the solver's
-// final-conflict analysis; a deletion pass then minimises it.
+// hard clauses is unsatisfiable. The core is minimised by a canonical
+// deletion pass over the full named list in caller order — each trial is a
+// purely semantic question, so the reported blame is identical across
+// encodings, preprocessing configurations, and solver heuristics.
 //
 // Muppet surfaces these cores as the "unsatisfiable core with blame
 // information" feedback the paper prescribes for hole-style configurations
@@ -45,41 +47,40 @@ func Find(s *sat.Solver, named []Named) []Named {
 // trial comes back Unknown, the element under test is kept, so the result
 // is a valid — possibly non-minimal — core.
 func FindCtx(ctx context.Context, b sat.Budget, s *sat.Solver, named []Named) []Named {
-	all := make([]sat.Lit, len(named))
+	all := make([]sat.Lit, 0, len(named))
+	seenLit := make(map[sat.Lit]bool, len(named))
 	byLit := make(map[sat.Lit][]Named, len(named))
-	for i, n := range named {
-		all[i] = n.Lit
+	for _, n := range named {
+		if !seenLit[n.Lit] {
+			seenLit[n.Lit] = true
+			all = append(all, n.Lit)
+		}
 		byLit[n.Lit] = append(byLit[n.Lit], n)
+		// Selectors must keep their identity through CNF preprocessing.
+		s.FreezeLit(n.Lit)
 	}
 	if s.SolveCtx(ctx, b, all...) != sat.Unsat {
 		return nil
 	}
-	core := s.Core()
-	if len(core) == 0 {
-		return []Named{}
-	}
 
-	// Deletion-based minimisation: one pass over the core, permanently
-	// dropping each literal whose removal keeps the set unsatisfiable. A
-	// single left-to-right pass yields a minimal core: when an element
-	// survives its test, the set at test time is a superset of the final
-	// set, so it would survive against the final set too. Adopting the
-	// solver-reported sub-core after a successful drop shrinks the set
-	// faster; since it may be reordered, the scan restarts — bounded by
-	// the strict shrinkage.
-	kept := append([]sat.Lit(nil), core...)
+	// Canonical deletion-based minimisation: one left-to-right pass over
+	// the FULL named list in caller order, permanently dropping each
+	// literal whose removal keeps the set unsatisfiable. The pass yields a
+	// minimal core: when an element survives its test, the set at test
+	// time is a superset of the final set, so it would survive against the
+	// final set too. Each trial is a semantic satisfiability question, so
+	// the result depends only on the constraints and the caller's order —
+	// never on learnt clauses, restarts, or preprocessing — which is what
+	// keeps blame output byte-identical across encoding configurations.
+	// (Seeding from Solver.Core would be cheaper but heuristic.)
+	kept := append([]sat.Lit(nil), all...)
 	for i := 0; i < len(kept); i++ {
 		trial := make([]sat.Lit, 0, len(kept)-1)
 		trial = append(trial, kept[:i]...)
 		trial = append(trial, kept[i+1:]...)
 		if s.SolveCtx(ctx, b, trial...) == sat.Unsat {
-			if reported := s.Core(); len(reported) < len(trial) {
-				kept = reported
-				i = -1 // reordered; rescan (set strictly shrank)
-			} else {
-				kept = trial
-				i-- // continue the pass at the shifted position
-			}
+			kept = trial
+			i-- // continue the pass at the shifted position
 		}
 	}
 

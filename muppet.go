@@ -179,6 +179,25 @@ func SetPortfolioWorkers(n int) int { return core.SetPortfolioWorkers(n) }
 // PortfolioWorkers reports the current portfolio width.
 func PortfolioWorkers() int { return core.PortfolioWorkers() }
 
+// Encoding is the package-wide encoding-pipeline configuration: the zero
+// value (polarity-aware Tseitin, AIG sweeping, CNF preprocessing all on)
+// is the default; the switches are ablation/escape hatches. Like the
+// portfolio width, changing it never changes verdicts, model validity, or
+// blame cores — only encoding size and speed.
+type Encoding = core.Encoding
+
+// EncodingStats sizes the encoding pipeline across a SolveCache's live
+// sessions (circuit nodes, solver variables/clauses, preprocessing wins).
+type EncodingStats = core.EncodingStats
+
+// SetEncoding installs the encoding configuration for subsequently built
+// sessions and returns the previous one. Safe to call concurrently with
+// running queries.
+func SetEncoding(e Encoding) Encoding { return core.SetEncoding(e) }
+
+// EncodingConfig reports the current encoding configuration.
+func EncodingConfig() Encoding { return core.EncodingConfig() }
+
 // FanOut serves n independent workflow queries across a bounded goroutine
 // pool sharing one (immutable) System; each task owns its parties and any
 // SolveCache. The first error cancels the rest.
