@@ -16,6 +16,7 @@ import (
 	"muppet/internal/envelope"
 	"muppet/internal/relational"
 	"muppet/internal/sat"
+	tenantpool "muppet/internal/tenant"
 )
 
 // walkthrough loads the Sec. 3 / Fig. 1 scenario.
@@ -484,6 +485,78 @@ func BenchmarkEncodingNoSimp(b *testing.B) {
 func BenchmarkEncodingLegacy(b *testing.B) {
 	benchEncodingWith(b, sat.Options{DisableSimp: true},
 		boolcirc.CNFOptions{NoPolarity: true, NoSweep: true})
+}
+
+// BenchmarkEncodingTenantFleet measures the multi-tenant serving path: a
+// fleet of differently-sized synthetic tenants, each with its own
+// warm-cache pool on one shared ledger whose budget holds only about half
+// the fleet's warm sessions, so queries round-robining across tenants
+// continuously evict and rebuild sessions. ns/op is the per-query latency
+// of a budget-constrained fleet; the metrics record how much reuse
+// survives the eviction pressure.
+func BenchmarkEncodingTenantFleet(b *testing.B) {
+	const fleet = 8
+	type tenantBundle struct {
+		sys   *muppet.System
+		k8s   *muppet.Party
+		istio *muppet.Party
+		pool  *tenantpool.CachePool
+	}
+	mk := func(i int) (*muppet.System, *muppet.Party, *muppet.Party) {
+		sc := muppet.GenerateScenario(muppet.ScenarioParams{
+			Services:        3 + i%3,
+			PortsPerService: 2,
+			Flows:           3,
+			BannedPorts:     1,
+			Seed:            int64(101 + i),
+		})
+		sys, err := sc.System()
+		if err != nil {
+			b.Fatal(err)
+		}
+		k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, k8sParty, istioParty
+	}
+	ctx := context.Background()
+	// Size the budget from one warm probe cache: room for roughly half the
+	// fleet's sessions, so the ledger must keep evicting.
+	sys0, k8s0, istio0 := mk(0)
+	probe := muppet.NewSolveCache()
+	if res := probe.LocalConsistencyCtx(ctx, sys0, k8s0, []*muppet.Party{istio0}, muppet.Budget{}); !res.OK {
+		b.Fatal("fleet scenario must be consistent")
+	}
+	ledger := tenantpool.NewLedger(probe.ApproxBytes() * fleet / 2)
+	bundles := make([]*tenantBundle, fleet)
+	for i := range bundles {
+		sys, k8sParty, istioParty := mk(i)
+		bundles[i] = &tenantBundle{sys: sys, k8s: k8sParty, istio: istioParty,
+			pool: ledger.NewPool(fmt.Sprintf("tenant-%02d", i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := bundles[i%fleet]
+		c := bu.pool.Checkout()
+		res := c.LocalConsistencyCtx(ctx, bu.sys, bu.k8s, []*muppet.Party{bu.istio}, muppet.Budget{})
+		bu.pool.Checkin(c)
+		if !res.OK {
+			b.Fatal("fleet scenario must be consistent")
+		}
+	}
+	b.StopTimer()
+	var agg muppet.ReuseStats
+	for _, bu := range bundles {
+		agg.Add(bu.pool.Stats().Reuse)
+	}
+	reportReuse(b, agg)
+	b.ReportMetric(float64(ledger.Evictions()), "cache-evictions")
+	b.ReportMetric(float64(ledger.TotalBytes()), "cache-idle-bytes")
 }
 
 // BenchmarkAblationEnvelopeNoSimplify computes the Fig. 5 envelope without

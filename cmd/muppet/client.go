@@ -15,11 +15,13 @@ import (
 )
 
 // clientExecute routes one mediation request through a running muppetd
-// at addr and prints its verdict, which is byte-identical to the local
-// one (both render through server.Exec). Budgets travel as headers; the
-// solver-configuration flags are daemon-startup knobs, so using them
-// together with -addr is an error rather than a silent no-op.
-func clientExecute(ctx context.Context, addr string, lim *limits, strategy string, req server.Request) error {
+// at addr — to /v1/{op} by default, or /t/{tenant}/{op} when -tenant
+// names one of the daemon's bundles — and prints its verdict, which is
+// byte-identical to the local one (both render through server.Exec).
+// Budgets travel as headers; the solver-configuration flags are
+// daemon-startup knobs, so using them together with -addr is an error
+// rather than a silent no-op.
+func clientExecute(ctx context.Context, addr, tenantID string, lim *limits, strategy string, req server.Request) error {
 	if lim.portfolio != 0 {
 		return fmt.Errorf("-portfolio is a daemon-side setting; start muppetd with it instead of combining it with -addr")
 	}
@@ -37,8 +39,12 @@ func clientExecute(ctx context.Context, addr string, lim *limits, strategy strin
 	if err != nil {
 		return err
 	}
+	path := "/v1/" + req.Op
+	if tenantID != "" {
+		path = "/t/" + tenantID + "/" + req.Op
+	}
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(base, "/")+"/v1/"+req.Op, bytes.NewReader(body))
+		strings.TrimSuffix(base, "/")+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

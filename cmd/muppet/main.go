@@ -48,6 +48,7 @@ import (
 	"muppet/internal/buildinfo"
 	"muppet/internal/server"
 	"muppet/internal/target"
+	"muppet/internal/tenant"
 )
 
 // Exit codes, shared with the daemon's verdict codes so scripted callers
@@ -167,6 +168,8 @@ check/envelope/reconcile/conform/negotiate also accept:
   -addr           route the request through a running muppetd at host:port
                   instead of solving locally (budgets travel as headers;
                   -portfolio/-strategy/-v are daemon-side and rejected)
+  -tenant         tenant to address on the daemon (requires -addr;
+                  default: the daemon's default tenant)
 
 check/envelope/reconcile/conform/negotiate/bench also accept:
   -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
@@ -177,9 +180,11 @@ check/envelope/reconcile/conform/negotiate/bench also accept:
   -v              print session-reuse, encoding, and portfolio statistics
 
 bench also accepts:
-  -n         number of queries to serve (default 64)
-  -parallel  worker goroutines (0 = GOMAXPROCS; default 1)
-  -kind      query kind: consistency|envelope|reconcile|mixed
+  -n                number of queries to serve (default 64)
+  -parallel         worker goroutines (0 = GOMAXPROCS; default 1)
+  -kind             query kind: consistency|envelope|reconcile|mixed|tenants
+  -tenants          fleet size for -kind tenants (default 8; -files unused)
+  -cache-budget-mb  idle warm-cache budget for -kind tenants, MiB (0 = unlimited)
 
 reconcile/conform/negotiate also accept:
   -strategy     minimal-edit distance search: auto|linear|binary
@@ -272,20 +277,26 @@ func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc
 	return ctx, cancel, b, nil
 }
 
-// registerAddr adds the daemon-routing flag shared by the workflow
-// commands.
-func registerAddr(fs *flag.FlagSet) *string {
-	return fs.String("addr", "",
+// registerAddr adds the daemon-routing flags shared by the workflow
+// commands: where the daemon is, and which of its tenants to address.
+func registerAddr(fs *flag.FlagSet) (addr, tenantID *string) {
+	addr = fs.String("addr", "",
 		"route the request through a running muppetd at host:port instead of solving locally")
+	tenantID = fs.String("tenant", "",
+		"tenant to address on the daemon (requires -addr; default: the daemon's default tenant)")
+	return addr, tenantID
 }
 
 // execute runs one mediation request: locally through server.Exec (the
 // same renderer the daemon uses, so both modes produce byte-identical
 // verdicts), or against a running daemon when addr is set. strategy is ""
 // for commands without a -strategy flag.
-func execute(ctx context.Context, in *inputs, lim *limits, strategy, addr string, req server.Request) error {
+func execute(ctx context.Context, in *inputs, lim *limits, strategy, addr, tenantID string, req server.Request) error {
 	if addr != "" {
-		return clientExecute(ctx, addr, lim, strategy, req)
+		return clientExecute(ctx, addr, tenantID, lim, strategy, req)
+	}
+	if tenantID != "" {
+		return fmt.Errorf("-tenant selects a daemon bundle and needs -addr; local solves take their bundle from -files")
 	}
 	if strategy != "" {
 		if err := applyStrategy(strategy); err != nil {
@@ -358,10 +369,10 @@ func runCheck(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr := registerAddr(fs)
+	addr, tenantID := registerAddr(fs)
 	party := fs.String("party", "k8s", "party to check: k8s|istio")
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, "", *addr, server.Request{Op: "check", Party: *party})
+	return execute(ctx, &in, &lim, "", *addr, *tenantID, server.Request{Op: "check", Party: *party})
 }
 
 func runEnvelope(ctx context.Context, args []string) error {
@@ -370,13 +381,13 @@ func runEnvelope(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr := registerAddr(fs)
+	addr, tenantID := registerAddr(fs)
 	from := fs.String("from", "k8s", "sender party")
 	to := fs.String("to", "istio", "recipient party")
 	leakage := fs.Bool("leakage", false, "also print the leaked atoms")
 	english := fs.Bool("english", false, "also print a prose rendering")
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, "", *addr, server.Request{
+	return execute(ctx, &in, &lim, "", *addr, *tenantID, server.Request{
 		Op: "envelope", From: *from, To: *to, Leakage: *leakage, English: *english,
 	})
 }
@@ -387,10 +398,10 @@ func runReconcile(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr := registerAddr(fs)
+	addr, tenantID := registerAddr(fs)
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "reconcile"})
+	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "reconcile"})
 }
 
 func runConform(ctx context.Context, args []string) error {
@@ -399,11 +410,11 @@ func runConform(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr := registerAddr(fs)
+	addr, tenantID := registerAddr(fs)
 	provider := fs.String("provider", "k8s", "inflexible provider party")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "conform", Provider: *provider})
+	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "conform", Provider: *provider})
 }
 
 func runNegotiate(ctx context.Context, args []string) error {
@@ -412,11 +423,11 @@ func runNegotiate(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr := registerAddr(fs)
+	addr, tenantID := registerAddr(fs)
 	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, server.Request{Op: "negotiate", Rounds: *rounds})
+	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "negotiate", Rounds: *rounds})
 }
 
 // runBench serves -n independent queries across -parallel workers sharing
@@ -430,13 +441,18 @@ func runBench(ctx context.Context, args []string) error {
 	lim.register(fs)
 	n := fs.Int("n", 64, "number of queries to serve")
 	parallel := fs.Int("parallel", 1, "worker goroutines (0 = GOMAXPROCS)")
-	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed")
+	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed|tenants")
+	fleet := fs.Int("tenants", 8, "fleet size for -kind tenants")
+	budgetMB := fs.Int("cache-budget-mb", 0, "idle warm-cache budget for -kind tenants, MiB (0 = unlimited)")
 	fs.Parse(args)
 	ctx, cancel, budget, err := lim.apply(ctx)
 	if err != nil {
 		return err
 	}
 	defer cancel()
+	if *kind == "tenants" {
+		return benchTenants(ctx, &lim, budget, *n, *parallel, *fleet, *budgetMB)
+	}
 	st, err := in.load()
 	if err != nil {
 		return err
@@ -447,7 +463,7 @@ func runBench(ctx context.Context, args []string) error {
 	case "consistency", "envelope", "reconcile":
 		kinds = []string{*kind}
 	default:
-		return fmt.Errorf("bad -kind %q (want consistency|envelope|reconcile|mixed)", *kind)
+		return fmt.Errorf("bad -kind %q (want consistency|envelope|reconcile|mixed|tenants)", *kind)
 	}
 	workers := *parallel
 	if workers <= 0 {
@@ -510,6 +526,93 @@ func runBench(ctx context.Context, args []string) error {
 	qps := float64(served.Load()) / elapsed.Seconds()
 	fmt.Printf("served %d queries (%s) with %d workers in %v (%.1f queries/s)\n",
 		served.Load(), *kind, workers, elapsed.Round(time.Millisecond), qps)
+	return nil
+}
+
+// benchTenants is the -kind tenants mode: an in-process model of the
+// multi-tenant daemon. It generates a fleet of synthetic tenant bundles,
+// gives each a warm-cache pool on one shared ledger, and round-robins
+// consistency queries across the fleet from -parallel workers, reporting
+// throughput plus the ledger's eviction behaviour under -cache-budget-mb.
+func benchTenants(ctx context.Context, lim *limits, budget muppet.Budget, n, parallel, fleet, budgetMB int) error {
+	if fleet <= 0 {
+		return fmt.Errorf("bad -tenants %d (want > 0)", fleet)
+	}
+	type bundle struct {
+		sys   *muppet.System
+		k8s   *muppet.Party
+		istio *muppet.Party
+		pool  *tenant.CachePool
+	}
+	ledger := tenant.NewLedger(int64(budgetMB) << 20)
+	bundles := make([]*bundle, fleet)
+	for i := range bundles {
+		// Vary the scenario size across the fleet so tenants' warm caches
+		// differ in weight, giving the eviction policy real choices.
+		sc := muppet.GenerateScenario(muppet.ScenarioParams{
+			Services:        3 + i%3,
+			PortsPerService: 2,
+			Flows:           3,
+			BannedPorts:     1,
+			Seed:            int64(101 + i),
+		})
+		sys, err := sc.System()
+		if err != nil {
+			return err
+		}
+		k8s, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), nil)
+		if err != nil {
+			return err
+		}
+		istio, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+		if err != nil {
+			return err
+		}
+		bundles[i] = &bundle{sys: sys, k8s: k8s, istio: istio,
+			pool: ledger.NewPool(fmt.Sprintf("tenant-%02d", i))}
+	}
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var served atomic.Int64
+	start := time.Now()
+	err := muppet.FanOut(ctx, workers, workers, func(ctx context.Context, w int) error {
+		for q := w; q < n; q += workers {
+			bu := bundles[q%fleet]
+			c := bu.pool.Checkout()
+			res := c.LocalConsistencyCtx(ctx, bu.sys, bu.k8s, []*muppet.Party{bu.istio}, budget)
+			bu.pool.Checkin(c)
+			if res.Indeterminate {
+				return fmt.Errorf("query %d (%s) indeterminate (%s)", q, bu.pool.Tenant(), res.Stop)
+			}
+			served.Add(1)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if lim.verbose {
+		var agg muppet.ReuseStats
+		for _, bu := range bundles {
+			agg.Add(bu.pool.Stats().Reuse)
+		}
+		printReuse(agg, nil)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Printf("INDETERMINATE: served %d/%d queries in %v\n", served.Load(), n, elapsed.Round(time.Millisecond))
+			return statusErr(exitIndeterminate)
+		}
+		return err
+	}
+	qps := float64(served.Load()) / elapsed.Seconds()
+	fmt.Printf("served %d queries across %d tenants with %d workers in %v (%.1f queries/s)\n",
+		served.Load(), fleet, workers, elapsed.Round(time.Millisecond), qps)
+	fmt.Printf("cache budget %d MiB: %d idle bytes, %d evictions\n",
+		budgetMB, ledger.TotalBytes(), ledger.Evictions())
 	return nil
 }
 

@@ -240,6 +240,42 @@ func TestClientModeRejectsDaemonSideFlags(t *testing.T) {
 	}
 }
 
+// TestClientTenantFlag pins the -tenant routing: naming the daemon's
+// default tenant explicitly hits /t/default/{op} and must match the /v1
+// output byte for byte; an unknown tenant is a daemon-side 404; and
+// -tenant without -addr is rejected, since local solves take their
+// bundle from -files.
+func TestClientTenantFlag(t *testing.T) {
+	st, err := server.Load(server.Config{
+		Files:      fig1Files,
+		K8sGoals:   "../../testdata/fig1/k8s_goals.csv",
+		IstioGoals: "../../testdata/fig1/istio_goals_revised.csv",
+		K8sOffer:   "soft",
+		IstioOffer: "soft",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(st, server.Options{Concurrency: 2, QueueDepth: 8})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	addr := strings.TrimPrefix(hs.URL, "http://")
+
+	argv := []string{"check", "-party", "k8s", "-files", fig1Files, "-addr", addr}
+	defOut, defCode := captureRun(t, argv)
+	tenOut, tenCode := captureRun(t, append(argv, "-tenant", server.DefaultTenant))
+	if tenCode != defCode || tenOut != defOut {
+		t.Errorf("-tenant default: exit %d output %q, want exit %d output %q", tenCode, tenOut, defCode, defOut)
+	}
+	if code := runCtx(context.Background(), append(argv, "-tenant", "no-such-tenant")); code != exitInternal {
+		t.Errorf("unknown tenant: exit %d, want %d", code, exitInternal)
+	}
+	if code := runCtx(context.Background(), []string{"check", "-files", fig1Files, "-tenant", "acme"}); code != exitInternal {
+		t.Errorf("-tenant without -addr: exit %d, want %d", code, exitInternal)
+	}
+}
+
 func TestRunCtxUsageExitCodes(t *testing.T) {
 	if code := runCtx(context.Background(), nil); code != exitUsage {
 		t.Fatalf("no command: exit %d, want %d", code, exitUsage)

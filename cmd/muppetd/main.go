@@ -1,24 +1,37 @@
-// Command muppetd is the long-running mediation daemon: it loads a
-// mesh/goal bundle once, compiles the system, and serves the paper's
-// workflows over HTTP/JSON from a pool of workers with warm solver
-// sessions.
+// Command muppetd is the long-running mediation daemon: it loads one or
+// many mesh/goal bundles, compiles each into an immutable system, and
+// serves the paper's workflows over HTTP/JSON from a pool of workers
+// drawing warm solver sessions out of per-tenant cache pools.
 //
 // Endpoints:
 //
-//	POST /v1/check      — local consistency of one party's offer (Alg. 1)
-//	POST /v1/envelope   — compute E_{A→B} (Alg. 3)
-//	POST /v1/reconcile  — reconcile all offers (Alg. 2)
-//	POST /v1/conform    — the conformance workflow (Fig. 7)
-//	POST /v1/negotiate  — the negotiation workflow (Fig. 9)
-//	GET  /healthz       — liveness
-//	GET  /readyz        — readiness (503 while draining)
-//	GET  /metrics       — Prometheus text exposition
+//	POST /v1/{op}              — workflow op against the default tenant
+//	POST /t/{tenant}/{op}      — workflow op against a named tenant
+//	GET  /tenants              — registry, revisions, cache-pool accounting
+//	POST /tenants/{id}/reload  — hot-reload one tenant (?force=1 to swap
+//	                             even when its inputs are unchanged)
+//	GET  /healthz              — liveness
+//	GET  /readyz               — readiness (503 while draining)
+//	GET  /metrics              — Prometheus text exposition
+//
+// where op is check (Alg. 1), envelope (Alg. 3), reconcile (Alg. 2),
+// conform (Fig. 7), or negotiate (Fig. 9).
+//
+// Single-tenant mode (-files ...) is the degenerate case: the bundle is
+// registered as the "default" tenant and /v1/ serves it exactly as
+// before. Multi-tenant mode (-tenant-dir) scans a directory of
+// <id>/tenant.yaml manifests; SIGHUP (or -tenant-rescan polling) rescans
+// it, adding new tenants, hot-reloading changed ones, and removing
+// vanished ones. Reloads are atomic swaps — in-flight requests finish on
+// the revision they started with.
 //
 // Request bodies are JSON (see internal/server.Request); budgets travel
 // in the X-Muppet-Timeout and X-Muppet-Max-Conflicts headers, capped by
-// -max-timeout. Overload is rejected with 429 + Retry-After. SIGINT or
-// SIGTERM drains gracefully: admission stops, in-flight solves get
-// -drain-grace to finish, then are cancelled and answered indeterminate.
+// -max-timeout. -cache-budget-mb bounds idle warm-session memory across
+// all tenants; -router composes solver pools per op. Overload is
+// rejected with 429 + Retry-After. SIGINT or SIGTERM drains gracefully:
+// admission stops, in-flight solves get -drain-grace to finish, then are
+// cancelled and answered indeterminate.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"muppet/internal/buildinfo"
 	"muppet/internal/server"
 	"muppet/internal/target"
+	"muppet/internal/tenant"
 )
 
 func main() {
@@ -50,12 +64,16 @@ func run(argv []string, ready func(addr string)) int {
 	fs := flag.NewFlagSet("muppetd", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var cfg server.Config
-	fs.StringVar(&cfg.Files, "files", "", "comma-separated YAML files (required)")
+	fs.StringVar(&cfg.Files, "files", "", "comma-separated YAML files (single-tenant mode)")
 	fs.StringVar(&cfg.K8sGoals, "k8s-goals", "", "K8s goals CSV")
 	fs.StringVar(&cfg.IstioGoals, "istio-goals", "", "Istio goals CSV")
 	fs.StringVar(&cfg.K8sOffer, "k8s-offer", "fixed", "K8s offer: fixed|soft|holes")
 	fs.StringVar(&cfg.IstioOffer, "istio-offer", "soft", "Istio offer: fixed|soft|holes")
 	fs.StringVar(&cfg.Ports, "ports", "", "extra ports, comma-separated")
+	tenantDir := fs.String("tenant-dir", "", "directory of <id>/tenant.yaml manifests to serve as tenants")
+	tenantRescan := fs.Duration("tenant-rescan", 0, "poll -tenant-dir for changes this often (0 = SIGHUP/admin only)")
+	cacheBudgetMB := fs.Int("cache-budget-mb", 0, "idle warm-cache memory budget across all tenants, MiB (0 = unlimited)")
+	routerPath := fs.String("router", "", "solver-pool router YAML (default: every op on one warm-cache pool)")
 	addr := fs.String("addr", "127.0.0.1:8337", "listen address")
 	concurrency := fs.Int("concurrency", 0, "solver workers (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (0 = 2×concurrency)")
@@ -73,6 +91,10 @@ func run(argv []string, ready func(addr string)) int {
 		fmt.Println("muppetd", buildinfo.Version())
 		return 0
 	}
+	if cfg.Files == "" && *tenantDir == "" {
+		fmt.Fprintln(os.Stderr, "muppetd: -files or -tenant-dir is required")
+		return server.CodeUsage
+	}
 	// Strategy and portfolio width are process-wide solver configuration,
 	// so they are daemon-startup knobs, never per-request ones.
 	st, ok := target.ParseStrategy(*strategy)
@@ -83,28 +105,105 @@ func run(argv []string, ready func(addr string)) int {
 	target.SetDefaultStrategy(st)
 	muppet.SetPortfolioWorkers(*portfolio)
 
-	state, err := server.Load(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "muppetd:", err)
+	router := tenant.DefaultRouter()
+	if *routerPath != "" {
+		var err error
+		if router, err = tenant.LoadRouter(*routerPath); err != nil {
+			fmt.Fprintln(os.Stderr, "muppetd:", err)
+			return server.CodeInternal
+		}
+	}
+
+	// Populate the registry: the -files bundle (if any) is the static
+	// "default" tenant; -tenant-dir tenants are discovered and kept in
+	// sync by rescans.
+	reg := tenant.NewRegistry[*server.State](tenant.NewLedger(int64(*cacheBudgetMB) << 20))
+	if cfg.Files != "" {
+		if _, err := reg.Add(server.DefaultTenant, server.LoaderFromConfig(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "muppetd:", err)
+			return server.CodeInternal
+		}
+	}
+	if *tenantDir != "" {
+		reg.SetDiscover(server.DirDiscover(*tenantDir))
+		rep, err := reg.Rescan()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "muppetd:", err)
+			return server.CodeInternal
+		}
+		for id, ferr := range rep.Failed {
+			// A broken tenant at startup is fatal: better to refuse to start
+			// than to silently serve a subset of the fleet.
+			fmt.Fprintf(os.Stderr, "muppetd: tenant %s: %v\n", id, ferr)
+			return server.CodeInternal
+		}
+		log.Printf("muppetd: loaded %d tenants from %s", len(rep.Added), *tenantDir)
+	}
+	if reg.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "muppetd: no tenants found in %s\n", *tenantDir)
 		return server.CodeInternal
 	}
-	s := server.New(state, server.Options{
+
+	s := server.NewMulti(reg, server.Options{
 		Concurrency: *concurrency,
 		QueueDepth:  *queueDepth,
 		MaxTimeout:  *maxTimeout,
+		Router:      router,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "muppetd:", err)
 		return server.CodeInternal
 	}
-	log.Printf("muppetd %s serving on http://%s", buildinfo.Version(), ln.Addr())
+	log.Printf("muppetd %s serving %d tenants on http://%s", buildinfo.Version(), reg.Len(), ln.Addr())
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Rescan triggers: SIGHUP always; a -tenant-rescan ticker optionally.
+	// Rescans are serialized inside the registry, so overlapping triggers
+	// simply coalesce.
+	rescan := func(reason string) {
+		rep, err := reg.Rescan()
+		if err != nil {
+			log.Printf("muppetd: rescan (%s): %v", reason, err)
+			return
+		}
+		if len(rep.Added)+len(rep.Reloaded)+len(rep.Removed)+len(rep.Failed) > 0 {
+			log.Printf("muppetd: rescan (%s): added=%v reloaded=%v removed=%v failed=%d",
+				reason, rep.Added, rep.Reloaded, rep.Removed, len(rep.Failed))
+			for id, ferr := range rep.Failed {
+				log.Printf("muppetd: tenant %s: %v", id, ferr)
+			}
+		}
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	rescanDone := make(chan struct{})
+	go func() {
+		defer close(rescanDone)
+		var tick <-chan time.Time
+		if *tenantRescan > 0 {
+			ticker := time.NewTicker(*tenantRescan)
+			defer ticker.Stop()
+			tick = ticker.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				rescan("SIGHUP")
+			case <-tick:
+				rescan("poll")
+			}
+		}
+	}()
+
 	hs := &http.Server{Handler: s}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -116,6 +215,7 @@ func run(argv []string, ready func(addr string)) int {
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process the default way
+	<-rescanDone
 
 	log.Printf("muppetd: draining (grace %v)", *drainGrace)
 	s.Drain()

@@ -1,13 +1,20 @@
 package muppet_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"muppet"
 	"muppet/internal/server"
+	tenantpool "muppet/internal/tenant"
 )
 
 // The encoding cross-check suite asserts the core promise of the encoding
@@ -182,6 +189,80 @@ func TestEncodingCrossCheckScenarios(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestMultiTenantServingMatchesColdExec extends the cross-check promise
+// to the multi-tenant daemon: every op served from a tenant's warm cache
+// pool over HTTP must be byte-identical to a cold one-shot execution of
+// the same bundle (the CLI path, nil cache). Two rounds per tenant make
+// the second round answer from reused sessions, so warm-vs-cold parity —
+// not just determinism — is what's being checked.
+func TestMultiTenantServingMatchesColdExec(t *testing.T) {
+	dir := t.TempDir()
+	mkCfg := func(id, goalsCSV string) server.Config {
+		p := filepath.Join(dir, id+"_k8s_goals.csv")
+		if err := os.WriteFile(p, []byte(goalsCSV), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return server.Config{
+			Files:      "testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml",
+			K8sGoals:   p,
+			IstioGoals: "testdata/fig1/istio_goals_revised.csv",
+			K8sOffer:   "soft",
+			IstioOffer: "soft",
+		}
+	}
+	cfgs := map[string]server.Config{
+		"alpha": mkCfg("alpha", "port,perm,selector\n23,DENY,*\n"),
+		"bravo": mkCfg("bravo", "port,perm,selector\n24,DENY,*\n"),
+	}
+
+	reg := tenantpool.NewRegistry[*server.State](tenantpool.NewLedger(0))
+	for id, cfg := range cfgs {
+		if _, err := reg.Add(id, server.LoaderFromConfig(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := server.NewMulti(reg, server.Options{Concurrency: 2, QueueDepth: 16})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	reqs := []server.Request{
+		{Op: "check", Party: "k8s"},
+		{Op: "envelope", From: "k8s", To: "istio", Leakage: true},
+		{Op: "reconcile"},
+		{Op: "negotiate"},
+	}
+	for id, cfg := range cfgs {
+		st, err := server.Load(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range reqs {
+			cold, err := server.Exec(context.Background(), st, nil, req, muppet.Budget{})
+			if err != nil {
+				t.Fatalf("%s/%s cold: %v", id, req.Op, err)
+			}
+			for round := 0; round < 2; round++ {
+				body, _ := json.Marshal(req)
+				res, err := http.Post(hs.URL+"/t/"+id+"/"+req.Op, "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Fatalf("%s/%s round %d: %v", id, req.Op, round, err)
+				}
+				var warm server.Response
+				derr := json.NewDecoder(res.Body).Decode(&warm)
+				res.Body.Close()
+				if derr != nil || res.StatusCode != http.StatusOK {
+					t.Fatalf("%s/%s round %d: HTTP %d, decode %v", id, req.Op, round, res.StatusCode, derr)
+				}
+				if warm.Code != cold.Code || warm.Output != cold.Output {
+					t.Fatalf("%s/%s round %d: served answer differs from cold exec\n--- cold (code %d) ---\n%s\n--- served (code %d) ---\n%s",
+						id, req.Op, round, cold.Code, cold.Output, warm.Code, warm.Output)
+				}
+			}
 		}
 	}
 }

@@ -28,6 +28,10 @@ type SolveCache struct {
 	entries  map[string]*workspace
 	sessions int64
 	reuses   int64
+	// clock is a logical access counter stamping each workspace's last
+	// use, so Evict can drop the least-recently-used session first.
+	clock     int64
+	evictions int64
 }
 
 // NewSolveCache creates an empty cache.
@@ -41,6 +45,9 @@ type ReuseStats struct {
 	Sessions int64
 	// Reuses is the number of calls served by a live session.
 	Reuses int64
+	// Evictions is the number of live sessions dropped by Evict — the
+	// price of keeping a long-lived cache under a memory budget.
+	Evictions int64
 	// Translation aggregates the translation-cache counters across all
 	// live sessions.
 	Translation relational.CacheStats
@@ -58,16 +65,37 @@ type EncodingStats struct {
 	// counts problem clauses after preprocessing).
 	SolverVars    int64
 	SolverClauses int64
+	// LearntClauses counts live learnt clauses — the part of the clause
+	// database that grows with search effort on a warm session.
+	LearntClauses int64
 	// VarsEliminated is the number of variables currently eliminated by
 	// CNF preprocessing; ClausesRemoved accumulates clauses it removed.
 	VarsEliminated int64
 	ClausesRemoved int64
 }
 
+// Approximate per-object sizes of the live solving structures, in bytes.
+// These are deliberately rough (struct headers, watch lists, hash-cons
+// tables and activity metadata averaged in) — the accounting exists to
+// keep a fleet of warm sessions under a budget, not to audit the heap.
+const (
+	bytesPerCircuitNode = 32 // AIG node: fanins, hash-cons slot, flags
+	bytesPerVar         = 56 // assignment, level, reason, activity, watches
+	bytesPerClause      = 64 // header + average literal payload + watch refs
+)
+
+// ApproxBytes estimates the resident memory behind these encoding sizes.
+func (e EncodingStats) ApproxBytes() int64 {
+	return e.CircuitNodes*bytesPerCircuitNode +
+		e.SolverVars*bytesPerVar +
+		(e.SolverClauses+e.LearntClauses)*bytesPerClause
+}
+
 func (e *EncodingStats) add(t EncodingStats) {
 	e.CircuitNodes += t.CircuitNodes
 	e.SolverVars += t.SolverVars
 	e.SolverClauses += t.SolverClauses
+	e.LearntClauses += t.LearntClauses
 	e.VarsEliminated += t.VarsEliminated
 	e.ClausesRemoved += t.ClausesRemoved
 }
@@ -79,6 +107,7 @@ func sessionEncodingStats(ss *relational.Session) EncodingStats {
 		CircuitNodes:   int64(ss.CNF().Factory().NumNodes()),
 		SolverVars:     int64(s.NumVars()),
 		SolverClauses:  int64(s.NumClauses()),
+		LearntClauses:  int64(s.NumLearnts()),
 		VarsEliminated: s.Stats.SimpVarsEliminated,
 		ClausesRemoved: s.Stats.SimpClausesRemoved,
 	}
@@ -90,6 +119,7 @@ func sessionEncodingStats(ss *relational.Session) EncodingStats {
 func (s *ReuseStats) Add(t ReuseStats) {
 	s.Sessions += t.Sessions
 	s.Reuses += t.Reuses
+	s.Evictions += t.Evictions
 	s.Translation.PointerHits += t.Translation.PointerHits
 	s.Translation.StructHits += t.Translation.StructHits
 	s.Translation.Misses += t.Translation.Misses
@@ -101,7 +131,7 @@ func (c *SolveCache) Stats() ReuseStats {
 	if c == nil {
 		return ReuseStats{}
 	}
-	st := ReuseStats{Sessions: c.sessions, Reuses: c.reuses}
+	st := ReuseStats{Sessions: c.sessions, Reuses: c.reuses, Evictions: c.evictions}
 	for _, ws := range c.entries {
 		t := ws.ss.CacheStats()
 		st.Translation.PointerHits += t.PointerHits
@@ -157,8 +187,10 @@ func (c *SolveCache) workspaceFor(sys *encode.System, specs []partySpec) *worksp
 		return newWorkspace(sys, specs, false)
 	}
 	key := specsKey(specs)
+	c.clock++
 	if ws, ok := c.entries[key]; ok && ws.sys == sys {
 		c.reuses++
+		ws.lastUsed = c.clock
 		// The hit may be for different party objects of the same shape:
 		// adopt the new specs before reset re-derives the per-call state.
 		ws.specs = specs
@@ -167,9 +199,58 @@ func (c *SolveCache) workspaceFor(sys *encode.System, specs []partySpec) *worksp
 		return ws
 	}
 	ws := newWorkspace(sys, specs, true)
+	ws.lastUsed = c.clock
 	c.entries[key] = ws
 	c.sessions++
 	return ws
+}
+
+// Len reports the number of live sessions the cache holds.
+func (c *SolveCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// ApproxBytes estimates the resident memory behind the cache's live
+// sessions, from each session's encoding sizes (see
+// EncodingStats.ApproxBytes). It is the unit a serving process budgets
+// warm caches by.
+func (c *SolveCache) ApproxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for _, ws := range c.entries {
+		total += sessionEncodingStats(ws.ss).ApproxBytes()
+	}
+	return total
+}
+
+// Evict drops up to n live sessions, least recently used first, releasing
+// their circuits, clause databases and learnt clauses to the collector.
+// It returns the number evicted. An evicted shape simply rebuilds on its
+// next use — eviction trades warm-start latency for memory, never
+// correctness.
+func (c *SolveCache) Evict(n int) int {
+	if c == nil || n <= 0 {
+		return 0
+	}
+	evicted := 0
+	for evicted < n && len(c.entries) > 0 {
+		lruKey := ""
+		var lru *workspace
+		for k, ws := range c.entries {
+			if lru == nil || ws.lastUsed < lru.lastUsed {
+				lruKey, lru = k, ws
+			}
+		}
+		delete(c.entries, lruKey)
+		c.evictions++
+		evicted++
+	}
+	return evicted
 }
 
 // LocalConsistencyCtx is the Alg. 1 check on a cached session; see the

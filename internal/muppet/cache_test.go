@@ -211,3 +211,73 @@ func TestPortfolioNegotiationDeterminism(t *testing.T) {
 		t.Fatalf("terminal reason: sequential %v, portfolio %v", seq.Reason, par.Reason)
 	}
 }
+
+// TestSolveCacheBoundedEviction pins the bounded-cache surface a serving
+// process budgets by: Len and ApproxBytes track live sessions, Evict
+// drops least-recently-used sessions first, a rebuilt shape answers
+// identically, and the nil cache is the valid always-cold degenerate.
+func TestSolveCacheBoundedEviction(t *testing.T) {
+	f := loadFixture(t)
+	ctx := context.Background()
+	cache := NewSolveCache()
+	if cache.Len() != 0 || cache.ApproxBytes() != 0 || cache.Evict(1) != 0 {
+		t.Fatal("fresh cache must be empty")
+	}
+
+	// Build two distinct session shapes: consistency, then reconcile.
+	k8sParty, istioParty := mkPartyPair(t, f, false)
+	if res := cache.LocalConsistencyCtx(ctx, f.sys, k8sParty, []*Party{istioParty}, sat.Budget{}); !res.OK {
+		t.Fatal("must be consistent")
+	}
+	baseline := cache.ReconcileCtx(ctx, f.sys, []*Party{k8sParty, istioParty}, sat.Budget{})
+	if !baseline.OK {
+		t.Fatal("must reconcile")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("len %d, want 2 shapes", cache.Len())
+	}
+	if cache.ApproxBytes() <= 0 {
+		t.Fatal("live sessions must report nonzero bytes")
+	}
+
+	// Evict one: the LRU consistency session goes, the reconcile session
+	// stays warm and keeps answering.
+	if n := cache.Evict(1); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("len %d after evict, want 1", cache.Len())
+	}
+	if ev := cache.Stats().Evictions; ev != 1 {
+		t.Fatalf("stats evictions %d, want 1", ev)
+	}
+	again := cache.ReconcileCtx(ctx, f.sys, []*Party{k8sParty, istioParty}, sat.Budget{})
+	if !again.OK || len(again.Edits) != len(baseline.Edits) {
+		t.Fatalf("surviving session changed its answer: %v vs %v", again.Edits, baseline.Edits)
+	}
+
+	// The evicted shape rebuilds on next use — same verdict, one more
+	// session built.
+	before := cache.Stats().Sessions
+	k8s2, istio2 := mkPartyPair(t, f, false)
+	if res := cache.LocalConsistencyCtx(ctx, f.sys, k8s2, []*Party{istio2}, sat.Budget{}); !res.OK {
+		t.Fatal("rebuilt shape must still be consistent")
+	}
+	if cache.Len() != 2 || cache.Stats().Sessions != before+1 {
+		t.Fatalf("len %d sessions %d, want rebuild after eviction", cache.Len(), cache.Stats().Sessions)
+	}
+
+	// Over-asking drains the cache and stops.
+	if n := cache.Evict(10); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	if cache.Len() != 0 || cache.ApproxBytes() != 0 {
+		t.Fatalf("len %d bytes %d after full eviction", cache.Len(), cache.ApproxBytes())
+	}
+
+	// The nil cache is always cold and never panics.
+	var none *SolveCache
+	if none.Len() != 0 || none.ApproxBytes() != 0 || none.Evict(3) != 0 {
+		t.Fatal("nil cache must be empty and inert")
+	}
+}

@@ -66,6 +66,10 @@ type workspace struct {
 	// lastWorkers records per-worker stats of the most recent portfolio
 	// solve, for observability.
 	lastWorkers []sat.WorkerStats
+
+	// lastUsed is the owning SolveCache's logical clock at the most recent
+	// use, ordering LRU eviction. Unused (zero) on one-shot workspaces.
+	lastUsed int64
 }
 
 type softRef struct {

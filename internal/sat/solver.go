@@ -191,6 +191,11 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // NumClauses returns the number of problem (non-learnt) clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
+// NumLearnts returns the number of live learnt clauses — the part of the
+// clause database that grows with search effort, and therefore the part a
+// long-lived session's memory accounting must include.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
 // NewVar introduces a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))

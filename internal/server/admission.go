@@ -4,14 +4,18 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"muppet/internal/tenant"
 )
 
-// job is one admitted request: the query, its budget caps as requested
-// (the worker starts the deadline clock at dequeue, so queue wait does
-// not eat the solve budget), and a buffered channel the worker hands the
-// result back on — buffered so an abandoned job never blocks its worker.
+// job is one admitted request: the tenant revision it was admitted
+// against, the query, its budget caps as requested (the worker starts
+// the deadline clock at dequeue, so queue wait does not eat the solve
+// budget), and a buffered channel the worker hands the result back on —
+// buffered so an abandoned job never blocks its worker.
 type job struct {
 	ctx          context.Context
+	ent          *tenant.Entry[*State]
 	req          Request
 	timeout      time.Duration
 	maxConflicts int64

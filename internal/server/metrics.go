@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"muppet"
+	"muppet/internal/tenant"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen for a
@@ -38,24 +39,36 @@ func (h *histogram) observe(seconds float64) {
 
 // metrics aggregates the serving counters the /metrics endpoint exposes.
 // All request-path updates take one short mutex; the scrape path reads
-// under the same mutex plus per-worker snapshot locks — it never touches
-// the live single-goroutine SolveCaches.
+// under the same mutex plus checkin-time pool snapshots — it never
+// touches the live single-goroutine SolveCaches.
 type metrics struct {
 	mu         sync.Mutex
-	requests   map[string]map[int]int64 // op → verdict code → count
-	latency    map[string]*histogram    // op → seconds histogram
+	requests   map[string]map[int]int64            // op → verdict code → count
+	latency    map[string]*histogram               // op → seconds histogram
+	tenants    map[string]map[string]map[int]int64 // tenant → op → code → count
+	attempts   map[string]*poolAttempts            // solver pool → attempt counters
 	rejections int64
 	drops      int64 // admitted jobs abandoned before a worker picked them up
+}
+
+// poolAttempts counts one named solver pool's leaf executions by outcome.
+type poolAttempts struct {
+	kind       string
+	decisive   int64
+	indecisive int64
+	errors     int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]map[int]int64),
 		latency:  make(map[string]*histogram),
+		tenants:  make(map[string]map[string]map[int]int64),
+		attempts: make(map[string]*poolAttempts),
 	}
 }
 
-func (m *metrics) observe(op string, code int, seconds float64) {
+func (m *metrics) observe(tenantID, op string, code int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	byCode := m.requests[op]
@@ -64,12 +77,40 @@ func (m *metrics) observe(op string, code int, seconds float64) {
 		m.requests[op] = byCode
 	}
 	byCode[code]++
+	byOp := m.tenants[tenantID]
+	if byOp == nil {
+		byOp = make(map[string]map[int]int64)
+		m.tenants[tenantID] = byOp
+	}
+	if byOp[op] == nil {
+		byOp[op] = make(map[int]int64)
+	}
+	byOp[op][code]++
 	h := m.latency[op]
 	if h == nil {
 		h = &histogram{}
 		m.latency[op] = h
 	}
 	h.observe(seconds)
+}
+
+// attempt records one routed leaf execution.
+func (m *metrics) attempt(pool, kind string, decisive, errored bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pa := m.attempts[pool]
+	if pa == nil {
+		pa = &poolAttempts{kind: kind}
+		m.attempts[pool] = pa
+	}
+	switch {
+	case errored:
+		pa.errors++
+	case decisive:
+		pa.decisive++
+	default:
+		pa.indecisive++
+	}
 }
 
 func (m *metrics) reject() {
@@ -84,10 +125,33 @@ func (m *metrics) drop() {
 	m.mu.Unlock()
 }
 
+// scrape is the instantaneous (non-counter) state the server assembles
+// for one /metrics exposition: queue occupancy, the per-tenant registry
+// and pool snapshots, and the ledger totals.
+type scrape struct {
+	queueDepth, queueCap, workers int
+	reuse                         muppet.ReuseStats
+	portfolio                     []muppet.WorkerStats
+	tenants                       []tenantScrape
+	budgetBytes                   int64
+	idleBytes                     int64
+	ledgerEvictions               int64
+}
+
+// tenantScrape is one tenant's slice of a scrape.
+type tenantScrape struct {
+	ID       string
+	Revision int64
+	Reloads  int64
+	Pool     tenant.PoolStats
+}
+
 // write renders the Prometheus text exposition format (version 0.0.4) by
 // hand — the format is a stable line protocol, and hand-rolling it keeps
 // the daemon dependency-free.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, reuse muppet.ReuseStats, portfolio []muppet.WorkerStats) {
+func (m *metrics) write(w io.Writer, sc scrape) {
+	queueDepth, queueCap, workers := sc.queueDepth, sc.queueCap, sc.workers
+	reuse, portfolio := sc.reuse, sc.portfolio
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -181,6 +245,98 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, reuse mu
 		for _, pw := range portfolio {
 			fmt.Fprintf(w, "muppetd_portfolio_worker_conflicts{worker=%q,winner=\"%t\"} %d\n",
 				pw.Name, pw.Winner, pw.Stats.Conflicts)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenants Tenants currently registered.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenants gauge")
+	fmt.Fprintf(w, "muppetd_tenants %d\n", len(sc.tenants))
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_revision Current revision of each tenant (bumps on hot reload).")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_revision gauge")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_revision{tenant=%q} %d\n", t.ID, t.Revision)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_reloads_total Successful hot reloads per tenant.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_reloads_total counter")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_reloads_total{tenant=%q} %d\n", t.ID, t.Reloads)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_requests_total Mediation requests served, by tenant, op, and verdict code.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_requests_total counter")
+	for _, tid := range sortedKeys(m.tenants) {
+		byOp := m.tenants[tid]
+		for _, op := range sortedKeys(byOp) {
+			byCode := byOp[op]
+			codes := make([]int, 0, len(byCode))
+			for c := range byCode {
+				codes = append(codes, c)
+			}
+			sort.Ints(codes)
+			for _, c := range codes {
+				fmt.Fprintf(w, "muppetd_tenant_requests_total{tenant=%q,op=%q,code=\"%d\"} %d\n", tid, op, c, byCode[c])
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_cache_idle_caches Warm caches idle in each tenant's pool.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_cache_idle_caches gauge")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_cache_idle_caches{tenant=%q} %d\n", t.ID, t.Pool.IdleCount)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_cache_bytes Approximate bytes of each tenant's idle warm caches.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_cache_bytes gauge")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_cache_bytes{tenant=%q} %d\n", t.ID, t.Pool.Bytes)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_cache_evictions_total Warm sessions evicted from each tenant's pool for budget pressure.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_cache_evictions_total counter")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_cache_evictions_total{tenant=%q} %d\n", t.ID, t.Pool.Evictions)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_sessions_built_total Solver sessions built per tenant (cache misses).")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_sessions_built_total counter")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_sessions_built_total{tenant=%q} %d\n", t.ID, t.Pool.Reuse.Sessions)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_tenant_session_reuses_total Requests served from a live warm session, per tenant.")
+	fmt.Fprintln(w, "# TYPE muppetd_tenant_session_reuses_total counter")
+	for _, t := range sc.tenants {
+		fmt.Fprintf(w, "muppetd_tenant_session_reuses_total{tenant=%q} %d\n", t.ID, t.Pool.Reuse.Reuses)
+	}
+
+	fmt.Fprintln(w, "# HELP muppetd_cache_budget_bytes Configured idle warm-cache byte budget across all tenants (0 = unlimited).")
+	fmt.Fprintln(w, "# TYPE muppetd_cache_budget_bytes gauge")
+	fmt.Fprintf(w, "muppetd_cache_budget_bytes %d\n", sc.budgetBytes)
+
+	fmt.Fprintln(w, "# HELP muppetd_cache_idle_bytes Accounted bytes of idle warm caches across all tenants.")
+	fmt.Fprintln(w, "# TYPE muppetd_cache_idle_bytes gauge")
+	fmt.Fprintf(w, "muppetd_cache_idle_bytes %d\n", sc.idleBytes)
+
+	fmt.Fprintln(w, "# HELP muppetd_cache_evictions_total Warm sessions evicted for budget pressure across all tenants.")
+	fmt.Fprintln(w, "# TYPE muppetd_cache_evictions_total counter")
+	fmt.Fprintf(w, "muppetd_cache_evictions_total %d\n", sc.ledgerEvictions)
+
+	if len(m.attempts) > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_pool_attempts_total Routed solver-pool leaf executions, by pool and outcome.")
+		fmt.Fprintln(w, "# TYPE muppetd_pool_attempts_total counter")
+		for _, name := range sortedKeys(m.attempts) {
+			pa := m.attempts[name]
+			for _, oc := range []struct {
+				outcome string
+				n       int64
+			}{{"decisive", pa.decisive}, {"indecisive", pa.indecisive}, {"error", pa.errors}} {
+				if oc.n > 0 {
+					fmt.Fprintf(w, "muppetd_pool_attempts_total{pool=%q,kind=%q,outcome=%q} %d\n",
+						name, pa.kind, oc.outcome, oc.n)
+				}
+			}
 		}
 	}
 }

@@ -14,12 +14,17 @@ import (
 	"time"
 
 	"muppet"
+	"muppet/internal/tenant"
 )
+
+// DefaultTenant is the tenant ID a single-bundle daemon serves under,
+// and the tenant /v1/ requests implicitly address. Single-bundle startup
+// is just the degenerate one-tenant registry.
+const DefaultTenant = "default"
 
 // Options tunes the serving machinery.
 type Options struct {
-	// Concurrency is the number of solver workers (0 = GOMAXPROCS). Each
-	// worker owns one SolveCache, so memory scales with this knob.
+	// Concurrency is the number of solver workers (0 = GOMAXPROCS).
 	Concurrency int
 	// QueueDepth bounds the admission queue beyond the in-flight jobs
 	// (0 = 2×Concurrency). Overflow is rejected with 429.
@@ -27,72 +32,93 @@ type Options struct {
 	// MaxTimeout caps per-request deadlines and is the default when a
 	// request names none (0 = no cap, no default).
 	MaxTimeout time.Duration
+	// CacheBudgetBytes bounds the idle warm-cache memory across all
+	// tenants (0 = unlimited); see tenant.Ledger. Only read by New —
+	// NewMulti callers size the ledger themselves.
+	CacheBudgetBytes int64
+	// Router maps workflow methods to solver pools (nil = every method on
+	// one warm-cache pool, the pre-routing behaviour).
+	Router *tenant.Router
 }
 
-// workerSlot pairs a worker's private warm SolveCache with a snapshot of
-// its stats. The cache is single-goroutine and only its owning worker
-// touches it; the snapshot is refreshed under mu after every job, so the
-// metrics scrape path never races the solver.
-type workerSlot struct {
-	cache *muppet.SolveCache
-
-	mu        sync.Mutex
-	stats     muppet.ReuseStats
-	portfolio []muppet.WorkerStats
-}
-
-// Server is the mediation daemon's HTTP surface: the five workflow
-// endpoints under /v1/, health and readiness probes, and /metrics. It is
-// an http.Handler; lifecycle is driven from outside via Drain,
+// Server is the mediation daemon's HTTP surface: the workflow endpoints
+// under /v1/ (default tenant) and /t/{tenant}/, health and readiness
+// probes, /metrics, and the /tenants admin surface. It is an
+// http.Handler; lifecycle is driven from outside via Drain,
 // CancelSolves, and Close (see cmd/muppetd for the signal wiring).
+//
+// Solving state lives in a tenant.Registry: each tenant's immutable
+// State plus a pool of warm SolveCaches under the registry ledger's
+// global memory budget. Workers are stateless — a request checks a cache
+// out of its tenant's pool for the duration of a solve — so hot tenants
+// naturally occupy more of the budget and a hot reload swaps a tenant
+// without touching its neighbours.
 type Server struct {
-	st      *State
-	opts    Options
-	pool    *pool
-	slots   []*workerSlot
-	metrics *metrics
-	mux     *http.ServeMux
+	registry *tenant.Registry[*State]
+	router   *tenant.Router
+	opts     Options
+	pool     *pool
+	metrics  *metrics
+	mux      *http.ServeMux
 
 	draining     chan struct{} // closed by Drain
 	drainOnce    sync.Once
 	solveCtx     context.Context // cancelled by CancelSolves
 	cancelSolves context.CancelFunc
 
-	// execFn is the per-job execution function, a seam tests override to
-	// simulate slow solves without burning CPU.
-	execFn func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error)
+	// execFn runs one request against one tenant state on one cache (nil
+	// cache = one-shot workspaces) — a seam tests override to simulate
+	// slow solves without burning CPU.
+	execFn func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error)
 }
 
-// New builds a Server over the loaded state and starts its worker pool.
+// New builds a single-tenant Server over the loaded state: a registry
+// holding one "default" tenant whose pools share opts.CacheBudgetBytes.
 func New(st *State, opts Options) *Server {
+	reg := tenant.NewRegistry[*State](tenant.NewLedger(opts.CacheBudgetBytes))
+	// The loader closes over an already-validated state and cannot fail.
+	if _, err := reg.Add(DefaultTenant, func() (*State, string, error) { return st, "", nil }); err != nil {
+		panic(err)
+	}
+	return NewMulti(reg, opts)
+}
+
+// NewMulti builds a Server over a populated tenant registry and starts
+// its worker pool.
+func NewMulti(reg *tenant.Registry[*State], opts Options) *Server {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = runtime.GOMAXPROCS(0)
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 2 * opts.Concurrency
 	}
+	if opts.Router == nil {
+		opts.Router = tenant.DefaultRouter()
+	}
 	s := &Server{
-		st:       st,
+		registry: reg,
+		router:   opts.Router,
 		opts:     opts,
 		metrics:  newMetrics(),
 		draining: make(chan struct{}),
 	}
 	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
-	s.execFn = func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error) {
-		return Exec(ctx, s.st, slot.cache, req, b)
-	}
-	s.slots = make([]*workerSlot, opts.Concurrency)
-	for i := range s.slots {
-		s.slots[i] = &workerSlot{cache: muppet.NewSolveCache()}
-	}
+	s.execFn = Exec
 	s.pool = newPool(opts.Concurrency, opts.QueueDepth, s.runJob)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/", s.handleOp)
+	s.mux.HandleFunc("/t/", s.handleTenantOp)
+	s.mux.HandleFunc("/tenants", s.handleTenants)
+	s.mux.HandleFunc("/tenants/", s.handleTenantAdmin)
 	return s
 }
+
+// Registry exposes the tenant registry so the daemon can wire rescan
+// triggers (SIGHUP, polling) to it.
+func (s *Server) Registry() *tenant.Registry[*State] { return s.registry }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -124,48 +150,52 @@ func (s *Server) Draining() bool {
 	}
 }
 
-// runJob executes one dequeued job on worker w's slot. The deadline
-// clock starts here — queue wait does not consume solve budget — and the
-// solve context is the request context merged with the server-wide
-// cancel, so either a vanished client or a drain hammer stops it.
+// runJob executes one dequeued job through the solver-pool router. The
+// deadline clock starts here — queue wait does not consume solve budget —
+// and the solve context is the request context merged with the
+// server-wide cancel, so either a vanished client or a drain hammer
+// stops it. The job's tenant entry was captured at admission: a hot
+// reload between admission and here means this request completes on the
+// revision it was admitted against.
 func (s *Server) runJob(ctx context.Context, w int, j *job) (Response, error) {
-	slot := s.slots[w]
 	timeout := j.timeout
 	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
 		timeout = s.opts.MaxTimeout
 	}
-	b := muppet.Budget{MaxConflicts: j.maxConflicts}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stop := context.AfterFunc(s.solveCtx, cancel)
 	defer stop()
 	if timeout > 0 {
-		b.Deadline = time.Now().Add(timeout)
 		var cancelDL context.CancelFunc
-		ctx, cancelDL = context.WithDeadline(ctx, b.Deadline)
+		ctx, cancelDL = context.WithDeadline(ctx, time.Now().Add(timeout))
 		defer cancelDL()
 	}
-	resp, err := s.execFn(ctx, slot, j.req, b)
-	slot.mu.Lock()
-	slot.stats = slot.cache.Stats()
-	slot.portfolio = slot.cache.Workers()
-	slot.mu.Unlock()
-	return resp, err
-}
 
-// reuseSnapshot sums the per-worker stats snapshots.
-func (s *Server) reuseSnapshot() (muppet.ReuseStats, []muppet.WorkerStats) {
-	var agg muppet.ReuseStats
-	var portfolio []muppet.WorkerStats
-	for _, slot := range s.slots {
-		slot.mu.Lock()
-		agg.Add(slot.stats)
-		if slot.portfolio != nil {
-			portfolio = slot.portfolio
-		}
-		slot.mu.Unlock()
+	plan := s.router.PlanFor(j.req.Op)
+	resp, attempts, err := tenant.RunPlan(ctx, plan,
+		func(ctx context.Context, leaf tenant.Leaf) (Response, error) {
+			// The leaf context carries the tightest of the request deadline
+			// and the routing plan's per-pool timeouts; the solver budget
+			// must match it so the solver stops when the context does.
+			b := muppet.Budget{MaxConflicts: j.maxConflicts}
+			if dl, ok := ctx.Deadline(); ok {
+				b.Deadline = dl
+			}
+			if leaf.Kind == tenant.PoolWarm {
+				c := j.ent.Pool.Checkout()
+				defer j.ent.Pool.Checkin(c)
+				return s.execFn(ctx, j.ent.State, c, j.req, b)
+			}
+			// Fresh pool: nil cache means one-shot workspaces, exactly the
+			// cold CLI path.
+			return s.execFn(ctx, j.ent.State, nil, j.req, b)
+		},
+		func(r Response) bool { return r.Code != CodeIndeterminate })
+	for _, at := range attempts {
+		s.metrics.attempt(at.Pool, string(at.Kind), at.Decisive, at.Err != nil)
 	}
-	return agg, portfolio
+	return resp, err
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -181,9 +211,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	reuse, portfolio := s.reuseSnapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.pool.depth(), s.pool.capacity(), len(s.slots), reuse, portfolio)
+	s.metrics.write(w, s.scrape())
+}
+
+// scrape assembles the instantaneous state /metrics reports alongside
+// the counters: queue, registry, and ledger. Pool stats are checkin-time
+// snapshots, so this never touches a live single-goroutine SolveCache.
+func (s *Server) scrape() scrape {
+	sc := scrape{
+		queueDepth: s.pool.depth(),
+		queueCap:   s.pool.capacity(),
+		workers:    s.opts.Concurrency,
+	}
+	ledger := s.registry.Ledger()
+	sc.budgetBytes = ledger.Budget()
+	sc.idleBytes = ledger.TotalBytes()
+	sc.ledgerEvictions = ledger.Evictions()
+	for _, ent := range s.registry.Entries() {
+		ps := ent.Pool.Stats()
+		sc.tenants = append(sc.tenants, tenantScrape{
+			ID: ent.ID, Revision: ent.Revision, Reloads: s.registry.Reloads(ent.ID), Pool: ps,
+		})
+		sc.reuse.Add(ps.Reuse)
+		if ps.Workers != nil {
+			sc.portfolio = ps.Workers
+		}
+	}
+	return sc
 }
 
 // Budget headers. The timeout is a Go duration string; the conflict cap
@@ -193,8 +248,24 @@ const (
 	HeaderMaxConflicts = "X-Muppet-Max-Conflicts"
 )
 
+// handleOp serves /v1/{op} against the default tenant — the original
+// single-bundle surface, unchanged.
 func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
-	op := strings.TrimPrefix(r.URL.Path, "/v1/")
+	s.serveOp(w, r, DefaultTenant, strings.TrimPrefix(r.URL.Path, "/v1/"))
+}
+
+// handleTenantOp serves /t/{tenant}/{op}.
+func (s *Server) handleTenantOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/t/")
+	id, op, ok := strings.Cut(rest, "/")
+	if !ok || id == "" {
+		http.Error(w, "want /t/{tenant}/{op}", http.StatusNotFound)
+		return
+	}
+	s.serveOp(w, r, id, op)
+}
+
+func (s *Server) serveOp(w http.ResponseWriter, r *http.Request, tenantID, op string) {
 	known := false
 	for _, o := range Ops() {
 		if o == op {
@@ -213,6 +284,13 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Capture the tenant's current revision now: the job holds it to
+	// completion, so a reload mid-request never tears the answer.
+	ent, ok := s.registry.Get(tenantID)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", tenantID), http.StatusNotFound)
 		return
 	}
 	var req Request
@@ -249,6 +327,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	j := &job{
 		ctx:          r.Context(),
+		ent:          ent,
 		req:          req,
 		timeout:      timeout,
 		maxConflicts: maxConflicts,
@@ -274,7 +353,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, res.err.Error(), code)
 			return
 		}
-		s.metrics.observe(op, res.resp.Code, time.Since(start).Seconds())
+		s.metrics.observe(ent.ID, op, res.resp.Code, time.Since(start).Seconds())
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(res.resp)
 	case <-r.Context().Done():

@@ -246,7 +246,7 @@ func TestConcurrentLoadMatchesSequential(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	reuse, _ := s.reuseSnapshot()
+	reuse := s.scrape().reuse
 	if reuse.Reuses == 0 {
 		t.Error("expected non-zero session reuse under concurrent load")
 	}
@@ -264,7 +264,7 @@ func TestOverloadRejected(t *testing.T) {
 	defer s.Close()
 	started := make(chan struct{}, 8)
 	unblock := make(chan struct{})
-	s.execFn = func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error) {
+	s.execFn = func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
 		started <- struct{}{}
 		select {
 		case <-unblock:
@@ -333,7 +333,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	s := New(st, Options{Concurrency: 1, QueueDepth: 1})
 	inFlight := make(chan struct{})
 	release := make(chan struct{})
-	s.execFn = func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error) {
+	s.execFn = func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
 		close(inFlight)
 		<-release
 		return Response{Op: req.Op, Output: "finished\n"}, nil
@@ -383,7 +383,7 @@ func TestCancelSolvesInterruptsInFlight(t *testing.T) {
 	s := New(st, Options{Concurrency: 1, QueueDepth: 1})
 	defer s.Close()
 	inFlight := make(chan struct{})
-	s.execFn = func(ctx context.Context, slot *workerSlot, req Request, b muppet.Budget) (Response, error) {
+	s.execFn = func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
 		close(inFlight)
 		<-ctx.Done()
 		return Response{Op: req.Op, Code: CodeIndeterminate, Output: "INDETERMINATE (cancelled)\n", Stop: "cancelled"}, nil

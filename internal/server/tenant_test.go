@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"muppet/internal/tenant"
+)
+
+// tenantManifest writes one tenant under dir: fig1's bundle files plus a
+// tenant.yaml, with the K8s goals CSV made per-tenant so tests can vary
+// (and hot-rewrite) it independently.
+func tenantManifest(t *testing.T, dir, id, k8sGoals string) string {
+	t.Helper()
+	td := filepath.Join(dir, id)
+	if err := os.MkdirAll(td, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"mesh.yaml", "k8s_current.yaml", "istio_current.yaml", "istio_goals_revised.csv"} {
+		data, err := os.ReadFile(fig1Dir + f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(td, f), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goalsPath := filepath.Join(td, "k8s_goals.csv")
+	if err := os.WriteFile(goalsPath, []byte(k8sGoals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `files:
+  - mesh.yaml
+  - k8s_current.yaml
+  - istio_current.yaml
+k8s-goals: k8s_goals.csv
+istio-goals: istio_goals_revised.csv
+k8s-offer: soft
+istio-offer: soft
+`
+	if err := os.WriteFile(filepath.Join(td, tenant.ManifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return goalsPath
+}
+
+const (
+	goalsBan23 = "port,perm,selector\n23,DENY,*\n"
+	goalsBan24 = "port,perm,selector\n24,DENY,*\n"
+)
+
+// refResponse computes the cold, direct-execution reference for a tenant
+// manifest — what the one-shot CLI would print for the same inputs.
+func refResponse(t *testing.T, dir, id string, req Request) Response {
+	t.Helper()
+	st, _, err := ManifestLoader(filepath.Join(dir, id, tenant.ManifestName))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return execDirect(t, st, req)
+}
+
+func postTenantOp(t *testing.T, client *http.Client, base, tenantID string, req Request) (*http.Response, Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	res, err := client.Post(base+"/t/"+tenantID+"/"+req.Op, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out Response
+	if res.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatalf("%s/%s: bad response body: %v", tenantID, req.Op, err)
+		}
+	} else {
+		io.Copy(io.Discard, res.Body)
+	}
+	return res, out
+}
+
+// multiTenantServer builds a server over a tenant directory.
+func multiTenantServer(t *testing.T, dir string, opts Options) *Server {
+	t.Helper()
+	reg := tenant.NewRegistry[*State](tenant.NewLedger(opts.CacheBudgetBytes))
+	reg.SetDiscover(DirDiscover(dir))
+	rep, err := reg.Rescan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, ferr := range rep.Failed {
+		t.Fatalf("tenant %s failed to load: %v", id, ferr)
+	}
+	return NewMulti(reg, opts)
+}
+
+// TestMultiTenantServing is the satellite acceptance: a two-tenant
+// daemon serves interleaved traffic with outputs byte-identical to each
+// tenant's cold direct execution, and tenants with different inputs get
+// different answers.
+func TestMultiTenantServing(t *testing.T) {
+	dir := t.TempDir()
+	tenantManifest(t, dir, "alpha", goalsBan23)
+	tenantManifest(t, dir, "bravo", goalsBan24)
+	s := multiTenantServer(t, dir, Options{Concurrency: 2, QueueDepth: 16})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	reqs := []Request{{Op: "check", Party: "k8s"}, {Op: "reconcile"}}
+	want := map[string]map[string]Response{}
+	for _, id := range []string{"alpha", "bravo"} {
+		want[id] = map[string]Response{}
+		for _, req := range reqs {
+			want[id][req.Op] = refResponse(t, dir, id, req)
+		}
+	}
+	if want["alpha"]["reconcile"].Output == want["bravo"]["reconcile"].Output {
+		t.Fatal("test setup: the two tenants must produce different reconcile outputs")
+	}
+
+	// Interleave tenants so warm caches for both coexist in the pools.
+	for round := 0; round < 2; round++ {
+		for _, id := range []string{"alpha", "bravo"} {
+			for _, req := range reqs {
+				res, got := postTenantOp(t, hs.Client(), hs.URL, id, req)
+				if res.StatusCode != http.StatusOK {
+					t.Fatalf("%s/%s: HTTP %d", id, req.Op, res.StatusCode)
+				}
+				w := want[id][req.Op]
+				if got.Code != w.Code || got.Output != w.Output {
+					t.Fatalf("%s/%s: daemon response differs from cold direct execution\n--- daemon ---\n%s\n--- direct ---\n%s",
+						id, req.Op, got.Output, w.Output)
+				}
+			}
+		}
+	}
+
+	// No "default" tenant in this registry: the /v1/ surface 404s instead
+	// of silently serving somebody's bundle.
+	if res, _ := postOp(t, hs.Client(), hs.URL, Request{Op: "check"}, nil); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/check without a default tenant: HTTP %d, want 404", res.StatusCode)
+	}
+	if res, _ := postTenantOp(t, hs.Client(), hs.URL, "ghost", Request{Op: "check"}); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant: HTTP %d, want 404", res.StatusCode)
+	}
+	if res, _ := postTenantOp(t, hs.Client(), hs.URL, "alpha", Request{Op: "bogus"}); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown op: HTTP %d, want 404", res.StatusCode)
+	}
+}
+
+func TestTenantsAdminSurface(t *testing.T) {
+	dir := t.TempDir()
+	goalsPath := tenantManifest(t, dir, "alpha", goalsBan23)
+	tenantManifest(t, dir, "bravo", goalsBan24)
+	s := multiTenantServer(t, dir, Options{Concurrency: 1, QueueDepth: 4})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	getTenants := func() TenantsReply {
+		t.Helper()
+		res, err := hs.Client().Get(hs.URL + "/tenants")
+		if err != nil || res.StatusCode != http.StatusOK {
+			t.Fatalf("GET /tenants: %v %v", res.StatusCode, err)
+		}
+		defer res.Body.Close()
+		var reply TenantsReply
+		if err := json.NewDecoder(res.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	reply := getTenants()
+	if len(reply.Tenants) != 2 || reply.Tenants[0].ID != "alpha" || reply.Tenants[1].ID != "bravo" {
+		t.Fatalf("tenants = %+v", reply.Tenants)
+	}
+	for _, ti := range reply.Tenants {
+		if ti.Revision != 1 || ti.Fingerprint == "" {
+			t.Fatalf("tenant %s: %+v", ti.ID, ti)
+		}
+	}
+	if reply.Router != "builtin:warm" {
+		t.Fatalf("router = %q", reply.Router)
+	}
+
+	reload := func(id, query string) (*http.Response, ReloadReply) {
+		t.Helper()
+		res, err := hs.Client().Post(hs.URL+"/tenants/"+id+"/reload"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var rr ReloadReply
+		if res.StatusCode == http.StatusOK {
+			json.NewDecoder(res.Body).Decode(&rr)
+		} else {
+			io.Copy(io.Discard, res.Body)
+		}
+		return res, rr
+	}
+
+	// Unchanged inputs: reload is a fingerprint-skipped no-op.
+	if res, rr := reload("alpha", ""); res.StatusCode != http.StatusOK || rr.Swapped || rr.Revision != 1 {
+		t.Fatalf("no-op reload: HTTP %d %+v", res.StatusCode, rr)
+	}
+	// Forced: swaps regardless.
+	if res, rr := reload("alpha", "?force=1"); res.StatusCode != http.StatusOK || !rr.Swapped || rr.Revision != 2 {
+		t.Fatalf("forced reload: HTTP %d %+v", res.StatusCode, rr)
+	}
+	// Changed inputs: a plain reload swaps.
+	if err := os.WriteFile(goalsPath, []byte(goalsBan24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res, rr := reload("alpha", ""); res.StatusCode != http.StatusOK || !rr.Swapped || rr.Revision != 3 {
+		t.Fatalf("changed reload: HTTP %d %+v", res.StatusCode, rr)
+	}
+	// A broken edit keeps the old revision serving and reports the error.
+	if err := os.WriteFile(goalsPath, []byte("port,perm,selector\nnot-a-port,deny,all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := reload("alpha", ""); res.StatusCode != http.StatusBadGateway {
+		t.Fatalf("broken reload: HTTP %d, want 502", res.StatusCode)
+	}
+	if got := getTenants().Tenants[0]; got.Revision != 3 {
+		t.Fatalf("revision after failed reload = %d, want 3", got.Revision)
+	}
+	if res, got := postTenantOp(t, hs.Client(), hs.URL, "alpha", Request{Op: "check", Party: "k8s"}); res.StatusCode != http.StatusOK || got.Code != CodeSat {
+		t.Fatalf("serving after failed reload: HTTP %d code %d", res.StatusCode, got.Code)
+	}
+
+	if res, _ := reload("ghost", ""); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant reload: HTTP %d, want 404", res.StatusCode)
+	}
+
+	// The tenant metrics surface carries the per-tenant series.
+	mres, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	body, _ := io.ReadAll(mres.Body)
+	text := string(body)
+	for _, wantLine := range []string{
+		"muppetd_tenants 2",
+		`muppetd_tenant_revision{tenant="alpha"} 3`,
+		`muppetd_tenant_reloads_total{tenant="alpha"} 2`,
+		`muppetd_tenant_requests_total{tenant="alpha",op="check",code="0"} 1`,
+		`muppetd_tenant_cache_idle_caches{tenant="alpha"}`,
+		"muppetd_cache_budget_bytes 0",
+	} {
+		if !strings.Contains(text, wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestHotReloadUnderLoad is the tentpole acceptance test: under
+// concurrent traffic, a hot reload swaps a tenant's state without losing
+// or tearing a single request — every response is byte-identical to the
+// old revision's reference or the new one's, and once the swap is
+// observed, traffic converges on the new answers.
+func TestHotReloadUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	goalsPath := tenantManifest(t, dir, "acme", goalsBan23)
+	req := Request{Op: "reconcile"}
+	oldRef := refResponse(t, dir, "acme", req)
+
+	s := multiTenantServer(t, dir, Options{Concurrency: 4, QueueDepth: 64})
+	defer s.Close()
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	// Compute the post-reload reference from a scratch copy of the same
+	// inputs, before the live tenant dir is rewritten.
+	refDir := t.TempDir()
+	tenantManifest(t, refDir, "acme", goalsBan24)
+	newRef := refResponse(t, refDir, "acme", req)
+	if oldRef.Output == newRef.Output {
+		t.Fatal("test setup: the two revisions must produce different outputs")
+	}
+
+	const clients, perClient = 6, 6
+	swapped := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	sawOld := false
+	sawNew := false
+	var tallyMu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if c == 0 && i == perClient/2 {
+					// Mid-traffic, rewrite the tenant's goals and hot-reload.
+					if err := os.WriteFile(goalsPath, []byte(goalsBan24), 0o644); err != nil {
+						errs <- err
+						return
+					}
+					res, err := hs.Client().Post(hs.URL+"/tenants/acme/reload", "", nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					res.Body.Close()
+					if res.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("reload: HTTP %d", res.StatusCode)
+						return
+					}
+					close(swapped)
+				}
+				res, got := postTenantOp(t, hs.Client(), hs.URL, "acme", req)
+				if res.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d: HTTP %d", c, res.StatusCode)
+					return
+				}
+				switch got.Output {
+				case oldRef.Output:
+					tallyMu.Lock()
+					sawOld = true
+					tallyMu.Unlock()
+				case newRef.Output:
+					tallyMu.Lock()
+					sawNew = true
+					tallyMu.Unlock()
+				default:
+					errs <- fmt.Errorf("client %d: torn response, matches neither revision:\n%s", c, got.Output)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !sawOld || !sawNew {
+		t.Logf("revision mix: old=%v new=%v (both sides exercised is best, but timing-dependent)", sawOld, sawNew)
+	}
+
+	// After the dust settles, traffic must serve the new revision only.
+	res, got := postTenantOp(t, hs.Client(), hs.URL, "acme", req)
+	if res.StatusCode != http.StatusOK || got.Output != newRef.Output {
+		t.Fatalf("post-reload response still on old revision (HTTP %d)", res.StatusCode)
+	}
+	ent, _ := s.Registry().Get("acme")
+	if ent.Revision != 2 {
+		t.Fatalf("revision = %d, want 2", ent.Revision)
+	}
+}
+
+// TestRouterVerdictEquivalence asserts the composable-routing guarantee:
+// a parallel race of warm and fresh pools and a sequential fallback
+// chain return byte-identical verdicts to the plain single-pool server —
+// racing is a latency strategy, never a semantics change.
+func TestRouterVerdictEquivalence(t *testing.T) {
+	st := fig1State(t)
+	reqs := []Request{
+		{Op: "check", Party: "k8s"},
+		{Op: "reconcile"},
+	}
+	want := map[string]Response{}
+	for _, req := range reqs {
+		want[req.Op] = execDirect(t, st, req)
+	}
+
+	routers := map[string]string{
+		"parallel": `pools:
+  warm-cache:
+    type: warm
+  fresh-portfolio:
+    type: fresh
+  race:
+    type: parallel
+    pools: [warm-cache, fresh-portfolio]
+methods:
+  default: race
+`,
+		"sequential": `pools:
+  warm-cache:
+    type: warm
+  fresh-portfolio:
+    type: fresh
+  fallback:
+    type: sequential
+    pools: [fresh-portfolio, warm-cache]
+methods:
+  default: fallback
+`,
+		"single": "pools:\n  warm-cache:\n    type: warm\n",
+	}
+	for name, yaml := range routers {
+		t.Run(name, func(t *testing.T) {
+			cfg, err := tenant.ParseRouterConfig([]byte(yaml))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := tenant.NewRouter(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(st, Options{Concurrency: 2, QueueDepth: 8, Router: r})
+			defer s.Close()
+			hs := httptest.NewServer(s)
+			defer hs.Close()
+			for round := 0; round < 2; round++ { // round 2 hits warm sessions
+				for _, req := range reqs {
+					res, got := postOp(t, hs.Client(), hs.URL, req, nil)
+					if res.StatusCode != http.StatusOK {
+						t.Fatalf("%s: HTTP %d", req.Op, res.StatusCode)
+					}
+					w := want[req.Op]
+					if got.Code != w.Code || got.Output != w.Output {
+						t.Fatalf("%s via %s router differs from single-pool reference\n--- got ---\n%s\n--- want ---\n%s",
+							req.Op, name, got.Output, w.Output)
+					}
+				}
+			}
+			// The attempt counters must show the routed pools actually ran.
+			mres, err := hs.Client().Get(hs.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mres.Body.Close()
+			body, _ := io.ReadAll(mres.Body)
+			if !strings.Contains(string(body), "muppetd_pool_attempts_total") {
+				t.Error("/metrics missing pool attempt counters")
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"strings"
+
+	"muppet/internal/tenant"
+)
+
+// This file bridges the generic tenant registry to the server's State:
+// how a tenant's declared inputs (flags or a tenant.yaml) become a
+// loaded, validated serving state with a reload fingerprint.
+
+// LoaderFromConfig adapts a flag-style Config into a tenant loader. The
+// fingerprint covers the named input files, so a rescan reloads the
+// tenant when any of them changes on disk.
+func LoaderFromConfig(cfg Config) tenant.LoadFunc[*State] {
+	return func() (*State, string, error) {
+		st, err := Load(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return st, tenant.Fingerprint(configInputs(cfg)...), nil
+	}
+}
+
+func configInputs(cfg Config) []string {
+	var paths []string
+	if cfg.Files != "" {
+		paths = append(paths, strings.Split(cfg.Files, ",")...)
+	}
+	if cfg.K8sGoals != "" {
+		paths = append(paths, cfg.K8sGoals)
+	}
+	if cfg.IstioGoals != "" {
+		paths = append(paths, cfg.IstioGoals)
+	}
+	return paths
+}
+
+// ManifestLoader builds a tenant loader over a tenant.yaml path. Each
+// load re-reads the manifest, so edits to the manifest itself (not just
+// the files it names) are picked up by reload; the fingerprint covers
+// the manifest and every input it names.
+func ManifestLoader(manifestPath string) tenant.LoadFunc[*State] {
+	return func() (*State, string, error) {
+		m, err := tenant.LoadManifest(manifestPath)
+		if err != nil {
+			return nil, "", err
+		}
+		st, err := Load(Config{
+			Files:      strings.Join(m.Files, ","),
+			K8sGoals:   m.K8sGoals,
+			IstioGoals: m.IstioGoals,
+			K8sOffer:   m.K8sOffer,
+			IstioOffer: m.IstioOffer,
+			Ports:      m.PortsCSV(),
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return st, tenant.Fingerprint(m.InputPaths(manifestPath)...), nil
+	}
+}
+
+// DirDiscover enumerates a tenant directory for Registry.Rescan: every
+// `<dir>/<id>/tenant.yaml` is a tenant named by its subdirectory.
+func DirDiscover(dir string) func() (map[string]tenant.LoadFunc[*State], error) {
+	return func() (map[string]tenant.LoadFunc[*State], error) {
+		found, err := tenant.ScanDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		loaders := make(map[string]tenant.LoadFunc[*State], len(found))
+		for id, mp := range found {
+			loaders[id] = ManifestLoader(mp)
+		}
+		return loaders, nil
+	}
+}

@@ -1,0 +1,209 @@
+package tenant
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"muppet/internal/yamllite"
+)
+
+// ManifestName is the per-tenant file a tenant directory scan looks for:
+// `<dir>/<tenant-id>/tenant.yaml`.
+const ManifestName = "tenant.yaml"
+
+// Manifest is one tenant's declared inputs — the flat tenant.yaml a
+// tenant directory holds per tenant. Fields mirror the daemon's
+// single-bundle flags, so a tenant manifest is exactly "the flags this
+// tenant would have been started with":
+//
+//	files: [mesh.yaml, policies.yaml]   # bundle YAML, relative to the manifest
+//	k8s-goals: goals-k8s.csv            # optional
+//	istio-goals: goals-istio.csv        # optional
+//	k8s-offer: soft                     # optional; fixed|soft|holes
+//	istio-offer: holes                  # optional
+//	ports: [8080, 9090]                 # optional extra inventory ports
+type Manifest struct {
+	// Dir is the directory the manifest was loaded from; relative input
+	// paths are resolved against it.
+	Dir   string
+	Files []string // resolved bundle YAML paths (required, non-empty)
+
+	K8sGoals   string // resolved CSV path, "" = none
+	IstioGoals string // resolved CSV path, "" = none
+	K8sOffer   string // fixed|soft|holes, "" = fixed
+	IstioOffer string
+	Ports      []int
+}
+
+// manifestKeys are the recognised top-level keys; anything else is a
+// typo and rejected, because a silently ignored key in a tenant manifest
+// means a tenant serving with the wrong goals.
+var manifestKeys = map[string]bool{
+	"files": true, "k8s-goals": true, "istio-goals": true,
+	"k8s-offer": true, "istio-offer": true, "ports": true,
+}
+
+// ParseManifest parses tenant.yaml content, resolving relative paths
+// against dir.
+func ParseManifest(data []byte, dir string) (*Manifest, error) {
+	v, err := yamllite.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := yamllite.AsMap(v)
+	if !ok {
+		return nil, fmt.Errorf("tenant manifest: top level is %T, want mapping", v)
+	}
+	for k := range root {
+		if !manifestKeys[k] {
+			return nil, fmt.Errorf("tenant manifest: unknown key %q", k)
+		}
+	}
+	m := &Manifest{Dir: dir}
+	files, err := yamllite.StringListAt(v, "files")
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("tenant manifest: files is required")
+	}
+	for _, f := range files {
+		m.Files = append(m.Files, m.resolve(f))
+	}
+	for key, dst := range map[string]*string{
+		"k8s-goals": &m.K8sGoals, "istio-goals": &m.IstioGoals,
+		"k8s-offer": &m.K8sOffer, "istio-offer": &m.IstioOffer,
+	} {
+		if _, present := root[key]; !present {
+			continue
+		}
+		s, err := yamllite.StringAt(v, key)
+		if err != nil {
+			return nil, err
+		}
+		*dst = s
+	}
+	m.K8sGoals = m.resolve(m.K8sGoals)
+	m.IstioGoals = m.resolve(m.IstioGoals)
+	if m.Ports, err = yamllite.IntListAt(v, "ports"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manifest) resolve(p string) string {
+	if p == "" || filepath.IsAbs(p) || m.Dir == "" {
+		return p
+	}
+	return filepath.Join(m.Dir, p)
+}
+
+// LoadManifest reads and parses one tenant.yaml.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ParseManifest(data, filepath.Dir(path))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// InputPaths lists every file the manifest's state is built from — the
+// manifest itself plus all referenced inputs — in a stable order. This is
+// the set a reload fingerprint must cover.
+func (m *Manifest) InputPaths(manifestPath string) []string {
+	paths := []string{manifestPath}
+	paths = append(paths, m.Files...)
+	if m.K8sGoals != "" {
+		paths = append(paths, m.K8sGoals)
+	}
+	if m.IstioGoals != "" {
+		paths = append(paths, m.IstioGoals)
+	}
+	return paths
+}
+
+// PortsCSV renders the extra ports the way the CLI flag spells them.
+func (m *Manifest) PortsCSV() string {
+	parts := make([]string, len(m.Ports))
+	for i, p := range m.Ports {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ValidID reports whether id is acceptable as a tenant ID (and therefore
+// as a URL path segment and a metrics label): letters, digits, dot, dash
+// and underscore, not starting with a dot, at most 64 bytes.
+func ValidID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ScanDir enumerates a tenant directory: every subdirectory holding a
+// tenant.yaml is a tenant, named by the subdirectory. Entries with
+// invalid IDs are skipped (dot-directories, editors' droppings);
+// subdirectories without a manifest are not tenants.
+func ScanDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	found := make(map[string]string)
+	for _, e := range entries {
+		if !e.IsDir() || !ValidID(e.Name()) {
+			continue
+		}
+		mp := filepath.Join(dir, e.Name(), ManifestName)
+		if _, err := os.Stat(mp); err != nil {
+			continue
+		}
+		found[e.Name()] = mp
+	}
+	return found, nil
+}
+
+// Fingerprint hashes the contents of the given files into a hex digest
+// that changes whenever any input's content (or the set of inputs)
+// changes. Missing files hash as absent rather than failing: the load
+// step owns reporting them properly.
+func Fingerprint(paths ...string) string {
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range sorted {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		data, err := os.ReadFile(p)
+		if err != nil {
+			h.Write([]byte("!absent"))
+			continue
+		}
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(data)))
+		h.Write(lenBuf[:])
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

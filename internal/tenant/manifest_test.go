@@ -1,0 +1,102 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseManifest(t *testing.T) {
+	m, err := ParseManifest([]byte(`files:
+  - mesh.yaml
+  - policies.yaml
+k8s-goals: goals-k8s.csv
+istio-offer: holes
+ports: [8080, 9090]
+`), "/srv/tenants/acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Files) != 2 || m.Files[0] != "/srv/tenants/acme/mesh.yaml" {
+		t.Fatalf("Files = %v", m.Files)
+	}
+	if m.K8sGoals != "/srv/tenants/acme/goals-k8s.csv" || m.IstioGoals != "" {
+		t.Fatalf("goals = %q / %q", m.K8sGoals, m.IstioGoals)
+	}
+	if m.IstioOffer != "holes" || m.K8sOffer != "" {
+		t.Fatalf("offers = %q / %q", m.K8sOffer, m.IstioOffer)
+	}
+	if m.PortsCSV() != "8080,9090" {
+		t.Fatalf("ports = %q", m.PortsCSV())
+	}
+}
+
+func TestParseManifestRejectsUnknownKeyAndMissingFiles(t *testing.T) {
+	if _, err := ParseManifest([]byte("files: [a.yaml]\nk8s_goals: g.csv\n"), ""); err == nil {
+		t.Fatal("unknown key must be rejected")
+	}
+	if _, err := ParseManifest([]byte("k8s-offer: soft\n"), ""); err == nil {
+		t.Fatal("missing files must be rejected")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"acme", "team-a_2", "A.b"} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "sp ace", string(make([]byte, 65))} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true", bad)
+		}
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []string{"acme", "bravo"} {
+		if err := os.MkdirAll(filepath.Join(dir, id), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id, ManifestName), []byte("files: [m.yaml]\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not tenants: no manifest, hidden, plain file.
+	os.MkdirAll(filepath.Join(dir, "empty"), 0o755)
+	os.MkdirAll(filepath.Join(dir, ".git"), 0o755)
+	os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644)
+
+	found, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 || found["acme"] == "" || found["bravo"] == "" {
+		t.Fatalf("found = %v", found)
+	}
+}
+
+func TestFingerprintTracksContent(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.yaml")
+	b := filepath.Join(dir, "b.yaml")
+	os.WriteFile(a, []byte("one"), 0o644)
+	os.WriteFile(b, []byte("two"), 0o644)
+
+	f1 := Fingerprint(a, b)
+	if f2 := Fingerprint(b, a); f2 != f1 {
+		t.Fatal("fingerprint must not depend on argument order")
+	}
+	os.WriteFile(b, []byte("two!"), 0o644)
+	if Fingerprint(a, b) == f1 {
+		t.Fatal("content change must change the fingerprint")
+	}
+	// A missing file fingerprints as absent, distinctly from empty.
+	os.Remove(b)
+	gone := Fingerprint(a, b)
+	os.WriteFile(b, nil, 0o644)
+	if Fingerprint(a, b) == gone {
+		t.Fatal("absent and empty must fingerprint differently")
+	}
+}

@@ -1,0 +1,156 @@
+package tenant
+
+import (
+	"context"
+	"testing"
+
+	"muppet"
+)
+
+func TestPoolCheckoutCheckinReuse(t *testing.T) {
+	l := NewLedger(0)
+	p := l.NewPool("acme")
+
+	c1 := p.Checkout() // empty pool: fresh cache, a miss
+	if c1 == nil {
+		t.Fatal("nil cache from Checkout")
+	}
+	p.Checkin(c1)
+	c2 := p.Checkout() // warm hit: the same cache comes back
+	if c2 != c1 {
+		t.Fatal("expected the checked-in cache back")
+	}
+	st := p.Stats()
+	if st.Checkouts != 2 || st.Misses != 1 {
+		t.Fatalf("checkouts=%d misses=%d, want 2/1", st.Checkouts, st.Misses)
+	}
+	// Checked-out caches are not idle and not accounted.
+	if st.IdleCount != 0 || l.TotalBytes() != 0 {
+		t.Fatalf("idle=%d total=%d with everything checked out", st.IdleCount, l.TotalBytes())
+	}
+}
+
+func TestPoolCheckoutIsMRU(t *testing.T) {
+	l := NewLedger(0)
+	p := l.NewPool("acme")
+	a, b := p.Checkout(), p.Checkout()
+	p.Checkin(a)
+	p.Checkin(b) // b is most recently used
+	if got := p.Checkout(); got != b {
+		t.Fatal("Checkout must prefer the most recently used cache")
+	}
+}
+
+func TestPoolRetire(t *testing.T) {
+	l := NewLedger(0)
+	p := l.NewPool("acme")
+	inflight := p.Checkout()
+	p.Checkin(p.Checkout()) // one idle cache
+	p.Retire()
+	if st := p.Stats(); st.IdleCount != 0 {
+		t.Fatalf("idle after retire = %d", st.IdleCount)
+	}
+	// The in-flight cache is discarded at checkin, and a retired pool
+	// only ever hands out fresh caches.
+	p.Checkin(inflight)
+	if st := p.Stats(); st.IdleCount != 0 {
+		t.Fatalf("retired pool pooled a checkin: idle = %d", st.IdleCount)
+	}
+	if c := p.Checkout(); c == inflight {
+		t.Fatal("retired pool must not reuse discarded caches")
+	}
+	p.Retire() // idempotent
+}
+
+// warmCache builds a cache holding one live solving session, so it has
+// real, nonzero ApproxBytes for the ledger to account.
+func warmCache(t testing.TB, sys *muppet.System, k8s, istio *muppet.Party) *muppet.SolveCache {
+	t.Helper()
+	c := muppet.NewSolveCache()
+	res := c.LocalConsistencyCtx(context.Background(), sys, k8s, []*muppet.Party{istio}, muppet.Budget{})
+	if !res.OK {
+		t.Fatal("scenario must be consistent")
+	}
+	if c.ApproxBytes() <= 0 {
+		t.Fatal("warm cache reports zero bytes")
+	}
+	return c
+}
+
+func scenarioParties(t testing.TB) (*muppet.System, *muppet.Party, *muppet.Party) {
+	t.Helper()
+	sc := muppet.GenerateScenario(muppet.ScenarioParams{
+		Services: 3, PortsPerService: 2, Flows: 3, BannedPorts: 1, Seed: 7,
+	})
+	sys, err := sc.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8s, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	istio, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, k8s, istio
+}
+
+// TestLedgerEvictsLRUUnderBudget checks the satellite requirement: under
+// a tiny budget, idle warm caches are evicted least-recently-used first
+// and the accounted total never settles above the budget.
+func TestLedgerEvictsLRUUnderBudget(t *testing.T) {
+	sys, k8s, istio := scenarioParties(t)
+
+	// Size one warm cache, then allow room for roughly two of them.
+	probe := warmCache(t, sys, k8s, istio)
+	one := probe.ApproxBytes()
+	budget := one * 2
+
+	l := NewLedger(budget)
+	a := l.NewPool("acme")
+	b := l.NewPool("bravo")
+
+	// Three warm caches across two tenants under a two-cache budget: the
+	// first (globally oldest) one must be evicted, whichever pool owns it.
+	a.Checkin(warmCache(t, sys, k8s, istio))
+	a.Checkin(warmCache(t, sys, k8s, istio))
+	b.Checkin(warmCache(t, sys, k8s, istio))
+
+	if tot := l.TotalBytes(); tot > budget {
+		t.Fatalf("idle total %d over budget %d", tot, budget)
+	}
+	if l.Evictions() == 0 {
+		t.Fatal("expected at least one eviction")
+	}
+	// The oldest idle cache was tenant a's first checkin: the eviction
+	// must land on pool a even though pool b checked in last.
+	if st := a.Stats(); st.Evictions == 0 {
+		t.Fatalf("evictions must hit the LRU pool: a=%+v b=%+v", a.Stats(), b.Stats())
+	}
+	if st := b.Stats(); st.Evictions != 0 {
+		t.Fatalf("MRU pool evicted: %+v", st)
+	}
+
+	// Counters stay monotonic across evictions: sessions built are still
+	// visible in the pool aggregate even though the cache is gone.
+	if st := a.Stats(); st.Reuse.Sessions == 0 {
+		t.Fatalf("evicted sessions vanished from aggregate stats: %+v", st)
+	}
+}
+
+func TestLedgerUnlimitedNeverEvicts(t *testing.T) {
+	sys, k8s, istio := scenarioParties(t)
+	l := NewLedger(0)
+	p := l.NewPool("acme")
+	for i := 0; i < 3; i++ {
+		p.Checkin(warmCache(t, sys, k8s, istio))
+	}
+	if l.Evictions() != 0 {
+		t.Fatalf("unlimited ledger evicted %d sessions", l.Evictions())
+	}
+	if st := p.Stats(); st.IdleCount != 3 {
+		t.Fatalf("idle = %d, want 3", st.IdleCount)
+	}
+}

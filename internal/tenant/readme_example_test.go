@@ -1,0 +1,34 @@
+package tenant
+
+import "testing"
+
+// TestReadmeRouterExample pins the README's router YAML to the parser.
+func TestReadmeRouterExample(t *testing.T) {
+	const y = `pools:
+  warm-cache:
+    type: warm
+  fresh-capped:
+    type: fresh
+    timeout: 10s
+  racy:
+    type: parallel
+    pools: [warm-cache, fresh-capped]
+methods:
+  default: warm-cache
+  reconcile: racy
+`
+	cfg, err := ParseRouterConfig([]byte(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := r.PlanFor("reconcile"); p.Kind != PoolParallel || len(p.Children) != 2 {
+		t.Fatalf("reconcile plan: %+v", p)
+	}
+	if p := r.PlanFor("check"); p.Kind != PoolWarm {
+		t.Fatalf("default plan: %+v", p)
+	}
+}

@@ -1,0 +1,404 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"muppet/internal/yamllite"
+)
+
+// PoolKind classifies a named solver pool.
+type PoolKind string
+
+const (
+	// PoolWarm solves on a warm cache checked out of the tenant's
+	// CachePool — the incremental fast path.
+	PoolWarm PoolKind = "warm"
+	// PoolFresh solves on a one-shot workspace with no session reuse —
+	// slower, but immune to any pathology a long-lived session could
+	// accumulate.
+	PoolFresh PoolKind = "fresh"
+	// PoolParallel races its child pools; the first decisive verdict wins
+	// and the losers are cancelled.
+	PoolParallel PoolKind = "parallel"
+	// PoolSequential tries its child pools in order, falling through to
+	// the next when a child comes back indeterminate (Unknown, timeout)
+	// or errors.
+	PoolSequential PoolKind = "sequential"
+)
+
+// PoolSpec declares one named pool in a router config.
+type PoolSpec struct {
+	Kind PoolKind
+	// Timeout caps the pool's subtree; 0 inherits the request budget.
+	Timeout time.Duration
+	// Children names the sub-pools of a parallel/sequential pool, in
+	// preference order. Must be empty for leaf kinds.
+	Children []string
+}
+
+// RouterConfig is the parsed shape of a router YAML file: named pools
+// plus a method→pool dispatch table (the "default" method catches
+// everything unlisted). The config language is modelled on kubo's
+// delegated content routing: small named units composed by parallel and
+// sequential combinators, selected per method.
+type RouterConfig struct {
+	Pools   map[string]PoolSpec
+	Methods map[string]string
+}
+
+// Plan is one compiled dispatch tree: what a method's request actually
+// runs. Leaves carry solving strategy; interior nodes carry composition.
+type Plan struct {
+	Name     string
+	Kind     PoolKind
+	Timeout  time.Duration
+	Children []*Plan
+}
+
+// Router maps workflow methods to compiled plans.
+type Router struct {
+	plans  map[string]*Plan
+	def    *Plan
+	source string // description for /tenants introspection
+}
+
+// PlanFor returns the plan serving the given method.
+func (r *Router) PlanFor(method string) *Plan {
+	if p, ok := r.plans[method]; ok {
+		return p
+	}
+	return r.def
+}
+
+// Source describes where the router came from ("builtin:warm" or a file
+// path).
+func (r *Router) Source() string { return r.source }
+
+// Methods lists the explicitly routed methods, sorted.
+func (r *Router) Methods() []string {
+	out := make([]string, 0, len(r.plans))
+	for m := range r.plans {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRouter routes every method to a single warm-cache pool — the
+// behaviour of the daemon before routing existed.
+func DefaultRouter() *Router {
+	return &Router{
+		plans:  map[string]*Plan{},
+		def:    &Plan{Name: "warm-cache", Kind: PoolWarm},
+		source: "builtin:warm",
+	}
+}
+
+// ParseRouterConfig parses router YAML:
+//
+//	pools:
+//	  warm-cache:
+//	    type: warm
+//	  fresh-portfolio:
+//	    type: fresh
+//	  race:
+//	    type: parallel
+//	    timeout: 20s
+//	    pools: [warm-cache, fresh-portfolio]
+//	methods:
+//	  reconcile: race
+//	  default: warm-cache
+func ParseRouterConfig(data []byte) (RouterConfig, error) {
+	cfg := RouterConfig{Pools: map[string]PoolSpec{}, Methods: map[string]string{}}
+	v, err := yamllite.Parse(data)
+	if err != nil {
+		return cfg, err
+	}
+	poolsV, ok := yamllite.Get(v, "pools")
+	if !ok {
+		return cfg, fmt.Errorf("router: missing pools section")
+	}
+	pools, ok := yamllite.AsMap(poolsV)
+	if !ok {
+		return cfg, fmt.Errorf("router: pools is %T, want mapping", poolsV)
+	}
+	for name, pv := range pools {
+		pm, ok := yamllite.AsMap(pv)
+		if !ok {
+			return cfg, fmt.Errorf("router: pool %q is %T, want mapping", name, pv)
+		}
+		var spec PoolSpec
+		kind, err := yamllite.StringAt(pv, "type")
+		if err != nil {
+			return cfg, fmt.Errorf("router: pool %q: %w", name, err)
+		}
+		spec.Kind = PoolKind(kind)
+		if _, present := pm["timeout"]; present {
+			ts, err := yamllite.StringAt(pv, "timeout")
+			if err != nil {
+				return cfg, fmt.Errorf("router: pool %q: %w", name, err)
+			}
+			d, err := time.ParseDuration(ts)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("router: pool %q: bad timeout %q", name, ts)
+			}
+			spec.Timeout = d
+		}
+		if spec.Children, err = yamllite.StringListAt(pv, "pools"); err != nil {
+			return cfg, fmt.Errorf("router: pool %q: %w", name, err)
+		}
+		for k := range pm {
+			if k != "type" && k != "timeout" && k != "pools" {
+				return cfg, fmt.Errorf("router: pool %q: unknown key %q", name, k)
+			}
+		}
+		cfg.Pools[name] = spec
+	}
+	if mv, ok := yamllite.Get(v, "methods"); ok {
+		if cfg.Methods, err = yamllite.StringMapAt(v, "methods"); err != nil {
+			return cfg, err
+		}
+		if _, ok := yamllite.AsMap(mv); !ok {
+			return cfg, fmt.Errorf("router: methods is %T, want mapping", mv)
+		}
+	}
+	return cfg, nil
+}
+
+// NewRouter compiles and validates a config: every kind known, leaves
+// childless, combinators non-empty, every reference resolvable, no
+// cycles, and every method mapped to a declared pool. Errors here are
+// config errors, reported at startup rather than per request.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	for name, spec := range cfg.Pools {
+		switch spec.Kind {
+		case PoolWarm, PoolFresh:
+			if len(spec.Children) > 0 {
+				return nil, fmt.Errorf("router: pool %q: %s pools take no sub-pools", name, spec.Kind)
+			}
+		case PoolParallel, PoolSequential:
+			if len(spec.Children) == 0 {
+				return nil, fmt.Errorf("router: pool %q: %s pool needs sub-pools", name, spec.Kind)
+			}
+			for _, c := range spec.Children {
+				if _, ok := cfg.Pools[c]; !ok {
+					return nil, fmt.Errorf("router: pool %q references unknown pool %q", name, c)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("router: pool %q: unknown type %q (want warm|fresh|parallel|sequential)", name, spec.Kind)
+		}
+	}
+
+	// Compile each named pool into a Plan, memoised; the visiting state
+	// doubles as the cycle detector.
+	compiled := map[string]*Plan{}
+	visiting := map[string]bool{}
+	var compile func(name string) (*Plan, error)
+	compile = func(name string) (*Plan, error) {
+		if p, ok := compiled[name]; ok {
+			return p, nil
+		}
+		if visiting[name] {
+			return nil, fmt.Errorf("router: pool %q participates in a cycle", name)
+		}
+		visiting[name] = true
+		defer delete(visiting, name)
+		spec := cfg.Pools[name]
+		p := &Plan{Name: name, Kind: spec.Kind, Timeout: spec.Timeout}
+		for _, c := range spec.Children {
+			cp, err := compile(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Children = append(p.Children, cp)
+		}
+		compiled[name] = p
+		return p, nil
+	}
+	for name := range cfg.Pools {
+		if _, err := compile(name); err != nil {
+			return nil, err
+		}
+	}
+
+	r := &Router{plans: map[string]*Plan{}}
+	for method, pool := range cfg.Methods {
+		p, ok := compiled[pool]
+		if !ok {
+			return nil, fmt.Errorf("router: method %q routed to unknown pool %q", method, pool)
+		}
+		if method == "default" {
+			r.def = p
+		} else {
+			r.plans[method] = p
+		}
+	}
+	if r.def == nil {
+		if len(cfg.Methods) > 0 {
+			return nil, fmt.Errorf("router: methods section needs a default entry")
+		}
+		// No methods section: a single declared pool routes everything.
+		if len(cfg.Pools) != 1 {
+			return nil, fmt.Errorf("router: without a methods section, declare exactly one pool")
+		}
+		for name := range cfg.Pools {
+			r.def = compiled[name]
+		}
+	}
+	return r, nil
+}
+
+// LoadRouter reads, parses and compiles a router YAML file.
+func LoadRouter(path string) (*Router, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ParseRouterConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r.source = path
+	return r, nil
+}
+
+// Leaf identifies one leaf execution to the RunPlan callback.
+type Leaf struct {
+	Name string
+	Kind PoolKind
+}
+
+// Attempt records one leaf execution inside a plan, for logs and
+// metrics: which pool ran, whether it produced a decisive verdict, and
+// how long it took.
+type Attempt[R any] struct {
+	Pool     string
+	Kind     PoolKind
+	Result   R
+	Err      error
+	Decisive bool
+	Elapsed  time.Duration
+}
+
+// attemptLog collects attempts across the goroutines of a parallel plan.
+type attemptLog[R any] struct {
+	mu  sync.Mutex
+	all []Attempt[R]
+}
+
+func (a *attemptLog[R]) add(at Attempt[R]) {
+	a.mu.Lock()
+	a.all = append(a.all, at)
+	a.mu.Unlock()
+}
+
+// RunPlan executes a plan: run is called for each leaf reached (with the
+// leaf's timeout applied to its context), and decisive classifies a
+// result as final. Sequential nodes fall through to the next child on an
+// error or indeterminate result; parallel nodes race their children and
+// cancel the losers as soon as any child is decisive. When nothing is
+// decisive, the first non-error result in declaration order is returned
+// (so racing a warm pool against a fresh one degrades deterministically),
+// then the first error. The returned attempts list the leaves that ran;
+// a cancelled loser of a parallel race may still be winding down when the
+// winner returns, in which case its attempt is not in the snapshot.
+func RunPlan[R any](ctx context.Context, plan *Plan, run func(ctx context.Context, leaf Leaf) (R, error), decisive func(R) bool) (R, []Attempt[R], error) {
+	log := &attemptLog[R]{}
+	res, err := runPlan(ctx, plan, run, decisive, log)
+	log.mu.Lock()
+	attempts := append([]Attempt[R](nil), log.all...)
+	log.mu.Unlock()
+	return res, attempts, err
+}
+
+func runPlan[R any](ctx context.Context, plan *Plan, run func(ctx context.Context, leaf Leaf) (R, error), decisive func(R) bool, log *attemptLog[R]) (R, error) {
+	var zero R
+	if plan.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, plan.Timeout)
+		defer cancel()
+	}
+	switch plan.Kind {
+	case PoolWarm, PoolFresh:
+		start := time.Now()
+		res, err := run(ctx, Leaf{Name: plan.Name, Kind: plan.Kind})
+		at := Attempt[R]{
+			Pool: plan.Name, Kind: plan.Kind, Result: res, Err: err,
+			Elapsed: time.Since(start),
+		}
+		at.Decisive = err == nil && decisive(res)
+		log.add(at)
+		return res, err
+
+	case PoolSequential:
+		var lastRes R
+		var lastErr error
+		haveRes := false
+		for _, child := range plan.Children {
+			res, err := runPlan(ctx, child, run, decisive, log)
+			if err == nil && decisive(res) {
+				return res, nil
+			}
+			if err != nil {
+				lastErr = err
+			} else {
+				lastRes, haveRes = res, true
+			}
+			if ctx.Err() != nil {
+				break // the whole plan's budget is gone; stop falling through
+			}
+		}
+		if haveRes {
+			return lastRes, nil
+		}
+		if lastErr != nil {
+			return zero, lastErr
+		}
+		return zero, fmt.Errorf("router: pool %q ran no children", plan.Name)
+
+	case PoolParallel:
+		raceCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		type outcome struct {
+			idx int
+			res R
+			err error
+		}
+		ch := make(chan outcome, len(plan.Children))
+		for i, child := range plan.Children {
+			go func(i int, child *Plan) {
+				res, err := runPlan(raceCtx, child, run, decisive, log)
+				ch <- outcome{i, res, err}
+			}(i, child)
+		}
+		results := make([]*outcome, len(plan.Children))
+		for range plan.Children {
+			o := <-ch
+			if o.err == nil && decisive(o.res) {
+				cancel() // losers see cancellation; their goroutines drain into the buffer
+				return o.res, nil
+			}
+			oc := o
+			results[oc.idx] = &oc
+		}
+		for _, o := range results {
+			if o.err == nil {
+				return o.res, nil
+			}
+		}
+		return zero, results[0].err
+
+	default:
+		return zero, fmt.Errorf("router: unknown pool kind %q", plan.Kind)
+	}
+}

@@ -1,0 +1,238 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const routerYAML = `pools:
+  warm-cache:
+    type: warm
+  fresh-portfolio:
+    type: fresh
+    timeout: 250ms
+  race:
+    type: parallel
+    pools: [warm-cache, fresh-portfolio]
+  careful:
+    type: sequential
+    pools: [warm-cache, fresh-portfolio]
+methods:
+  check: warm-cache
+  reconcile: race
+  conform: careful
+  default: warm-cache
+`
+
+func mustRouter(t *testing.T, yaml string) *Router {
+	t.Helper()
+	cfg, err := ParseRouterConfig([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterParseAndDispatch(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	if p := r.PlanFor("check"); p.Kind != PoolWarm || p.Name != "warm-cache" {
+		t.Fatalf("check → %+v", p)
+	}
+	if p := r.PlanFor("reconcile"); p.Kind != PoolParallel || len(p.Children) != 2 {
+		t.Fatalf("reconcile → %+v", p)
+	}
+	if p := r.PlanFor("conform"); p.Kind != PoolSequential {
+		t.Fatalf("conform → %+v", p)
+	}
+	// Unlisted methods fall back to default.
+	if p := r.PlanFor("negotiate"); p.Name != "warm-cache" {
+		t.Fatalf("default → %+v", p)
+	}
+	if got := r.PlanFor("reconcile").Children[1].Timeout; got != 250*time.Millisecond {
+		t.Fatalf("fresh-portfolio timeout = %v", got)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	cases := []struct {
+		name, yaml, wantErr string
+	}{
+		{"unknown type", "pools:\n  p:\n    type: psychic\n", "unknown type"},
+		{"leaf with children", "pools:\n  a:\n    type: warm\n  p:\n    type: warm\n    pools: [a]\n", "no sub-pools"},
+		{"empty combinator", "pools:\n  p:\n    type: parallel\n", "needs sub-pools"},
+		{"unknown ref", "pools:\n  p:\n    type: parallel\n    pools: [ghost, ghost2]\n", "unknown pool"},
+		{"cycle", "pools:\n  a:\n    type: sequential\n    pools: [b]\n  b:\n    type: sequential\n    pools: [a]\n", "cycle"},
+		{"self cycle", "pools:\n  a:\n    type: parallel\n    pools: [a, a]\n", "cycle"},
+		{"method to unknown pool", "pools:\n  a:\n    type: warm\nmethods:\n  default: ghost\n", "unknown pool"},
+		{"methods without default", "pools:\n  a:\n    type: warm\nmethods:\n  check: a\n", "default"},
+		{"ambiguous without methods", "pools:\n  a:\n    type: warm\n  b:\n    type: fresh\n", "exactly one pool"},
+		{"bad timeout", "pools:\n  a:\n    type: warm\n    timeout: -3s\n", "bad timeout"},
+		{"unknown pool key", "pools:\n  a:\n    type: warm\n    tiemout: 3s\n", "unknown key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := ParseRouterConfig([]byte(tc.yaml))
+			if err == nil {
+				_, err = NewRouter(cfg)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRouterSingleAnonymousPool(t *testing.T) {
+	// One pool and no methods section is a complete config.
+	r := mustRouter(t, "pools:\n  only:\n    type: fresh\n")
+	if p := r.PlanFor("anything"); p.Name != "only" || p.Kind != PoolFresh {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+// verdict is the stand-in result type for plan-execution tests:
+// decisive unless marked unknown.
+type verdict struct {
+	pool    string
+	unknown bool
+}
+
+func isDecisive(v verdict) bool { return !v.unknown }
+
+func TestRunPlanSequentialFallsThrough(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	// warm-cache comes back indeterminate; sequential must fall through
+	// to fresh-portfolio and return its decisive verdict.
+	res, attempts, err := RunPlan(context.Background(), r.PlanFor("conform"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			return verdict{pool: leaf.Name, unknown: leaf.Name == "warm-cache"}, nil
+		}, isDecisive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.pool != "fresh-portfolio" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(attempts) != 2 || !attempts[1].Decisive || attempts[0].Decisive {
+		t.Fatalf("attempts = %+v", attempts)
+	}
+}
+
+func TestRunPlanSequentialStopsEarly(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	var calls atomic.Int32
+	res, attempts, err := RunPlan(context.Background(), r.PlanFor("conform"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			calls.Add(1)
+			return verdict{pool: leaf.Name}, nil
+		}, isDecisive)
+	if err != nil || res.pool != "warm-cache" {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if calls.Load() != 1 || len(attempts) != 1 {
+		t.Fatalf("decisive first child must stop the sequence: calls=%d", calls.Load())
+	}
+}
+
+func TestRunPlanSequentialFallsThroughOnError(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	res, _, err := RunPlan(context.Background(), r.PlanFor("conform"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			if leaf.Name == "warm-cache" {
+				return verdict{}, fmt.Errorf("warm pool exploded")
+			}
+			return verdict{pool: leaf.Name}, nil
+		}, isDecisive)
+	if err != nil || res.pool != "fresh-portfolio" {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestRunPlanParallelFirstDecisiveWinsAndCancelsLosers(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	loserCancelled := make(chan struct{})
+	res, _, err := RunPlan(context.Background(), r.PlanFor("reconcile"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			if leaf.Name == "warm-cache" {
+				return verdict{pool: leaf.Name}, nil // fast and decisive
+			}
+			// The slow loser must observe cancellation promptly.
+			select {
+			case <-ctx.Done():
+				close(loserCancelled)
+				return verdict{}, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return verdict{pool: leaf.Name}, nil
+			}
+		}, isDecisive)
+	if err != nil || res.pool != "warm-cache" {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	select {
+	case <-loserCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing pool was not cancelled")
+	}
+}
+
+func TestRunPlanParallelDeterministicWhenNothingDecisive(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	for i := 0; i < 10; i++ {
+		res, _, err := RunPlan(context.Background(), r.PlanFor("reconcile"),
+			func(ctx context.Context, leaf Leaf) (verdict, error) {
+				return verdict{pool: leaf.Name, unknown: true}, nil
+			}, isDecisive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Declaration order breaks the tie, not arrival order.
+		if res.pool != "warm-cache" {
+			t.Fatalf("iteration %d: res = %+v", i, res)
+		}
+	}
+}
+
+func TestRunPlanParallelAllErrors(t *testing.T) {
+	r := mustRouter(t, routerYAML)
+	_, _, err := RunPlan(context.Background(), r.PlanFor("reconcile"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			return verdict{}, fmt.Errorf("%s failed", leaf.Name)
+		}, isDecisive)
+	if err == nil {
+		t.Fatal("want an error when every child errors")
+	}
+}
+
+func TestRunPlanLeafTimeoutApplies(t *testing.T) {
+	r := mustRouter(t, "pools:\n  slow:\n    type: fresh\n    timeout: 30ms\n")
+	start := time.Now()
+	_, _, err := RunPlan(context.Background(), r.PlanFor("x"),
+		func(ctx context.Context, leaf Leaf) (verdict, error) {
+			<-ctx.Done()
+			return verdict{}, ctx.Err()
+		}, isDecisive)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("leaf timeout did not apply")
+	}
+}
+
+func TestDefaultRouter(t *testing.T) {
+	r := DefaultRouter()
+	if p := r.PlanFor("check"); p.Kind != PoolWarm {
+		t.Fatalf("default router → %+v", p)
+	}
+	if r.Source() != "builtin:warm" {
+		t.Fatalf("source = %q", r.Source())
+	}
+}

@@ -1,19 +1,75 @@
 #!/bin/sh
-# Daemon smoke test: build muppetd, start it on an ephemeral port over the
-# Fig. 1 testdata, probe /healthz, run one check, then SIGTERM it and
-# assert a clean drain. Run from the repository root (`make smoke`).
+# Daemon smoke test: build muppetd and exercise both serving modes.
+#
+# Phase 1 (single tenant): start over the Fig. 1 testdata, probe
+# /healthz, run one check, then SIGTERM it and assert a clean drain.
+#
+# Phase 2 (multi tenant): start over a -tenant-dir with two tenants,
+# serve both, hot-reload one mid-traffic (both keep answering, the
+# revision advances), pick up a third tenant via SIGHUP, and check the
+# muppetd_tenant_* metrics. Run from the repository root (`make smoke`).
 set -eu
 
 GO="${GO:-go}"
 tmp="$(mktemp -d)"
 pid=""
+traffic_pid=""
 cleanup() {
+	[ -n "$traffic_pid" ] && kill "$traffic_pid" 2>/dev/null || true
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
 
 $GO build -o "$tmp/muppetd" ./cmd/muppetd
+
+# wait_addr <log>: scrape the bound address once the listener is up.
+wait_addr() {
+	addr=""
+	i=0
+	while [ $i -lt 100 ]; do
+		addr="$(sed -n 's/.*serving .* on http:\/\/\([^ ]*\).*/\1/p' "$1" | head -n 1)"
+		[ -n "$addr" ] && break
+		kill -0 "$pid" 2>/dev/null || break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "daemon smoke: muppetd never came up" >&2
+		cat "$1" >&2
+		exit 1
+	fi
+}
+
+# expect_sat <url> <body>: POST a request and require a code-0 verdict.
+expect_sat() {
+	verdict="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$1")"
+	case "$verdict" in
+	*'"code":0'*) ;;
+	*)
+		echo "daemon smoke: unexpected verdict from $1: $verdict" >&2
+		exit 1
+		;;
+	esac
+}
+
+# stop_daemon <log>: SIGTERM and require a clean drain.
+stop_daemon() {
+	kill -TERM "$pid"
+	if ! wait "$pid"; then
+		echo "daemon smoke: muppetd exited non-zero" >&2
+		cat "$1" >&2
+		exit 1
+	fi
+	pid=""
+	grep -q "drained" "$1" || {
+		echo "daemon smoke: no clean drain in log" >&2
+		cat "$1" >&2
+		exit 1
+	}
+}
+
+# --- Phase 1: single-tenant mode -------------------------------------
 
 "$tmp/muppetd" -addr 127.0.0.1:0 \
 	-files testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml \
@@ -22,51 +78,121 @@ $GO build -o "$tmp/muppetd" ./cmd/muppetd
 	-k8s-offer soft -istio-offer soft \
 	>"$tmp/log" 2>&1 &
 pid=$!
-
-# The daemon logs its bound address once the listener is up.
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-	addr="$(sed -n 's/.*serving on http:\/\/\([^ ]*\).*/\1/p' "$tmp/log" | head -n 1)"
-	[ -n "$addr" ] && break
-	kill -0 "$pid" 2>/dev/null || break
-	i=$((i + 1))
-	sleep 0.1
-done
-if [ -z "$addr" ]; then
-	echo "daemon smoke: muppetd never came up" >&2
-	cat "$tmp/log" >&2
-	exit 1
-fi
+wait_addr "$tmp/log"
 
 curl -fsS "http://$addr/healthz" >/dev/null
 curl -fsS "http://$addr/readyz" >/dev/null
 
-verdict="$(curl -fsS -X POST -H 'Content-Type: application/json' \
-	-d '{"party":"k8s"}' "http://$addr/v1/check")"
-case "$verdict" in
-*'"code":0'*) ;;
-*)
-	echo "daemon smoke: unexpected check verdict: $verdict" >&2
-	exit 1
-	;;
-esac
+expect_sat "http://$addr/v1/check" '{"party":"k8s"}'
 
-curl -fsS "http://$addr/metrics" | grep -q '^muppetd_requests_total{op="check",code="0"} 1$' || {
+curl -fsS "http://$addr/metrics" | grep '^muppetd_requests_total{op="check",code="0"} 1$' >/dev/null || {
 	echo "daemon smoke: /metrics did not count the check" >&2
 	exit 1
 }
 
-kill -TERM "$pid"
-if ! wait "$pid"; then
-	echo "daemon smoke: muppetd exited non-zero" >&2
-	cat "$tmp/log" >&2
+stop_daemon "$tmp/log"
+echo "daemon smoke: single-tenant OK ($addr)"
+
+# --- Phase 2: multi-tenant mode --------------------------------------
+
+# mktenant <id> <banned-port>: one tenant bundle under $tmp/tenants.
+mktenant() {
+	td="$tmp/tenants/$1"
+	mkdir -p "$td"
+	cp testdata/fig1/mesh.yaml testdata/fig1/k8s_current.yaml \
+		testdata/fig1/istio_current.yaml testdata/fig1/istio_goals_revised.csv "$td/"
+	printf 'port,perm,selector\n%s,DENY,*\n' "$2" >"$td/k8s_goals.csv"
+	cat >"$td/tenant.yaml" <<-'EOF'
+		files:
+		  - mesh.yaml
+		  - k8s_current.yaml
+		  - istio_current.yaml
+		k8s-goals: k8s_goals.csv
+		istio-goals: istio_goals_revised.csv
+		k8s-offer: soft
+		istio-offer: soft
+	EOF
+}
+
+mktenant alpha 23
+mktenant bravo 24
+
+"$tmp/muppetd" -addr 127.0.0.1:0 -tenant-dir "$tmp/tenants" -cache-budget-mb 64 \
+	>"$tmp/log2" 2>&1 &
+pid=$!
+wait_addr "$tmp/log2"
+
+expect_sat "http://$addr/t/alpha/check" '{"party":"k8s"}'
+expect_sat "http://$addr/t/bravo/check" '{"party":"k8s"}'
+
+# Hot-reload alpha mid-traffic: keep requests flowing at both tenants
+# while alpha's goals change on disk and an admin reload swaps them in.
+(
+	while :; do
+		curl -fsS -X POST -H 'Content-Type: application/json' \
+			-d '{"party":"k8s"}' "http://$addr/t/alpha/check" >>"$tmp/traffic" 2>/dev/null || true
+		curl -fsS -X POST -H 'Content-Type: application/json' \
+			-d '{}' "http://$addr/t/bravo/reconcile" >>"$tmp/traffic" 2>/dev/null || true
+	done
+) &
+traffic_pid=$!
+
+printf 'port,perm,selector\n25,DENY,*\n' >"$tmp/tenants/alpha/k8s_goals.csv"
+reload="$(curl -fsS -X POST "http://$addr/tenants/alpha/reload")"
+case "$reload" in
+*'"swapped":true'*) ;;
+*)
+	echo "daemon smoke: reload did not swap: $reload" >&2
 	exit 1
-fi
-pid=""
-grep -q "drained" "$tmp/log" || {
-	echo "daemon smoke: no clean drain in log" >&2
-	cat "$tmp/log" >&2
+	;;
+esac
+
+# Both tenants must still answer after the swap.
+expect_sat "http://$addr/t/alpha/check" '{"party":"k8s"}'
+expect_sat "http://$addr/t/bravo/check" '{"party":"k8s"}'
+kill "$traffic_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+traffic_pid=""
+grep -q '"code":[^0]' "$tmp/traffic" && {
+	echo "daemon smoke: non-sat verdict during hot reload" >&2
 	exit 1
 }
-echo "daemon smoke OK ($addr)"
+
+curl -fsS "http://$addr/tenants" | grep -q '"id":"alpha","revision":2' || {
+	echo "daemon smoke: /tenants did not report alpha at revision 2" >&2
+	curl -fsS "http://$addr/tenants" >&2 || true
+	exit 1
+}
+
+# SIGHUP rescan picks up a tenant dropped into the directory.
+mktenant gamma 26
+kill -HUP "$pid"
+i=0
+while [ $i -lt 100 ]; do
+	curl -fsS "http://$addr/tenants" | grep -q '"id":"gamma"' && break
+	i=$((i + 1))
+	sleep 0.1
+done
+expect_sat "http://$addr/t/gamma/check" '{"party":"k8s"}'
+
+metrics="$(curl -fsS "http://$addr/metrics")"
+echo "$metrics" | grep -q '^muppetd_tenants 3$' || {
+	echo "daemon smoke: muppetd_tenants != 3" >&2
+	exit 1
+}
+echo "$metrics" | grep -q '^muppetd_tenant_revision{tenant="alpha"} 2$' || {
+	echo "daemon smoke: alpha revision metric missing" >&2
+	exit 1
+}
+echo "$metrics" | grep -q '^muppetd_tenant_requests_total{tenant="bravo",op="check",code="0"}' || {
+	echo "daemon smoke: per-tenant request counter missing" >&2
+	exit 1
+}
+echo "$metrics" | grep -q '^muppetd_cache_budget_bytes 67108864$' || {
+	echo "daemon smoke: cache budget metric missing" >&2
+	exit 1
+}
+
+stop_daemon "$tmp/log2"
+echo "daemon smoke: multi-tenant OK ($addr)"
+echo "daemon smoke OK"
