@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 
 	"muppet"
 	"muppet/internal/buildinfo"
+	"muppet/internal/feder"
 	"muppet/internal/server"
 	"muppet/internal/target"
 	"muppet/internal/tenant"
@@ -129,6 +131,8 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return runEval(ctx, args)
 	case "bench":
 		return runBench(ctx, args)
+	case "transcript":
+		return runTranscript(ctx, args)
 	case "version":
 		fmt.Println("muppet", buildinfo.Version())
 		return nil
@@ -153,6 +157,7 @@ commands:
   negotiate  run the negotiation workflow (Fig. 9)
   eval       evaluate a single flow under the loaded configurations
   bench      serve repeated queries from warm sessions, optionally parallel
+  transcript verify an HMAC-chained federated negotiation transcript
   version    report the build's version and VCS revision
 
 common flags:
@@ -170,6 +175,16 @@ check/envelope/reconcile/conform/negotiate also accept:
                   -portfolio/-strategy/-v are daemon-side and rejected)
   -tenant         tenant to address on the daemon (requires -addr;
                   default: the daemon's default tenant)
+  -retries        retries for retryable daemon failures in -addr mode:
+                  429, 503, connection errors (default 2)
+
+negotiate also accepts (federated mode):
+  -federated        coordinate the negotiation across muppetd peers, each
+                    holding only its own party's bundle
+  -peers            name=url pairs, one per party:
+                    k8s=http://host:port,istio=http://host:port
+  -transcript       append the HMAC-chained negotiation transcript here
+  -transcript-key   shared HMAC key for -transcript (and transcript verify)
 
 check/envelope/reconcile/conform/negotiate/bench also accept:
   -timeout        wall-clock budget for the whole command (e.g. 500ms; 0 = none)
@@ -277,23 +292,35 @@ func (l *limits) apply(ctx context.Context) (context.Context, context.CancelFunc
 	return ctx, cancel, b, nil
 }
 
-// registerAddr adds the daemon-routing flags shared by the workflow
-// commands: where the daemon is, and which of its tenants to address.
-func registerAddr(fs *flag.FlagSet) (addr, tenantID *string) {
-	addr = fs.String("addr", "",
+// daemonFlags gathers the daemon-routing flags shared by the workflow
+// commands: where the daemon is, which of its tenants to address, and how
+// persistently to retry retryable failures.
+type daemonFlags struct {
+	addr     string
+	tenantID string
+	retries  int
+}
+
+// registerAddr adds the daemon-routing flags.
+func registerAddr(fs *flag.FlagSet) *daemonFlags {
+	d := &daemonFlags{}
+	fs.StringVar(&d.addr, "addr", "",
 		"route the request through a running muppetd at host:port instead of solving locally")
-	tenantID = fs.String("tenant", "",
+	fs.StringVar(&d.tenantID, "tenant", "",
 		"tenant to address on the daemon (requires -addr; default: the daemon's default tenant)")
-	return addr, tenantID
+	fs.IntVar(&d.retries, "retries", 2,
+		"retries for retryable daemon failures (429, 503, connection errors; -addr mode)")
+	return d
 }
 
 // execute runs one mediation request: locally through server.Exec (the
 // same renderer the daemon uses, so both modes produce byte-identical
 // verdicts), or against a running daemon when addr is set. strategy is ""
 // for commands without a -strategy flag.
-func execute(ctx context.Context, in *inputs, lim *limits, strategy, addr, tenantID string, req server.Request) error {
+func execute(ctx context.Context, in *inputs, lim *limits, strategy string, d *daemonFlags, req server.Request) error {
+	addr, tenantID := d.addr, d.tenantID
 	if addr != "" {
-		return clientExecute(ctx, addr, tenantID, lim, strategy, req)
+		return clientExecute(ctx, addr, tenantID, lim, strategy, d.retries, req)
 	}
 	if tenantID != "" {
 		return fmt.Errorf("-tenant selects a daemon bundle and needs -addr; local solves take their bundle from -files")
@@ -369,10 +396,10 @@ func runCheck(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr, tenantID := registerAddr(fs)
+	d := registerAddr(fs)
 	party := fs.String("party", "k8s", "party to check: k8s|istio")
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, "", *addr, *tenantID, server.Request{Op: "check", Party: *party})
+	return execute(ctx, &in, &lim, "", d, server.Request{Op: "check", Party: *party})
 }
 
 func runEnvelope(ctx context.Context, args []string) error {
@@ -381,13 +408,13 @@ func runEnvelope(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr, tenantID := registerAddr(fs)
+	d := registerAddr(fs)
 	from := fs.String("from", "k8s", "sender party")
 	to := fs.String("to", "istio", "recipient party")
 	leakage := fs.Bool("leakage", false, "also print the leaked atoms")
 	english := fs.Bool("english", false, "also print a prose rendering")
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, "", *addr, *tenantID, server.Request{
+	return execute(ctx, &in, &lim, "", d, server.Request{
 		Op: "envelope", From: *from, To: *to, Leakage: *leakage, English: *english,
 	})
 }
@@ -398,10 +425,10 @@ func runReconcile(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr, tenantID := registerAddr(fs)
+	d := registerAddr(fs)
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "reconcile"})
+	return execute(ctx, &in, &lim, *strategy, d, server.Request{Op: "reconcile"})
 }
 
 func runConform(ctx context.Context, args []string) error {
@@ -410,11 +437,11 @@ func runConform(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr, tenantID := registerAddr(fs)
+	d := registerAddr(fs)
 	provider := fs.String("provider", "k8s", "inflexible provider party")
 	strategy := registerStrategy(fs)
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "conform", Provider: *provider})
+	return execute(ctx, &in, &lim, *strategy, d, server.Request{Op: "conform", Provider: *provider})
 }
 
 func runNegotiate(ctx context.Context, args []string) error {
@@ -423,11 +450,137 @@ func runNegotiate(ctx context.Context, args []string) error {
 	var lim limits
 	in.register(fs)
 	lim.register(fs)
-	addr, tenantID := registerAddr(fs)
+	d := registerAddr(fs)
 	rounds := fs.Int("rounds", 0, "max revision rounds (0 = default)")
 	strategy := registerStrategy(fs)
+	federated := fs.Bool("federated", false,
+		"negotiate across muppetd peers named by -peers, acting as the coordinator")
+	peers := fs.String("peers", "",
+		"federated peer list, name=url pairs: k8s=http://host:port,istio=http://host:port")
+	transcriptPath := fs.String("transcript", "", "append the HMAC-chained negotiation transcript to this file")
+	transcriptKey := fs.String("transcript-key", "", "shared HMAC key for -transcript")
 	fs.Parse(args)
-	return execute(ctx, &in, &lim, *strategy, *addr, *tenantID, server.Request{Op: "negotiate", Rounds: *rounds})
+	req := server.Request{Op: "negotiate", Rounds: *rounds}
+	if *federated || *peers != "" {
+		if *peers == "" {
+			return fmt.Errorf("%w: -federated needs -peers (name=url,...)", server.ErrUsage)
+		}
+		if d.addr != "" {
+			// A daemon coordinator is addressed by putting peers in the
+			// request body; the CLI's -federated mode coordinates locally.
+			req.Peers = *peers
+			return execute(ctx, &in, &lim, *strategy, d, req)
+		}
+		req.Peers = *peers
+		return runFederated(ctx, &in, &lim, *strategy, d.retries, *transcriptPath, *transcriptKey, req)
+	}
+	if *transcriptPath != "" {
+		return fmt.Errorf("%w: -transcript records federated negotiations; add -federated -peers", server.ErrUsage)
+	}
+	return execute(ctx, &in, &lim, *strategy, d, req)
+}
+
+// runFederated coordinates a federated negotiation from the CLI: the
+// local bundle provides the replicas, -peers names the remote mediators,
+// and the retry/breaker/transcript machinery reports into -v output.
+func runFederated(ctx context.Context, in *inputs, lim *limits, strategy string, retries int, transcriptPath, transcriptKey string, req server.Request) error {
+	if strategy != "" {
+		if err := applyStrategy(strategy); err != nil {
+			return err
+		}
+	}
+	ctx, cancel, budget, err := lim.apply(ctx)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	st, err := in.load()
+	if err != nil {
+		return err
+	}
+	fopts := &server.FedOptions{Retries: retries}
+	if retries == 0 {
+		fopts.Retries = -1 // the flag's 0 means none; feder's 0 means default
+	}
+	var fedRounds int
+	fedRetries := make(map[string]int64)
+	fedBreakers := make(map[string]string)
+	fopts.OnRound = func() { fedRounds++ }
+	fopts.OnRetry = func(peer string) { fedRetries[peer]++ }
+	fopts.OnBreaker = func(peer string, bs feder.BreakerState) { fedBreakers[peer] = bs.String() }
+	if transcriptPath != "" {
+		f, err := os.OpenFile(transcriptPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fopts.Transcript = feder.NewTranscriptWriter(f, []byte(transcriptKey))
+	}
+	cache := muppet.NewSolveCache()
+	resp, err := server.ExecFed(ctx, st, cache, req, budget, fopts)
+	if err != nil {
+		return err
+	}
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+		printFed(fedRounds, fedRetries, fedBreakers)
+	}
+	fmt.Print(resp.Output)
+	if resp.Code != exitSat {
+		return statusErr(resp.Code)
+	}
+	return nil
+}
+
+// printFed reports the -v federation statistics: rounds driven, per-peer
+// retry attempts, and where each peer's circuit breaker ended up.
+func printFed(rounds int, retries map[string]int64, breakers map[string]string) {
+	var parts []string
+	for _, peer := range sortedPeerNames(retries) {
+		parts = append(parts, fmt.Sprintf("%s=%d", peer, retries[peer]))
+	}
+	fmt.Printf("// fed: %d rounds; retries: %s\n", rounds, strings.Join(parts, " "))
+	parts = parts[:0]
+	for _, peer := range sortedPeerNames(breakers) {
+		parts = append(parts, fmt.Sprintf("%s=%s", peer, breakers[peer]))
+	}
+	fmt.Printf("// fed: breakers: %s\n", strings.Join(parts, " "))
+}
+
+func sortedPeerNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runTranscript serves the transcript verbs: `muppet transcript verify
+// -key K FILE` re-walks an HMAC-chained negotiation transcript and
+// reports whether the chain is intact.
+func runTranscript(_ context.Context, args []string) error {
+	if len(args) < 1 || args[0] != "verify" {
+		return fmt.Errorf("%w: usage: muppet transcript verify -key KEY FILE", server.ErrUsage)
+	}
+	fs := flag.NewFlagSet("transcript verify", flag.ExitOnError)
+	key := fs.String("key", "", "shared HMAC key the transcript was written with")
+	fs.Parse(args[1:])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%w: usage: muppet transcript verify -key KEY FILE", server.ErrUsage)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := feder.VerifyTranscript(f, []byte(*key))
+	if err != nil {
+		fmt.Printf("INVALID after %d entries: %v\n", n, err)
+		return statusErr(exitUnsat)
+	}
+	fmt.Printf("OK: %d entries verified\n", n)
+	return nil
 }
 
 // runBench serves -n independent queries across -parallel workers sharing

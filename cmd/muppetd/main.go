@@ -10,6 +10,9 @@
 //	GET  /tenants              — registry, revisions, cache-pool accounting
 //	POST /tenants/{id}/reload  — hot-reload one tenant (?force=1 to swap
 //	                             even when its inputs are unchanged)
+//	POST /fed/{op}             — federated negotiation peer protocol
+//	                             (join, propose, envelope, install,
+//	                             describe; enabled by -fed-party)
 //	GET  /healthz              — liveness
 //	GET  /readyz               — readiness (503 while draining)
 //	GET  /metrics              — Prometheus text exposition
@@ -48,6 +51,7 @@ import (
 
 	"muppet"
 	"muppet/internal/buildinfo"
+	"muppet/internal/faultinject"
 	"muppet/internal/server"
 	"muppet/internal/target"
 	"muppet/internal/tenant"
@@ -83,6 +87,11 @@ func run(argv []string, ready func(addr string)) int {
 		"how long in-flight solves may run after a shutdown signal before being cancelled")
 	portfolio := fs.Int("portfolio", 0, "race N diversified solver configurations per solve (0/1 = off)")
 	strategy := fs.String("strategy", "auto", "minimal-edit distance search: auto|linear|binary")
+	fedParty := fs.String("fed-party", "",
+		"serve the federated negotiation peer protocol under /fed/ for this party: k8s|istio (requires -files)")
+	faultSpec := fs.String("fault-spec", "",
+		"chaos-testing fault injection, e.g. latency=50ms:0.3,error=0.1,unavail=0.05:2,drop=0.05,slow=0.1 (default off)")
+	faultSeed := fs.Int64("fault-seed", 1, "deterministic seed for -fault-spec decisions")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(argv); err != nil {
 		return server.CodeUsage
@@ -93,6 +102,21 @@ func run(argv []string, ready func(addr string)) int {
 	}
 	if cfg.Files == "" && *tenantDir == "" {
 		fmt.Fprintln(os.Stderr, "muppetd: -files or -tenant-dir is required")
+		return server.CodeUsage
+	}
+	switch *fedParty {
+	case "", "k8s", "istio":
+	default:
+		fmt.Fprintf(os.Stderr, "muppetd: bad -fed-party %q (want k8s or istio)\n", *fedParty)
+		return server.CodeUsage
+	}
+	if *fedParty != "" && cfg.Files == "" {
+		fmt.Fprintln(os.Stderr, "muppetd: -fed-party requires -files (the peer serves the default tenant)")
+		return server.CodeUsage
+	}
+	faults, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muppetd:", err)
 		return server.CodeUsage
 	}
 	// Strategy and portfolio width are process-wide solver configuration,
@@ -149,7 +173,16 @@ func run(argv []string, ready func(addr string)) int {
 		QueueDepth:  *queueDepth,
 		MaxTimeout:  *maxTimeout,
 		Router:      router,
+		FedParty:    *fedParty,
 	})
+	if *fedParty != "" {
+		log.Printf("muppetd: serving federated peer protocol for party %s under /fed/", *fedParty)
+	}
+	var handler http.Handler = s
+	if faults.Active() {
+		log.Printf("muppetd: CHAOS: injecting faults (%s, seed %d)", faults, *faultSeed)
+		handler = faults.Middleware(*faultSeed, s)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "muppetd:", err)
@@ -204,7 +237,7 @@ func run(argv []string, ready func(addr string)) int {
 		}
 	}()
 
-	hs := &http.Server{Handler: s}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"muppet"
+	"muppet/internal/feder"
 	"muppet/internal/server"
 	tenantpool "muppet/internal/tenant"
 )
@@ -309,4 +310,217 @@ func TestEncodingShrinks(t *testing.T) {
 		t.Fatalf("clause reduction %.1f%% below the 30%% target (full %d, legacy %d)",
 			100*reduction, full.SolverClauses, legacy.SolverClauses)
 	}
+}
+
+// TestFederatedServingMatchesSingleProcess is the end-to-end daemon-level
+// parity check: a coordinator state driving `negotiate` against two
+// loopback muppetd peers (each loaded with ONLY its own goals, as real
+// trust domains would be) must render byte-identical output to the
+// single-process negotiate arm — across every encoding configuration —
+// and leave a verifiable transcript. The peer configs carry explicit
+// -ports unions so all three universes fingerprint identically.
+func TestFederatedServingMatchesSingleProcess(t *testing.T) {
+	files := "testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml"
+	variants := []struct {
+		name                      string
+		coord, k8sPeer, istioPeer server.Config
+	}{
+		{
+			name: "relaxed",
+			coord: server.Config{
+				Files:    files,
+				K8sGoals: "testdata/fig1/k8s_goals.csv", K8sOffer: "soft",
+				IstioGoals: "testdata/fig1/istio_goals_revised.csv", IstioOffer: "soft",
+			},
+			// The K8s daemon never sees Istio's goals; it learns the Istio
+			// goal ports only as universe atoms (and vice versa).
+			k8sPeer: server.Config{
+				Files:    files,
+				K8sGoals: "testdata/fig1/k8s_goals.csv", K8sOffer: "soft",
+				Ports: "10000,12000,14000,16000",
+			},
+			istioPeer: server.Config{
+				Files:      files,
+				IstioGoals: "testdata/fig1/istio_goals_revised.csv", IstioOffer: "soft",
+				Ports: "23",
+			},
+		},
+		{
+			name: "strict",
+			coord: server.Config{
+				Files:    files,
+				K8sGoals: "testdata/fig1/k8s_goals.csv", K8sOffer: "fixed",
+				IstioGoals: "testdata/fig1/istio_goals.csv", IstioOffer: "soft",
+			},
+			k8sPeer: server.Config{
+				Files:    files,
+				K8sGoals: "testdata/fig1/k8s_goals.csv", K8sOffer: "fixed",
+				Ports: "24,25,26,10000,12000,14000,16000",
+			},
+			istioPeer: server.Config{
+				Files:      files,
+				IstioGoals: "testdata/fig1/istio_goals.csv", IstioOffer: "soft",
+				Ports: "23",
+			},
+		},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			load := func(cfg server.Config) *server.State {
+				st, err := server.Load(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			stCo, stK8s, stIstio := load(v.coord), load(v.k8sPeer), load(v.istioPeer)
+			for name, st := range map[string]*server.State{"k8s": stK8s, "istio": stIstio} {
+				if got, want := feder.SystemFingerprint(st.Sys), feder.SystemFingerprint(stCo.Sys); got != want {
+					t.Fatalf("%s peer universe drifted from the coordinator's: %s vs %s", name, got, want)
+				}
+			}
+
+			k8sD := server.New(stK8s, server.Options{Concurrency: 1, FedParty: "k8s"})
+			defer k8sD.Close()
+			k8sSrv := httptest.NewServer(k8sD)
+			defer k8sSrv.Close()
+			istioD := server.New(stIstio, server.Options{Concurrency: 1, FedParty: "istio"})
+			defer istioD.Close()
+			istioSrv := httptest.NewServer(istioD)
+			defer istioSrv.Close()
+
+			peers := "k8s=" + k8sSrv.URL + ",istio=" + istioSrv.URL
+			key := []byte("crosscheck-transcript-key")
+			for _, cfg := range encodingConfigs {
+				cfg := cfg
+				t.Run(cfg.name, func(t *testing.T) {
+					withEncoding(cfg.enc, func() {
+						ctx := context.Background()
+						base, err := server.Exec(ctx, stCo, muppet.NewSolveCache(),
+							server.Request{Op: "negotiate"}, muppet.Budget{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						var transcript bytes.Buffer
+						fed, err := server.ExecFed(ctx, stCo, muppet.NewSolveCache(),
+							server.Request{Op: "negotiate", Peers: peers}, muppet.Budget{},
+							&server.FedOptions{Seed: 11, Transcript: feder.NewTranscriptWriter(&transcript, key)})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if fed.Code != base.Code {
+							t.Fatalf("federated code %d, single-process %d\n--- federated ---\n%s", fed.Code, base.Code, fed.Output)
+						}
+						if fed.Output != base.Output {
+							t.Fatalf("federated output differs from single-process:\n--- single-process ---\n%s\n--- federated ---\n%s",
+								base.Output, fed.Output)
+						}
+						n, err := feder.VerifyTranscript(bytes.NewReader(transcript.Bytes()), key)
+						if err != nil {
+							t.Fatalf("transcript: %v", err)
+						}
+						if n == 0 {
+							t.Fatal("federated run left an empty transcript")
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
+// TestThreePartyFederatedMatchesSingleProcess extends the parity claim
+// past the paper's two-party walkthrough: a third party (security
+// operations, owning its own NetworkPolicy shell over the db service)
+// joins the negotiation, and the coordinator over three loopback peers
+// must replay the three-party single-process loop exactly.
+func TestThreePartyFederatedMatchesSingleProcess(t *testing.T) {
+	bundle, err := muppet.LoadFiles(
+		"testdata/fig1/mesh.yaml", "testdata/fig1/k8s_current.yaml", "testdata/fig1/istio_current.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := muppet.LoadK8sGoals("testdata/fig1/k8s_goals.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := muppet.LoadIstioGoals("testdata/fig1/istio_goals_revised.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secopsShell := &muppet.NetworkPolicy{Name: "secops", Selector: map[string]string{"app": "db"}}
+	secopsGoals := []muppet.K8sGoal{{Port: 16000, Allow: false, Selector: map[string]string{"app": "backend"}}}
+	secopsCfg := &muppet.K8sConfig{Policies: []*muppet.NetworkPolicy{secopsShell}}
+	shells := append(append([]*muppet.NetworkPolicy{}, bundle.K8s.Policies...), secopsShell)
+	sys, err := muppet.NewSystem(bundle.Mesh, shells, bundle.Istio.Policies,
+		[]int{23, 10000, 12000, 14000, 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mkParty builds a fresh party by slot; the constructors clone
+	// configurations, so baseline, replicas, and peers never share
+	// mutable state. (No t.Fatal here — peers call it from HTTP handler
+	// goroutines.)
+	mkParty := func(i int) (*feder.LocalParty, error) {
+		switch i {
+		case 0:
+			return feder.NewLocalK8s(sys, bundle.K8s, muppet.AllSoft(), kg, "")
+		case 1:
+			return feder.NewLocalK8s(sys, secopsCfg, muppet.AllSoft(), secopsGoals, "SecOps")
+		default:
+			return feder.NewLocalIstio(sys, bundle.Istio, muppet.AllSoft(), ig, "")
+		}
+	}
+	parties := func() []*feder.LocalParty {
+		out := make([]*feder.LocalParty, 3)
+		for i := range out {
+			lp, err := mkParty(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = lp
+		}
+		return out
+	}
+
+	baseParties := parties()
+	base := muppet.NewNegotiation(sys, baseParties[0].P, baseParties[1].P, baseParties[2].P).Run()
+
+	var peerRefs []feder.PeerRef
+	for i, lp := range parties() {
+		i := i
+		srv := httptest.NewServer(feder.NewPeer(sys, func() (*feder.LocalParty, error) {
+			return mkParty(i)
+		}, feder.PeerHooks{}).Handler())
+		defer srv.Close()
+		peerRefs = append(peerRefs, feder.PeerRef{Name: lp.P.Name, URL: srv.URL})
+	}
+	replicas := parties()
+	co, err := feder.NewCoordinator(sys, replicas, peerRefs, feder.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := co.Run(context.Background(), muppet.Budget{})
+
+	if fed.Reconciled != base.Reconciled || fed.InitialReconcile != base.InitialReconcile ||
+		fed.Reason.String() != base.Reason.String() || len(fed.Rounds) != len(base.Rounds) {
+		t.Fatalf("three-party outcome diverged: federated rec=%v initial=%v reason=%s rounds=%d; single-process rec=%v initial=%v reason=%s rounds=%d",
+			fed.Reconciled, fed.InitialReconcile, fed.Reason, len(fed.Rounds),
+			base.Reconciled, base.InitialReconcile, base.Reason, len(base.Rounds))
+	}
+	for i, fr := range fed.Rounds {
+		br := base.Rounds[i]
+		if fr.Party != br.Party || fr.ConformedAlready != br.ConformedAlready || fr.Revised != br.Revised ||
+			fr.Stuck != br.Stuck || fr.Reconciled != br.Reconciled || len(fr.Edits) != len(br.Edits) {
+			t.Fatalf("three-party round %d diverged: federated %+v, single-process %+v", i+1, fr, br)
+		}
+	}
+	for i, names := range []string{"K8s", "SecOps", "Istio"} {
+		if got, want := replicas[i].P.Describe(), baseParties[i].P.Describe(); got != want {
+			t.Fatalf("%s replica configuration diverged:\n--- federated ---\n%s\n--- single-process ---\n%s", names, got, want)
+		}
+	}
+	t.Logf("three-party outcome: reconciled=%v initial=%v rounds=%d", fed.Reconciled, fed.InitialReconcile, len(fed.Rounds))
 }

@@ -1,0 +1,257 @@
+// Package faultinject is a deterministic, seedable HTTP fault-injection
+// middleware for chaos-testing the federated negotiation protocol and
+// the daemon's client-facing robustness: injected latency, 5xx errors,
+// 503+Retry-After pushback, connection drops, and slow-body responses,
+// each with an independent per-request probability.
+//
+// Determinism: the k-th request through a middleware makes the same
+// fault decisions for a given seed, regardless of timing or goroutine
+// interleaving, so chaos tests reproduce exactly. Wired into
+// `muppetd -fault-spec` (default off, never in the serving path unless
+// explicitly requested).
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Spec is one middleware's fault mix. Probabilities are per request and
+// independently sampled per fault class.
+type Spec struct {
+	Latency  time.Duration // injected delay before serving
+	LatencyP float64
+
+	ErrorP float64 // 500 with a JSON error body
+
+	UnavailP   float64 // 503 with Retry-After
+	RetryAfter int     // seconds advertised on 503 (default 0)
+
+	DropP float64 // abort the connection without a response
+
+	SlowP     float64       // serve, but trickle the response body
+	SlowDelay time.Duration // per-write delay in slow mode (default 2ms)
+}
+
+// Parse reads the -fault-spec syntax: comma-separated class=value pairs
+// where value is a probability in [0,1], and latency takes dur:prob.
+//
+//	latency=50ms:0.3,error=0.1,unavail=0.05:2,drop=0.05,slow=0.1
+//
+// unavail accepts prob or prob:retryAfterSeconds. An empty string means
+// no faults.
+func Parse(s string) (*Spec, error) {
+	spec := &Spec{SlowDelay: 2 * time.Millisecond}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("faultinject: malformed clause %q (want class=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "latency":
+			dp := strings.SplitN(val, ":", 2)
+			if len(dp) != 2 {
+				return nil, fmt.Errorf("faultinject: latency wants duration:probability, got %q", val)
+			}
+			d, err := time.ParseDuration(dp[0])
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: latency duration: %w", err)
+			}
+			p, err := parseProb(dp[1])
+			if err != nil {
+				return nil, err
+			}
+			spec.Latency, spec.LatencyP = d, p
+		case "error":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			spec.ErrorP = p
+		case "unavail":
+			pv := strings.SplitN(val, ":", 2)
+			p, err := parseProb(pv[0])
+			if err != nil {
+				return nil, err
+			}
+			spec.UnavailP = p
+			if len(pv) == 2 {
+				ra, err := strconv.Atoi(pv[1])
+				if err != nil || ra < 0 {
+					return nil, fmt.Errorf("faultinject: unavail retry-after %q", pv[1])
+				}
+				spec.RetryAfter = ra
+			}
+		case "drop":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			spec.DropP = p
+		case "slow":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			spec.SlowP = p
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault class %q", key)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faultinject: probability %q not in [0,1]", s)
+	}
+	return p, nil
+}
+
+// Active reports whether the spec injects anything at all.
+func (s *Spec) Active() bool {
+	return s.LatencyP > 0 || s.ErrorP > 0 || s.UnavailP > 0 || s.DropP > 0 || s.SlowP > 0
+}
+
+// String renders the active clauses in Parse syntax (sorted, canonical).
+func (s *Spec) String() string {
+	var parts []string
+	if s.LatencyP > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%s:%g", s.Latency, s.LatencyP))
+	}
+	if s.ErrorP > 0 {
+		parts = append(parts, fmt.Sprintf("error=%g", s.ErrorP))
+	}
+	if s.UnavailP > 0 {
+		parts = append(parts, fmt.Sprintf("unavail=%g:%d", s.UnavailP, s.RetryAfter))
+	}
+	if s.DropP > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", s.DropP))
+	}
+	if s.SlowP > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%g", s.SlowP))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche
+// mix, used to derive independent per-request per-class decisions from
+// (seed, request index, class) deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sample derives a uniform [0,1) decision for (seed, request n, class).
+func sample(seed int64, n uint64, class uint64) float64 {
+	h := splitmix64(uint64(seed) ^ splitmix64(n*0x9e3779b97f4a7c15+class))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Fault classes (sample streams).
+const (
+	classLatency = iota
+	classError
+	classUnavail
+	classDrop
+	classSlow
+)
+
+// exempt paths are the daemon's liveness and observability endpoints:
+// chaos targets mediation traffic, not the probes watching it.
+func exempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// Middleware wraps next with the spec's fault mix under the given seed.
+// Request indices are assigned in arrival order; each request samples
+// every class independently.
+func (s *Spec) Middleware(seed int64, next http.Handler) http.Handler {
+	if !s.Active() {
+		return next
+	}
+	var counter atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n := counter.Add(1)
+
+		if s.LatencyP > 0 && sample(seed, n, classLatency) < s.LatencyP {
+			select {
+			case <-time.After(s.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if s.DropP > 0 && sample(seed, n, classDrop) < s.DropP {
+			// ErrAbortHandler makes net/http sever the connection with
+			// no response — the client sees a transport error.
+			panic(http.ErrAbortHandler)
+		}
+		if s.ErrorP > 0 && sample(seed, n, classError) < s.ErrorP {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":"injected fault","code":"injected"}`+"\n")
+			return
+		}
+		if s.UnavailP > 0 && sample(seed, n, classUnavail) < s.UnavailP {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"injected unavailability","code":"injected"}`+"\n")
+			return
+		}
+		if s.SlowP > 0 && sample(seed, n, classSlow) < s.SlowP {
+			next.ServeHTTP(&slowWriter{w: w, delay: s.SlowDelay, ctx: r.Context()}, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// slowWriter trickles response writes: each Write sleeps, then flushes,
+// simulating a peer that answers but staggers its body.
+type slowWriter struct {
+	w     http.ResponseWriter
+	delay time.Duration
+	ctx   interface{ Done() <-chan struct{} }
+}
+
+func (s *slowWriter) Header() http.Header { return s.w.Header() }
+
+func (s *slowWriter) WriteHeader(code int) { s.w.WriteHeader(code) }
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-s.ctx.Done():
+	}
+	n, err := s.w.Write(p)
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return n, err
+}

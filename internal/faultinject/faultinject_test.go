@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "latency=50ms:0.3,error=0.1,unavail=0.05:2,drop=0.05,slow=0.1"
+	spec, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Active() {
+		t.Fatal("parsed spec inactive")
+	}
+	if spec.Latency != 50*time.Millisecond || spec.LatencyP != 0.3 ||
+		spec.ErrorP != 0.1 || spec.UnavailP != 0.05 || spec.RetryAfter != 2 ||
+		spec.DropP != 0.05 || spec.SlowP != 0.1 {
+		t.Fatalf("parsed fields: %+v", spec)
+	}
+	// String renders canonical Parse syntax; reparsing it is a fixed point.
+	again, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Fatalf("canonical form unstable: %q vs %q", again.String(), spec.String())
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	spec, err := Parse("  ")
+	if err != nil || spec.Active() {
+		t.Fatalf("empty spec: %+v, %v", spec, err)
+	}
+	for _, bad := range []string{
+		"latency=0.3",     // missing duration
+		"latency=xx:0.3",  // bad duration
+		"error=1.5",       // probability out of range
+		"error=-0.1",      // negative probability
+		"drop",            // no '='
+		"warp=0.1",        // unknown class
+		"unavail=0.1:-1",  // negative retry-after
+		"unavail=0.1:2.5", // fractional retry-after
+		"slow=abc",        // not a number
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDeterministic asserts the k-th request makes identical fault
+// decisions for a given seed across independent middleware instances.
+func TestDeterministic(t *testing.T) {
+	spec, err := Parse("error=0.3,unavail=0.2,slow=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) []int {
+		h := spec.Middleware(seed, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+		codes := make([]int, 0, 64)
+		for i := 0; i < 64; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/fed/envelope", nil))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: seed 7 gave %d then %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-request traces")
+	}
+	saw := map[int]bool{}
+	for _, code := range a {
+		saw[code] = true
+	}
+	for _, want := range []int{http.StatusOK, http.StatusInternalServerError, http.StatusServiceUnavailable} {
+		if !saw[want] {
+			t.Fatalf("64 requests at p=0.3/0.2 never produced status %d: %v", want, a)
+		}
+	}
+}
+
+func TestUnavailCarriesRetryAfter(t *testing.T) {
+	spec, err := Parse("unavail=1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := spec.Middleware(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Fatal("p=1 unavail must not reach the inner handler")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/fed/join", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want 3", ra)
+	}
+}
+
+// TestDropSeversConnection asserts the drop class aborts the response so
+// a real client sees a transport error, not a status.
+func TestDropSeversConnection(t *testing.T) {
+	spec, err := Parse("drop=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(spec.Middleware(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/fed/envelope", "application/json", strings.NewReader("{}"))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("p=1 drop returned a response: %d", resp.StatusCode)
+	}
+}
+
+// TestExemptPaths asserts liveness and observability endpoints are never
+// faulted, whatever the mix.
+func TestExemptPaths(t *testing.T) {
+	spec, err := Parse("drop=1,error=1,unavail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := spec.Middleware(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	}))
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d under full fault mix", path, rec.Code)
+		}
+	}
+}
+
+// TestSlowStillServes asserts slow mode delays but preserves the body.
+func TestSlowStillServes(t *testing.T) {
+	spec, err := Parse("slow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.SlowDelay = time.Millisecond
+	h := spec.Middleware(1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "slow but intact")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/fed/envelope", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "slow but intact" {
+		t.Fatalf("slow mode corrupted the response: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestInactiveMiddlewareIsIdentity(t *testing.T) {
+	spec, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := spec.Middleware(1, inner); got == nil {
+		t.Fatal("nil handler")
+	} else if _, ok := got.(http.HandlerFunc); !ok {
+		t.Fatalf("inactive spec must return the inner handler unchanged, got %T", got)
+	}
+}

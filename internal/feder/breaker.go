@@ -1,0 +1,125 @@
+package feder
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. The numeric values are exported as the
+// muppetd_fed_breaker_state gauge.
+const (
+	BreakerClosed   BreakerState = 0
+	BreakerHalfOpen BreakerState = 1
+	BreakerOpen     BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-peer circuit breaker: after Threshold consecutive
+// failures it opens and rejects calls immediately (so one dead party
+// cannot stall the fleet in per-attempt timeouts), and after Cooldown it
+// lets a single half-open probe through; a successful probe closes it, a
+// failed one re-opens it for another cooldown.
+type Breaker struct {
+	Threshold int           // consecutive failures before opening (≥ 1)
+	Cooldown  time.Duration // open → half-open delay
+
+	// now is the clock, replaceable in tests for determinism.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a closed breaker. threshold < 1 is treated as 1;
+// cooldown ≤ 0 disables reopening delays (half-open immediately).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{Threshold: threshold, Cooldown: cooldown, now: time.Now}
+}
+
+// withClock replaces the breaker's clock (tests only).
+func (b *Breaker) withClock(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits exactly one probe at a
+// time (half-open).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Report records a call outcome. Success closes the breaker and clears
+// the failure streak; failure extends the streak and opens the breaker
+// at the threshold (or immediately when half-open).
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.fails++
+	if b.fails >= b.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.fails = 0
+	}
+}
+
+// State reports the breaker's current position (resolving an elapsed
+// cooldown to half-open for observability).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,118 @@
+package feder
+
+import (
+	"testing"
+	"time"
+)
+
+// clockAt returns a breaker clock pinned to *at, advanced by the test.
+func clockAt(at *time.Time) func() time.Time {
+	return func() time.Time { return *at }
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Minute).withClock(clockAt(&now))
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Report(false)
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, st)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused the threshold call")
+	}
+	b.Report(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("after threshold failures: state %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Minute).withClock(clockAt(&now))
+	b.Allow()
+	b.Report(false)
+	b.Allow()
+	b.Report(false)
+	b.Allow()
+	b.Report(true) // streak broken
+	b.Allow()
+	b.Report(false)
+	b.Allow()
+	b.Report(false)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("interleaved success must reset the streak, state %v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(1, time.Minute).withClock(clockAt(&now))
+	b.Allow()
+	b.Report(false)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	now = now.Add(time.Minute)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state %v, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Report(true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("successful probe must close, state %v", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(1, time.Minute).withClock(clockAt(&now))
+	b.Allow()
+	b.Report(false)
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Report(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("failed probe must reopen, state %v", st)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call before the next cooldown")
+	}
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused after the second cooldown")
+	}
+	b.Report(true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("recovery must close, state %v", st)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("state %d: %q, want %q", st, got, want)
+		}
+	}
+}

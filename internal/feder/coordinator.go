@@ -1,0 +1,625 @@
+package feder
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"muppet"
+)
+
+// Reason classifies how a federated negotiation ended. It extends the
+// single-process TerminalReason vocabulary with the distributed failure
+// mode: a peer that stayed unreachable through retries and breaker
+// probes. String values match TerminalReason's so renderings of the
+// shared outcomes are byte-identical.
+type Reason int
+
+// Reason values.
+const (
+	FedReconciled Reason = iota
+	FedExhaustedRounds
+	FedAllStuck
+	FedIndeterminate
+	FedPeerUnreachable
+)
+
+func (r Reason) String() string {
+	switch r {
+	case FedReconciled:
+		return "reconciled"
+	case FedExhaustedRounds:
+		return "exhausted-rounds"
+	case FedAllStuck:
+		return "all-stuck"
+	case FedPeerUnreachable:
+		return "peer-unreachable"
+	default:
+		return "indeterminate"
+	}
+}
+
+// fedReason maps a single-process terminal reason onto the federated
+// vocabulary.
+func fedReason(r muppet.TerminalReason) Reason {
+	switch r {
+	case muppet.ReasonReconciled:
+		return FedReconciled
+	case muppet.ReasonExhaustedRounds:
+		return FedExhaustedRounds
+	case muppet.ReasonAllStuck:
+		return FedAllStuck
+	}
+	return FedIndeterminate
+}
+
+// RoundResult mirrors muppet.RoundReport for one federated round.
+type RoundResult struct {
+	Round            int
+	Party            string
+	ConformedAlready bool
+	Revised          bool
+	Edits            []muppet.Edit
+	Stuck            bool
+	Indeterminate    bool
+	Feedback         *muppet.Feedback
+	Reconciled       bool
+}
+
+// Outcome summarizes a federated negotiation. On FedPeerUnreachable the
+// rounds completed so far and the replicas' current configurations are
+// the best-so-far partial agreement — reported, never torn down.
+type Outcome struct {
+	Reconciled       bool
+	InitialReconcile bool
+	Reason           Reason
+	Stop             muppet.StopReason
+	Rounds           []*RoundResult
+	Feedback         *muppet.Feedback
+
+	// FailedPeer and PeerErr name the peer whose unavailability ended
+	// the run (Reason == FedPeerUnreachable).
+	FailedPeer string
+	PeerErr    error
+}
+
+// PeerRef names one peer mediator: the party it negotiates for and the
+// base URL its /fed/ endpoints live under.
+type PeerRef struct {
+	Name string
+	URL  string
+}
+
+// Options tune the coordinator's robustness machinery. The zero value
+// gives sensible defaults (2 retries, 50 ms base backoff, breaker after
+// 3 consecutive failures with a 1 s cooldown, no deadlines).
+type Options struct {
+	Rounds           int           // max revision rounds (0 = 2 cycles)
+	Retries          int           // per-call retries (-1 = none, 0 = default 2)
+	BackoffBase      time.Duration // first retry delay (0 = 50 ms)
+	BackoffMax       time.Duration // backoff cap (0 = 2 s)
+	AttemptTimeout   time.Duration // per-HTTP-attempt cap (0 = none)
+	RoundTimeout     time.Duration // per-round deadline (0 = none)
+	TotalTimeout     time.Duration // whole-negotiation deadline (0 = none)
+	BreakerThreshold int           // consecutive failures to open (0 = 3)
+	BreakerCooldown  time.Duration // open → half-open delay (0 = 1 s)
+	Seed             int64         // jitter seed (reproducible tests)
+	HTTPClient       *http.Client  // nil = default client
+	Transcript       *TranscriptWriter
+	OnRetry          func(peer string)                  // metrics hook
+	OnRound          func()                             // metrics hook: one round driven
+	OnBreaker        func(peer string, st BreakerState) // metrics hook: breaker position after the run
+}
+
+// Coordinator is the paper's trusted mediator running the Fig. 9 loop
+// over remote parties. It holds local replicas of every party (goals and
+// all — the mediator is trusted; party-to-party privacy is what the
+// protocol preserves) and mirrors Negotiation.RunCtx exactly: joint
+// reconciles and merged envelopes are computed locally, while each
+// acting party's minimal-edit revision runs remotely on its own daemon.
+type Coordinator struct {
+	sys      *muppet.System
+	vocab    *Vocab
+	fpr      string
+	replicas []*LocalParty
+	clients  []*PeerClient
+	cache    *muppet.SolveCache
+	opts     Options
+	session  string
+}
+
+// NewCoordinator pairs each replica with its peer by party name (case-
+// insensitive). Replica order fixes the round-robin cycle, exactly as
+// party order does for NewNegotiation.
+func NewCoordinator(sys *muppet.System, replicas []*LocalParty, peers []PeerRef, opts Options) (*Coordinator, error) {
+	if len(replicas) < 2 {
+		return nil, fmt.Errorf("feder: negotiation needs at least two parties, got %d", len(replicas))
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown == 0 {
+		opts.BreakerCooldown = time.Second
+	}
+
+	byName := make(map[string]PeerRef, len(peers))
+	for _, p := range peers {
+		byName[strings.ToLower(p.Name)] = p
+	}
+	var id [8]byte
+	rand.Read(id[:])
+	c := &Coordinator{
+		sys:      sys,
+		vocab:    NewVocab(sys),
+		fpr:      SystemFingerprint(sys),
+		replicas: replicas,
+		cache:    muppet.NewSolveCache(),
+		opts:     opts,
+		session:  "fed-" + hex.EncodeToString(id[:]),
+	}
+	for i, lp := range replicas {
+		ref, ok := byName[strings.ToLower(lp.P.Name)]
+		if !ok {
+			return nil, fmt.Errorf("feder: no peer given for party %q", lp.P.Name)
+		}
+		delete(byName, strings.ToLower(lp.P.Name))
+		cl := NewPeerClient(lp.P.Name, strings.TrimSuffix(ref.URL, "/"), opts.Retries,
+			NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown), opts.Seed+int64(i))
+		if opts.BackoffBase > 0 {
+			cl.BackoffBase = opts.BackoffBase
+		}
+		if opts.BackoffMax > 0 {
+			cl.BackoffMax = opts.BackoffMax
+		}
+		cl.AttemptTimeout = opts.AttemptTimeout
+		if opts.HTTPClient != nil {
+			cl.HTTP = opts.HTTPClient
+		}
+		cl.OnRetry = opts.OnRetry
+		c.clients = append(c.clients, cl)
+	}
+	for _, stray := range byName {
+		return nil, fmt.Errorf("feder: peer %q matches no negotiating party", stray.Name)
+	}
+	return c, nil
+}
+
+// UseCache replaces the coordinator's solve cache (warm serving).
+func (c *Coordinator) UseCache(cache *muppet.SolveCache) *Coordinator {
+	c.cache = cache
+	return c
+}
+
+// Session exposes the run's session id (tests).
+func (c *Coordinator) Session() string { return c.session }
+
+// Stats reports the run's robustness counters for observability.
+type Stats struct {
+	Rounds   int                     // revision rounds driven
+	Retries  map[string]int64        // per-peer retry attempts
+	Breakers map[string]BreakerState // per-peer breaker position
+}
+
+// Stats snapshots the per-peer retry counters and breaker states.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{Retries: make(map[string]int64), Breakers: make(map[string]BreakerState)}
+	for _, cl := range c.clients {
+		s.Retries[cl.Name] = cl.Retried()
+		s.Breakers[cl.Name] = cl.Breaker.State()
+	}
+	return s
+}
+
+func (c *Coordinator) parties() []*muppet.Party {
+	ps := make([]*muppet.Party, len(c.replicas))
+	for i, lp := range c.replicas {
+		ps[i] = lp.P
+	}
+	return ps
+}
+
+func (c *Coordinator) others(i int) []*muppet.Party {
+	out := make([]*muppet.Party, 0, len(c.replicas)-1)
+	for j, lp := range c.replicas {
+		if j != i {
+			out = append(out, lp.P)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) otherOffers(i int) []WireOffer {
+	out := make([]WireOffer, 0, len(c.replicas)-1)
+	for j, lp := range c.replicas {
+		if j != i {
+			out = append(out, lp.Snapshot())
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) transcribe(kind, peer string, round int, payload any) {
+	if c.opts.Transcript != nil {
+		// Transcript failures must not tear a live negotiation; the
+		// verify step will catch the truncated chain.
+		_ = c.opts.Transcript.Append(kind, peer, round, payload)
+	}
+}
+
+// roundCtx derives the per-round deadline.
+func (c *Coordinator) roundCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.RoundTimeout > 0 {
+		return context.WithTimeout(ctx, c.opts.RoundTimeout)
+	}
+	return ctx, func() {}
+}
+
+// serializeBudget turns the coordinator's remaining budget into wire
+// fields so a federated round degrades exactly like a local one.
+func serializeBudget(b muppet.Budget) (millis, conflicts, propagations int64) {
+	if !b.Deadline.IsZero() {
+		millis = int64(time.Until(b.Deadline) / time.Millisecond)
+		if millis <= 0 {
+			millis = 1 // already past due: force an immediate budget stop
+		}
+	}
+	return millis, b.MaxConflicts, b.MaxPropagations
+}
+
+// join opens (or reopens) the session on peer i, verifying the shared
+// vocabulary and the peer's party identity, and resynchronizing the
+// peer's configuration from the authoritative replica when it drifted
+// (fresh peer, peer restart).
+func (c *Coordinator) join(ctx context.Context, i, round int) error {
+	lp, cl := c.replicas[i], c.clients[i]
+	var jr JoinResponse
+	err := cl.Call(ctx, "join", JoinRequest{
+		Session:     c.session,
+		Coordinator: "muppet",
+		Fingerprint: c.fpr,
+		Rounds:      c.maxRounds(),
+	}, &jr)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(jr.Party, lp.P.Name) {
+		return &PeerError{Peer: cl.Name, Op: "join", Code: ErrCodeUsage,
+			Err: fmt.Errorf("peer negotiates for %q, expected %q", jr.Party, lp.P.Name)}
+	}
+	if jr.Fingerprint != c.fpr {
+		return &PeerError{Peer: cl.Name, Op: "join", Code: ErrCodeFingerprint,
+			Err: errors.New("system fingerprint mismatch")}
+	}
+	if jr.Kind != lp.Kind() || jr.Mode != lp.Mode() {
+		return &PeerError{Peer: cl.Name, Op: "join", Code: ErrCodeUsage,
+			Err: fmt.Errorf("peer party is %s/%s, expected %s/%s", jr.Kind, jr.Mode, lp.Kind(), lp.Mode())}
+	}
+	c.transcribe("join", lp.P.Name, round, jr)
+	if jr.Digest != lp.Digest() {
+		return c.resync(ctx, i, round)
+	}
+	return nil
+}
+
+// resync installs the authoritative replica configuration on peer i.
+func (c *Coordinator) resync(ctx context.Context, i, round int) error {
+	lp, cl := c.replicas[i], c.clients[i]
+	snap := lp.Snapshot()
+	var ir InstallResponse
+	err := cl.Call(ctx, "install", InstallRequest{
+		Session: c.session,
+		Idem:    fmt.Sprintf("%s/resync/%d/%d", c.session, round, i),
+		Offer:   snap,
+	}, &ir)
+	if err != nil {
+		return err
+	}
+	if ir.Digest != snap.Digest() {
+		return &PeerError{Peer: cl.Name, Op: "install", Code: ErrCodeInternal,
+			Err: errors.New("peer installed a different configuration (torn install)")}
+	}
+	c.transcribe("install", lp.P.Name, round, ir)
+	return nil
+}
+
+// isUnknownSession matches the typed error a restarted peer returns.
+func isUnknownSession(err error) bool {
+	var pe *PeerError
+	return errors.As(err, &pe) && pe.Code == ErrCodeUnknownSession
+}
+
+// sync brings peer i to the replica's state for round, healing peer
+// restarts: an unknown session is rejoined, a drifted digest reinstalled.
+func (c *Coordinator) sync(ctx context.Context, i, round int) error {
+	lp, cl := c.replicas[i], c.clients[i]
+	var pr ProposeResponse
+	err := cl.Call(ctx, "propose", ProposeRequest{Session: c.session, Round: round}, &pr)
+	if isUnknownSession(err) {
+		return c.join(ctx, i, round)
+	}
+	if err != nil {
+		return err
+	}
+	c.transcribe("propose", lp.P.Name, round, pr)
+	if pr.Digest != lp.Digest() {
+		return c.resync(ctx, i, round)
+	}
+	return nil
+}
+
+// envelopeRound ships the merged envelope to the acting peer and returns
+// its counter-offer. A peer that restarted mid-round (unknown session)
+// is rejoined, resynchronized, and asked once more.
+func (c *Coordinator) envelopeRound(ctx context.Context, i, round int, env *muppet.Envelope, b muppet.Budget) (CounterOffer, error) {
+	lp, cl := c.replicas[i], c.clients[i]
+	wenv, err := c.vocab.EncodeEnvelope(env)
+	if err != nil {
+		return CounterOffer{}, err
+	}
+	millis, conflicts, props := serializeBudget(b)
+	req := EnvelopeRequest{
+		Session:         c.session,
+		Round:           round,
+		Idem:            fmt.Sprintf("%s/env/%d", c.session, round),
+		Env:             wenv,
+		Others:          c.otherOffers(i),
+		BudgetMillis:    millis,
+		MaxConflicts:    conflicts,
+		MaxPropagations: props,
+	}
+	c.transcribe("envelope", lp.P.Name, round, wenv)
+	var co CounterOffer
+	err = cl.Call(ctx, "envelope", req, &co)
+	if isUnknownSession(err) {
+		if err = c.join(ctx, i, round); err == nil {
+			err = cl.Call(ctx, "envelope", req, &co)
+		}
+	}
+	if err != nil {
+		return CounterOffer{}, err
+	}
+	c.transcribe("counter", lp.P.Name, round, co)
+	return co, nil
+}
+
+func (c *Coordinator) maxRounds() int {
+	if c.opts.Rounds > 0 {
+		return c.opts.Rounds
+	}
+	return 2 * len(c.replicas)
+}
+
+// installAll delivers the reconciled agreement to every peer and checks
+// the echoed digests: a mismatch means a torn install, reported rather
+// than silently accepted.
+func (c *Coordinator) installAll(ctx context.Context, round int) error {
+	for i, lp := range c.replicas {
+		snap := lp.Snapshot()
+		var ir InstallResponse
+		err := c.clients[i].Call(ctx, "install", InstallRequest{
+			Session: c.session,
+			Idem:    fmt.Sprintf("%s/final/%d/%d", c.session, round, i),
+			Offer:   snap,
+			Final:   true,
+		}, &ir)
+		if isUnknownSession(err) {
+			if err = c.join(ctx, i, round); err == nil {
+				// join resyncs from the replica, which already holds the
+				// final agreement; nothing further to install.
+				err = nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if ir.Digest != "" && ir.Digest != snap.Digest() {
+			return &PeerError{Peer: c.clients[i].Name, Op: "install", Code: ErrCodeInternal,
+				Err: errors.New("torn final install")}
+		}
+	}
+	return nil
+}
+
+// Run drives the federated negotiation to completion, mirroring
+// Negotiation.RunCtx step for step. Every solver call sees the problem
+// the single-process loop would, so the final agreement and round count
+// are byte-identical on the same bundle split. Failures degrade to typed
+// outcomes: the rounds completed so far and the replicas' configurations
+// are always intact.
+func (c *Coordinator) Run(ctx context.Context, b muppet.Budget) *Outcome {
+	defer c.publishBreakers()
+	if c.opts.TotalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.TotalTimeout)
+		defer cancel()
+		b = b.WithTimeout(c.opts.TotalTimeout)
+	}
+
+	out := &Outcome{}
+
+	indeterminate := func(rep *RoundResult, stop muppet.StopReason) *Outcome {
+		if rep != nil {
+			rep.Indeterminate = true
+		}
+		out.Reason = FedIndeterminate
+		out.Stop = stop
+		out.Feedback = nil
+		c.transcribe("outcome", "", 0, map[string]any{"reason": out.Reason.String(), "stop": fmt.Sprint(stop)})
+		return out
+	}
+	unreachable := func(rep *RoundResult, peer string, err error) *Outcome {
+		if rep != nil {
+			rep.Indeterminate = true
+		}
+		out.Reason = FedPeerUnreachable
+		out.FailedPeer = peer
+		out.PeerErr = err
+		out.Feedback = nil
+		c.transcribe("outcome", peer, 0, map[string]any{"reason": out.Reason.String(), "error": err.Error()})
+		return out
+	}
+
+	// Session setup: every peer joins, proves vocabulary equality, and
+	// is resynchronized if its configuration drifted from the replica.
+	for i := range c.replicas {
+		jctx, cancel := c.roundCtx(ctx)
+		err := c.join(jctx, i, 0)
+		cancel()
+		if err != nil {
+			return unreachable(nil, c.replicas[i].P.Name, err)
+		}
+	}
+
+	// Reconcile initial offers (top of Fig. 9) — at the mediator, which
+	// is the only place all parties' goals coexist.
+	rec := c.cache.ReconcileCtx(ctx, c.sys, c.parties(), b)
+	if rec.Indeterminate {
+		return indeterminate(nil, rec.Stop)
+	}
+	if rec.OK {
+		c.adoptAll(rec)
+		out.Reconciled = true
+		out.InitialReconcile = true
+		out.Reason = FedReconciled
+		if err := c.installAll(ctx, 0); err != nil {
+			var pe *PeerError
+			peer := ""
+			if errors.As(err, &pe) {
+				peer = pe.Peer
+			}
+			return unreachable(nil, peer, err)
+		}
+		c.transcribe("outcome", "", 0, map[string]any{"reason": out.Reason.String(), "initial": true})
+		return out
+	}
+	out.Feedback = rec.Feedback
+
+	stuckStreak := 0
+	for round := 1; round <= c.maxRounds(); round++ {
+		i := (round - 1) % len(c.replicas)
+		lp := c.replicas[i]
+		rep := &RoundResult{Round: round, Party: lp.P.Name}
+		out.Rounds = append(out.Rounds, rep)
+		if c.opts.OnRound != nil {
+			c.opts.OnRound()
+		}
+
+		rctx, cancel := c.roundCtx(ctx)
+
+		// Propose: cheap digest sync with the acting peer, healing
+		// restarts before solver time is spent.
+		if err := c.sync(rctx, i, round); err != nil {
+			cancel()
+			return unreachable(rep, lp.P.Name, err)
+		}
+
+		// Merged envelope for the acting party, computed by the same
+		// code path the single-process loop uses (per-sender envelopes
+		// do not compose when sender domains overlap).
+		env, err := muppet.ComputeEnvelopeCtx(rctx, c.sys, lp.P, c.others(i))
+		if err != nil {
+			cancel()
+			return indeterminate(rep, muppet.StopCancelled)
+		}
+
+		co, perr := c.envelopeRound(rctx, i, round, env, b)
+		cancel()
+		if perr != nil {
+			return unreachable(rep, lp.P.Name, perr)
+		}
+
+		switch co.Result {
+		case ResultConformed:
+			rep.ConformedAlready = true
+		case ResultIndeterminate:
+			return indeterminate(rep, muppet.StopReason(co.Stop))
+		case ResultStuck:
+			rep.Stuck = true
+			if len(co.Feedback) > 0 {
+				rep.Feedback = &muppet.Feedback{Core: co.Feedback}
+			}
+			out.Feedback = rep.Feedback
+			stuckStreak++
+			if stuckStreak >= len(c.replicas) {
+				out.Reason = FedAllStuck
+				c.transcribe("outcome", "", round, map[string]any{"reason": out.Reason.String()})
+				return out
+			}
+			continue
+		case ResultRevised:
+			rep.Revised = true
+			rep.Edits = DecodeEdits(co.Edits)
+			if co.Offer == nil {
+				return unreachable(rep, lp.P.Name, &PeerError{Peer: lp.P.Name, Op: "envelope",
+					Code: ErrCodeInternal, Err: errors.New("revised counter-offer without a configuration")})
+			}
+			if err := lp.Install(*co.Offer); err != nil {
+				return unreachable(rep, lp.P.Name, &PeerError{Peer: lp.P.Name, Op: "envelope",
+					Code: ErrCodeInternal, Err: err})
+			}
+		default:
+			return unreachable(rep, lp.P.Name, &PeerError{Peer: lp.P.Name, Op: "envelope",
+				Code: ErrCodeInternal, Err: fmt.Errorf("unknown counter-offer result %q", co.Result)})
+		}
+		stuckStreak = 0
+
+		rec := c.cache.ReconcileCtx(ctx, c.sys, c.parties(), b)
+		if rec.Indeterminate {
+			return indeterminate(rep, rec.Stop)
+		}
+		rep.Reconciled = rec.OK
+		if rec.OK {
+			c.adoptAll(rec)
+			out.Reconciled = true
+			out.Reason = FedReconciled
+			out.Feedback = nil
+			if err := c.installAll(ctx, round); err != nil {
+				var pe *PeerError
+				peer := ""
+				if errors.As(err, &pe) {
+					peer = pe.Peer
+				}
+				// The agreement is reached and held by the replicas;
+				// only delivery failed. Report it as unreachable so the
+				// operator retries delivery, without discarding rounds.
+				out.Reconciled = false
+				return unreachable(nil, peer, err)
+			}
+			c.transcribe("outcome", "", round, map[string]any{"reason": out.Reason.String(), "rounds": len(out.Rounds)})
+			return out
+		}
+		rep.Feedback = rec.Feedback
+		out.Feedback = rec.Feedback
+	}
+	out.Reason = FedExhaustedRounds
+	c.transcribe("outcome", "", 0, map[string]any{"reason": out.Reason.String()})
+	return out
+}
+
+// publishBreakers reports each peer's final breaker position.
+func (c *Coordinator) publishBreakers() {
+	if c.opts.OnBreaker == nil {
+		return
+	}
+	for _, cl := range c.clients {
+		c.opts.OnBreaker(cl.Name, cl.Breaker.State())
+	}
+}
+
+// adoptAll mirrors Negotiation.adoptAll: the reconciled joint instance
+// becomes every replica's configuration.
+func (c *Coordinator) adoptAll(rec *muppet.Result) {
+	for _, lp := range c.replicas {
+		lp.P.Adopt(rec.Instance)
+	}
+}

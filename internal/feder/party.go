@@ -1,0 +1,199 @@
+package feder
+
+import (
+	"fmt"
+	"reflect"
+
+	"muppet"
+	"muppet/internal/mesh"
+)
+
+// Offer kinds and modes as they travel on the wire.
+const (
+	KindK8s   = "k8s"
+	KindIstio = "istio"
+)
+
+// OfferMode names an offer for the wire. Only the three canonical modes
+// (fixed, soft, holes) cross trust domains; a bespoke knob list would
+// leak which specific settings a party is willing to move.
+func OfferMode(o muppet.Offer) (string, error) {
+	switch {
+	case len(o.Holes) == 0 && len(o.Soft) == 0:
+		return "fixed", nil
+	case reflect.DeepEqual(o, muppet.AllSoft()):
+		return "soft", nil
+	case reflect.DeepEqual(o, muppet.AllHoles()):
+		return "holes", nil
+	}
+	return "", fmt.Errorf("feder: offer is not one of the wire modes (fixed, soft, holes)")
+}
+
+// ParseMode is the inverse of OfferMode.
+func ParseMode(mode string) (muppet.Offer, error) {
+	switch mode {
+	case "", "fixed":
+		return muppet.Offer{}, nil
+	case "soft":
+		return muppet.AllSoft(), nil
+	case "holes":
+		return muppet.AllHoles(), nil
+	}
+	return muppet.Offer{}, fmt.Errorf("feder: unknown offer mode %q", mode)
+}
+
+// LocalParty wraps one negotiating party together with the mutable state
+// its offers snapshot from and install into. The coordinator holds one
+// per participant (its local replicas); each peer mediator holds one for
+// its own private party.
+type LocalParty struct {
+	P    *muppet.Party
+	kind string
+	mode string
+
+	k8s   *muppet.K8sPartyState
+	istio *muppet.IstioPartyState
+}
+
+// NewLocalK8s builds a Kubernetes-side LocalParty. A non-empty name
+// overrides the default party name (for multi-shell setups such as a
+// separate security-operations party).
+func NewLocalK8s(sys *muppet.System, cfg *muppet.K8sConfig, offer muppet.Offer, rows []muppet.K8sGoal, name string) (*LocalParty, error) {
+	mode, err := OfferMode(offer)
+	if err != nil {
+		return nil, err
+	}
+	p, st, err := muppet.NewK8sParty(sys, cfg, offer, rows)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		p.Name = name
+	}
+	return &LocalParty{P: p, kind: KindK8s, mode: mode, k8s: st}, nil
+}
+
+// NewLocalIstio builds an Istio-side LocalParty.
+func NewLocalIstio(sys *muppet.System, cfg *muppet.IstioConfig, offer muppet.Offer, rows []muppet.IstioGoal, name string) (*LocalParty, error) {
+	mode, err := OfferMode(offer)
+	if err != nil {
+		return nil, err
+	}
+	p, st, err := muppet.NewIstioParty(sys, cfg, offer, rows)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		p.Name = name
+	}
+	return &LocalParty{P: p, kind: KindIstio, mode: mode, istio: st}, nil
+}
+
+// Kind reports which configuration domain the party owns.
+func (lp *LocalParty) Kind() string { return lp.kind }
+
+// Mode reports the party's wire offer mode.
+func (lp *LocalParty) Mode() string { return lp.mode }
+
+// Snapshot captures the party's current configuration as a wire offer.
+func (lp *LocalParty) Snapshot() WireOffer {
+	o := WireOffer{Party: lp.P.Name, Kind: lp.kind, Mode: lp.mode}
+	switch lp.kind {
+	case KindK8s:
+		o.K8s = mesh.CloneK8s(lp.k8s.Config)
+	case KindIstio:
+		o.Istio = mesh.CloneIstio(lp.istio.Config)
+		if lp.istio.Exposure != nil {
+			o.HasExposure = true
+			o.Exposure = cloneExposure(lp.istio.Exposure)
+		}
+	}
+	return o
+}
+
+// Install replaces the party's concrete configuration from a wire offer
+// (counter-offer application at the coordinator, resynchronization or
+// final delivery at a peer). The party's goals and offer mode are
+// untouched: only configuration crosses trust domains.
+func (lp *LocalParty) Install(o WireOffer) error {
+	if o.Kind != lp.kind {
+		return fmt.Errorf("feder: offer kind %q does not match party kind %q", o.Kind, lp.kind)
+	}
+	switch lp.kind {
+	case KindK8s:
+		cfg := o.K8s
+		if cfg == nil {
+			cfg = &mesh.K8sConfig{}
+		}
+		lp.k8s.Config = mesh.CloneK8s(cfg)
+	case KindIstio:
+		cfg := o.Istio
+		if cfg == nil {
+			cfg = &mesh.IstioConfig{}
+		}
+		lp.istio.Config = mesh.CloneIstio(cfg)
+		if o.HasExposure {
+			lp.istio.Exposure = cloneExposure(o.Exposure)
+		} else {
+			lp.istio.Exposure = nil
+		}
+	}
+	return nil
+}
+
+// Digest is the content hash of the party's current offer.
+func (lp *LocalParty) Digest() string { return lp.Snapshot().Digest() }
+
+// RebuildParty materializes a goalless Party from a wire offer: the
+// acting peer's view of the other administrators. Their configurations
+// and negotiable modes are public (they are exactly what the offer
+// published); their goals never leave their own mediators.
+func RebuildParty(sys *muppet.System, o WireOffer) (*muppet.Party, error) {
+	offer, err := ParseMode(o.Mode)
+	if err != nil {
+		return nil, err
+	}
+	switch o.Kind {
+	case KindK8s:
+		lp, err := NewLocalK8s(sys, orEmptyK8s(o.K8s), offer, nil, o.Party)
+		if err != nil {
+			return nil, err
+		}
+		return lp.P, nil
+	case KindIstio:
+		lp, err := NewLocalIstio(sys, orEmptyIstio(o.Istio), offer, nil, o.Party)
+		if err != nil {
+			return nil, err
+		}
+		if o.HasExposure {
+			lp.istio.Exposure = cloneExposure(o.Exposure)
+		}
+		return lp.P, nil
+	}
+	return nil, fmt.Errorf("feder: unknown party kind %q", o.Kind)
+}
+
+func orEmptyK8s(c *mesh.K8sConfig) *mesh.K8sConfig {
+	if c == nil {
+		return &mesh.K8sConfig{}
+	}
+	return c
+}
+
+func orEmptyIstio(c *mesh.IstioConfig) *mesh.IstioConfig {
+	if c == nil {
+		return &mesh.IstioConfig{}
+	}
+	return c
+}
+
+func cloneExposure(m map[string][]int) map[string][]int {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string][]int, len(m))
+	for k, v := range m {
+		cp[k] = append([]int(nil), v...)
+	}
+	return cp
+}

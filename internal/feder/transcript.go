@@ -1,0 +1,122 @@
+package feder
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TranscriptEntry is one line of the negotiation audit log. Entries are
+// HMAC-chained: MAC_i = HMAC(key, MAC_{i-1} ‖ canonical-JSON(entry
+// without mac)), so truncation, reordering, and tampering are all
+// detectable offline with the shared key.
+type TranscriptEntry struct {
+	Seq     int             `json:"seq"`
+	Kind    string          `json:"kind"`            // join, propose, envelope, counter, install, outcome
+	Peer    string          `json:"peer,omitempty"`  // party the entry concerns
+	Round   int             `json:"round,omitempty"` // negotiation round, when applicable
+	Payload json.RawMessage `json:"payload,omitempty"`
+	MAC     string          `json:"mac"`
+}
+
+// chainMAC computes the entry's MAC from the previous one.
+func chainMAC(key, prev []byte, entry TranscriptEntry) (string, error) {
+	entry.MAC = ""
+	body, err := json.Marshal(entry)
+	if err != nil {
+		return "", err
+	}
+	m := hmac.New(sha256.New, key)
+	m.Write(prev)
+	m.Write(body)
+	return hex.EncodeToString(m.Sum(nil)), nil
+}
+
+// TranscriptWriter appends HMAC-chained entries to a stream. Not
+// goroutine-safe; the coordinator drives it from one goroutine.
+type TranscriptWriter struct {
+	w    io.Writer
+	key  []byte
+	prev []byte
+	seq  int
+}
+
+// NewTranscriptWriter starts a chain over w with the shared key.
+func NewTranscriptWriter(w io.Writer, key []byte) *TranscriptWriter {
+	return &TranscriptWriter{w: w, key: key}
+}
+
+// Append writes one entry, computing its sequence number and chain MAC.
+// payload must be JSON-marshalable (nil for payload-free entries).
+func (t *TranscriptWriter) Append(kind, peer string, round int, payload any) error {
+	t.seq++
+	entry := TranscriptEntry{Seq: t.seq, Kind: kind, Peer: peer, Round: round}
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("feder: transcript payload: %w", err)
+		}
+		entry.Payload = raw
+	}
+	mac, err := chainMAC(t.key, t.prev, entry)
+	if err != nil {
+		return fmt.Errorf("feder: transcript mac: %w", err)
+	}
+	entry.MAC = mac
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("feder: transcript entry: %w", err)
+	}
+	if _, err := t.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("feder: transcript write: %w", err)
+	}
+	t.prev, err = hex.DecodeString(mac)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// VerifyTranscript re-walks a transcript stream, recomputing the MAC
+// chain with the shared key. It returns the number of valid entries and
+// an error naming the first line that fails (bad MAC, gap in the
+// sequence, malformed JSON). An empty stream verifies as 0 entries.
+func VerifyTranscript(r io.Reader, key []byte) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var prev []byte
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var entry TranscriptEntry
+		if err := json.Unmarshal(line, &entry); err != nil {
+			return n, fmt.Errorf("transcript entry %d: malformed JSON: %w", n+1, err)
+		}
+		if entry.Seq != n+1 {
+			return n, fmt.Errorf("transcript entry %d: sequence gap (got seq %d)", n+1, entry.Seq)
+		}
+		want, err := chainMAC(key, prev, entry)
+		if err != nil {
+			return n, err
+		}
+		if !hmac.Equal([]byte(want), []byte(entry.MAC)) {
+			return n, fmt.Errorf("transcript entry %d: MAC mismatch (tampered, truncated upstream, or wrong key)", entry.Seq)
+		}
+		prev, err = hex.DecodeString(entry.MAC)
+		if err != nil {
+			return n, fmt.Errorf("transcript entry %d: malformed MAC: %w", entry.Seq, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

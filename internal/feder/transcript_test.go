@@ -1,0 +1,110 @@
+package feder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// writeTranscript appends a handful of representative entries and returns
+// the serialized log.
+func writeTranscript(t *testing.T, key []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewTranscriptWriter(&buf, key)
+	entries := []struct {
+		kind, peer string
+		round      int
+		payload    any
+	}{
+		{"join", "K8s", 0, map[string]any{"digest": "alpha"}},
+		{"join", "Istio", 0, map[string]any{"digest": "bravo"}},
+		{"envelope", "K8s", 1, map[string]any{"clauses": 3}},
+		{"counter", "K8s", 1, map[string]any{"result": "revised"}},
+		{"outcome", "", 1, map[string]any{"reason": "reconciled"}},
+	}
+	for _, e := range entries {
+		if err := tw.Append(e.kind, e.peer, e.round, e.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestTranscriptAppendVerify(t *testing.T) {
+	key := []byte("transcript-key")
+	raw := writeTranscript(t, key)
+	n, err := VerifyTranscript(bytes.NewReader(raw), key)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("verified %d entries, want 5", n)
+	}
+}
+
+func TestTranscriptTamperDetected(t *testing.T) {
+	key := []byte("transcript-key")
+	raw := writeTranscript(t, key)
+	tampered := bytes.Replace(raw, []byte(`"result":"revised"`), []byte(`"result":"stuck"`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("tamper target not found in transcript")
+	}
+	n, err := VerifyTranscript(bytes.NewReader(tampered), key)
+	if err == nil {
+		t.Fatal("tampered transcript verified")
+	}
+	if n >= 4 {
+		t.Fatalf("tampered entry is the 4th; verified %d", n)
+	}
+}
+
+func TestTranscriptWrongKey(t *testing.T) {
+	raw := writeTranscript(t, []byte("right-key"))
+	n, err := VerifyTranscript(bytes.NewReader(raw), []byte("wrong-key"))
+	if err == nil {
+		t.Fatal("wrong key verified")
+	}
+	if n != 0 {
+		t.Fatalf("wrong key verified %d entries, want 0", n)
+	}
+}
+
+func TestTranscriptTruncationDetected(t *testing.T) {
+	key := []byte("transcript-key")
+	raw := writeTranscript(t, key)
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d", len(lines))
+	}
+
+	// Dropping a middle entry breaks the chain at the splice point.
+	spliced := strings.Join(append(append([]string{}, lines[:2]...), lines[3:]...), "\n") + "\n"
+	if _, err := VerifyTranscript(strings.NewReader(spliced), key); err == nil {
+		t.Fatal("transcript with a dropped entry verified")
+	}
+
+	// Reordering two entries breaks the chain too.
+	swapped := append([]string{}, lines...)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if _, err := VerifyTranscript(strings.NewReader(strings.Join(swapped, "\n")+"\n"), key); err == nil {
+		t.Fatal("reordered transcript verified")
+	}
+
+	// Truncating the tail is undetectable from the file alone (append-only
+	// logs cannot prove their own length) but every surviving prefix entry
+	// must still verify.
+	prefix := strings.Join(lines[:3], "\n") + "\n"
+	n, err := VerifyTranscript(strings.NewReader(prefix), key)
+	if err != nil || n != 3 {
+		t.Fatalf("prefix verify: n=%d err=%v", n, err)
+	}
+}
+
+func TestTranscriptGarbageLine(t *testing.T) {
+	key := []byte("transcript-key")
+	raw := append(writeTranscript(t, key), []byte("not json\n")...)
+	if _, err := VerifyTranscript(bytes.NewReader(raw), key); err == nil {
+		t.Fatal("garbage line verified")
+	}
+}

@@ -89,11 +89,28 @@ const (
 	opJoin
 )
 
+// BinOp names a binary expression operator for external inspection
+// (structural walkers, wire codecs). Values mirror the internal
+// operator enumeration.
+type BinOp uint8
+
+// BinOp values, in constructor order.
+const (
+	OpUnion BinOp = iota
+	OpIntersect
+	OpDiff
+	OpProduct
+	OpJoin
+)
+
 // BinExpr is a binary relational operator application.
 type BinExpr struct {
 	op   binExprOp
 	l, r Expr
 }
+
+// Op returns the operator.
+func (b *BinExpr) Op() BinOp { return BinOp(b.op) }
 
 // Left returns the left operand.
 func (b *BinExpr) Left() Expr { return b.l }

@@ -37,6 +37,7 @@ type Request struct {
 	English  bool   `json:"english,omitempty"`  // envelope: also print prose rendering
 	Provider string `json:"provider,omitempty"` // conform: inflexible provider (default k8s)
 	Rounds   int    `json:"rounds,omitempty"`   // negotiate: max revision rounds (0 = default)
+	Peers    string `json:"peers,omitempty"`    // negotiate: federated peer list "k8s=url,istio=url"
 }
 
 // Response is one mediation verdict. Output is the exact text the muppet
@@ -56,6 +57,18 @@ type Response struct {
 // error. Errors are reserved for malformed requests (wrapped ErrUsage)
 // and party-construction failures.
 func Exec(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
+	return ExecFed(ctx, st, cache, req, b, nil)
+}
+
+// ExecFed is Exec with federated-negotiation plumbing: when a negotiate
+// request names Peers, the solve is driven as a coordinator over remote
+// mediators instead of an in-process loop, with fopts tuning the retry,
+// breaker, and transcript machinery (nil = defaults). All other requests
+// pass through to the local path untouched.
+func ExecFed(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget, fopts *FedOptions) (Response, error) {
+	if req.Op == "negotiate" && req.Peers != "" {
+		return execFederated(ctx, st, cache, req, b, fopts)
+	}
 	k8sParty, istioParty, err := st.FreshParties()
 	if err != nil {
 		return Response{}, err

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"muppet"
+	"muppet/internal/feder"
+)
+
+// FedOptions aliases the federation robustness knobs so front ends (the
+// muppet CLI's -federated mode, the daemon's execFn) can tune retries,
+// breakers, deadlines, and transcripts without importing feder.
+type FedOptions = feder.Options
+
+// ParsePeers reads the -peers / Request.Peers syntax: comma-separated
+// name=url pairs, one per negotiating party.
+//
+//	k8s=http://127.0.0.1:7001,istio=http://127.0.0.1:7002
+func ParsePeers(s string) ([]feder.PeerRef, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("%w: empty peer list", ErrUsage)
+	}
+	var out []feder.PeerRef
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("%w: bad peer %q (want name=url)", ErrUsage, part)
+		}
+		out = append(out, feder.PeerRef{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty peer list", ErrUsage)
+	}
+	return out, nil
+}
+
+// execFederated drives a negotiate request as the federated coordinator.
+// The rendering mirrors the single-process negotiate arm of Exec line for
+// line, so on the outcomes both modes can reach (reconciled, failed,
+// indeterminate) the Output is byte-identical; only the distributed-only
+// peer-unreachable degradation renders differently.
+func execFederated(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget, fopts *FedOptions) (Response, error) {
+	peers, err := ParsePeers(req.Peers)
+	if err != nil {
+		return Response{}, err
+	}
+	replicas, err := st.FedReplicas()
+	if err != nil {
+		return Response{}, err
+	}
+	var opts FedOptions
+	if fopts != nil {
+		opts = *fopts
+	}
+	if req.Rounds > 0 {
+		opts.Rounds = req.Rounds
+	}
+	coord, err := feder.NewCoordinator(st.Sys, replicas, peers, opts)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrUsage, err)
+	}
+	if cache != nil {
+		coord.UseCache(cache)
+	}
+
+	o := coord.Run(ctx, b)
+
+	var out strings.Builder
+	resp := Response{Op: req.Op}
+	if o.InitialReconcile {
+		fmt.Fprintln(&out, "initial offers reconciled immediately")
+	}
+	for _, r := range o.Rounds {
+		fmt.Fprintf(&out, "round %d: %s ", r.Round, r.Party)
+		switch {
+		case r.Indeterminate:
+			fmt.Fprintln(&out, "was interrupted mid-round")
+		case r.Stuck:
+			fmt.Fprintln(&out, "is stuck — administrators must talk")
+		case r.ConformedAlready:
+			fmt.Fprintln(&out, "already conforms")
+		case r.Revised:
+			fmt.Fprintf(&out, "revised with %d edits\n", len(r.Edits))
+		}
+		if r.Reconciled {
+			fmt.Fprintln(&out, "  → reconciled")
+		}
+	}
+	describeAll := func() {
+		fmt.Fprintln(&out, "--- K8s configuration ---")
+		fmt.Fprint(&out, replicas[0].P.Describe())
+		fmt.Fprintln(&out, "--- Istio configuration ---")
+		fmt.Fprint(&out, replicas[1].P.Describe())
+	}
+	switch {
+	case o.Reason == feder.FedIndeterminate:
+		fmt.Fprintf(&out, "NEGOTIATION INDETERMINATE (%s)\n", o.Stop)
+		resp.Code = CodeIndeterminate
+		resp.Stop = fmt.Sprint(o.Stop)
+	case o.Reason == feder.FedPeerUnreachable:
+		// Graceful degradation: the replicas hold the best-so-far partial
+		// agreement; report it with the typed failure instead of tearing
+		// it down.
+		fmt.Fprintf(&out, "NEGOTIATION DEGRADED (%s)\n%v\n", o.Reason, o.PeerErr)
+		fmt.Fprintln(&out, "--- best-so-far K8s configuration ---")
+		fmt.Fprint(&out, replicas[0].P.Describe())
+		fmt.Fprintln(&out, "--- best-so-far Istio configuration ---")
+		fmt.Fprint(&out, replicas[1].P.Describe())
+		resp.Code = CodeIndeterminate
+		resp.Stop = o.Reason.String()
+	case !o.Reconciled:
+		fmt.Fprintf(&out, "NEGOTIATION FAILED (%s)\n%s\n", o.Reason, o.Feedback)
+		resp.Code = CodeUnsat
+	default:
+		fmt.Fprintln(&out, "NEGOTIATED")
+		describeAll()
+	}
+	resp.Output = out.String()
+	return resp, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"muppet"
+	"muppet/internal/feder"
 	"muppet/internal/tenant"
 )
 
@@ -49,6 +50,12 @@ type metrics struct {
 	attempts   map[string]*poolAttempts            // solver pool → attempt counters
 	rejections int64
 	drops      int64 // admitted jobs abandoned before a worker picked them up
+	panics     int64 // worker panics caught by the recovery middleware
+
+	fedRounds   map[string]int64 // federation role (coordinator|peer) → rounds driven
+	fedRetries  map[string]int64 // peer → coordinator retry attempts
+	fedReplays  int64            // idempotent replays served by the peer side
+	fedBreakers map[string]int64 // peer → breaker state (0 closed, 1 half-open, 2 open)
 }
 
 // poolAttempts counts one named solver pool's leaf executions by outcome.
@@ -61,10 +68,13 @@ type poolAttempts struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]map[int]int64),
-		latency:  make(map[string]*histogram),
-		tenants:  make(map[string]map[string]map[int]int64),
-		attempts: make(map[string]*poolAttempts),
+		requests:    make(map[string]map[int]int64),
+		latency:     make(map[string]*histogram),
+		tenants:     make(map[string]map[string]map[int]int64),
+		attempts:    make(map[string]*poolAttempts),
+		fedRounds:   make(map[string]int64),
+		fedRetries:  make(map[string]int64),
+		fedBreakers: make(map[string]int64),
 	}
 }
 
@@ -122,6 +132,36 @@ func (m *metrics) reject() {
 func (m *metrics) drop() {
 	m.mu.Lock()
 	m.drops++
+	m.mu.Unlock()
+}
+
+func (m *metrics) panic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fedRound(role string) {
+	m.mu.Lock()
+	m.fedRounds[role]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fedRetry(peer string) {
+	m.mu.Lock()
+	m.fedRetries[peer]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fedReplay() {
+	m.mu.Lock()
+	m.fedReplays++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fedBreaker(peer string, st feder.BreakerState) {
+	m.mu.Lock()
+	m.fedBreakers[peer] = int64(st)
 	m.mu.Unlock()
 }
 
@@ -192,6 +232,37 @@ func (m *metrics) write(w io.Writer, sc scrape) {
 	fmt.Fprintln(w, "# HELP muppetd_queue_drops_total Admitted jobs whose client vanished before a worker picked them up.")
 	fmt.Fprintln(w, "# TYPE muppetd_queue_drops_total counter")
 	fmt.Fprintf(w, "muppetd_queue_drops_total %d\n", m.drops)
+
+	fmt.Fprintln(w, "# HELP muppetd_panics_total Worker panics caught by the recovery middleware.")
+	fmt.Fprintln(w, "# TYPE muppetd_panics_total counter")
+	fmt.Fprintf(w, "muppetd_panics_total %d\n", m.panics)
+
+	if len(m.fedRounds) > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_fed_rounds_total Federated negotiation rounds, by role.")
+		fmt.Fprintln(w, "# TYPE muppetd_fed_rounds_total counter")
+		for _, role := range sortedKeys(m.fedRounds) {
+			fmt.Fprintf(w, "muppetd_fed_rounds_total{role=%q} %d\n", role, m.fedRounds[role])
+		}
+	}
+	if len(m.fedRetries) > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_fed_retries_total Coordinator retry attempts, by peer.")
+		fmt.Fprintln(w, "# TYPE muppetd_fed_retries_total counter")
+		for _, peer := range sortedKeys(m.fedRetries) {
+			fmt.Fprintf(w, "muppetd_fed_retries_total{peer=%q} %d\n", peer, m.fedRetries[peer])
+		}
+	}
+	if m.fedReplays > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_fed_replays_total Idempotent federation replays served instead of re-solving.")
+		fmt.Fprintln(w, "# TYPE muppetd_fed_replays_total counter")
+		fmt.Fprintf(w, "muppetd_fed_replays_total %d\n", m.fedReplays)
+	}
+	if len(m.fedBreakers) > 0 {
+		fmt.Fprintln(w, "# HELP muppetd_fed_breaker_state Per-peer circuit breaker position (0 closed, 1 half-open, 2 open).")
+		fmt.Fprintln(w, "# TYPE muppetd_fed_breaker_state gauge")
+		for _, peer := range sortedKeys(m.fedBreakers) {
+			fmt.Fprintf(w, "muppetd_fed_breaker_state{peer=%q} %d\n", peer, m.fedBreakers[peer])
+		}
+	}
 
 	fmt.Fprintln(w, "# HELP muppetd_queue_depth Jobs admitted and waiting for a worker.")
 	fmt.Fprintln(w, "# TYPE muppetd_queue_depth gauge")

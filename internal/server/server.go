@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"muppet"
+	"muppet/internal/feder"
 	"muppet/internal/tenant"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	// Router maps workflow methods to solver pools (nil = every method on
 	// one warm-cache pool, the pre-routing behaviour).
 	Router *tenant.Router
+	// FedParty, when "k8s" or "istio", mounts the federated negotiation
+	// peer protocol under /fed/, serving that side of the default
+	// tenant's bundle to a remote coordinator ("" = not a peer).
+	FedParty string
 }
 
 // Server is the mediation daemon's HTTP surface: the workflow endpoints
@@ -103,7 +108,16 @@ func NewMulti(reg *tenant.Registry[*State], opts Options) *Server {
 		draining: make(chan struct{}),
 	}
 	s.solveCtx, s.cancelSolves = context.WithCancel(context.Background())
-	s.execFn = Exec
+	// The daemon always executes through the federation-aware path: local
+	// requests are untouched, and a negotiate naming Peers makes this
+	// daemon the coordinator, with robustness counters wired to /metrics.
+	s.execFn = func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
+		return ExecFed(ctx, st, cache, req, b, &FedOptions{
+			OnRound:   func() { s.metrics.fedRound("coordinator") },
+			OnRetry:   func(peer string) { s.metrics.fedRetry(peer) },
+			OnBreaker: func(peer string, bs feder.BreakerState) { s.metrics.fedBreaker(peer, bs) },
+		})
+	}
 	s.pool = newPool(opts.Concurrency, opts.QueueDepth, s.runJob)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -113,6 +127,24 @@ func NewMulti(reg *tenant.Registry[*State], opts Options) *Server {
 	s.mux.HandleFunc("/t/", s.handleTenantOp)
 	s.mux.HandleFunc("/tenants", s.handleTenants)
 	s.mux.HandleFunc("/tenants/", s.handleTenantAdmin)
+	if opts.FedParty != "" {
+		if ent, ok := reg.Get(DefaultTenant); ok {
+			// The peer serves the default tenant's bundle. Its vocabulary is
+			// pinned at startup; a session opened after a hot reload picks up
+			// the new party state via the constructor closure.
+			peer := feder.NewPeer(ent.State.Sys, func() (*feder.LocalParty, error) {
+				ent, ok := s.registry.Get(DefaultTenant)
+				if !ok {
+					return nil, fmt.Errorf("no default tenant")
+				}
+				return ent.State.FedParty(opts.FedParty)
+			}, feder.PeerHooks{
+				OnRound:  func() { s.metrics.fedRound("peer") },
+				OnReplay: func() { s.metrics.fedReplay() },
+			})
+			s.mux.Handle("/fed/", peer.Handler())
+		}
+	}
 	return s
 }
 
@@ -120,7 +152,32 @@ func NewMulti(reg *tenant.Registry[*State], opts Options) *Server {
 // triggers (SIGHUP, polling) to it.
 func (s *Server) Registry() *tenant.Registry[*State] { return s.registry }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ErrPanic marks a worker panic caught by the recovery middleware: the
+// request failed, the daemon survived. The HTTP layer maps it to a
+// structured 500; /metrics counts it under muppetd_panics_total.
+var ErrPanic = errors.New("internal panic")
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			// Deliberate connection abort (e.g. fault injection); let
+			// net/http handle it.
+			panic(p)
+		}
+		s.metrics.panic()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": fmt.Sprintf("internal panic: %v", p),
+			"code":  CodeInternal,
+		})
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Drain stops admitting work: /readyz flips to 503 and new workflow
 // requests are refused, while in-flight and queued jobs keep running.
@@ -157,7 +214,15 @@ func (s *Server) Draining() bool {
 // stops it. The job's tenant entry was captured at admission: a hot
 // reload between admission and here means this request completes on the
 // revision it was admitted against.
-func (s *Server) runJob(ctx context.Context, w int, j *job) (Response, error) {
+func (s *Server) runJob(ctx context.Context, w int, j *job) (resp Response, err error) {
+	// A solver panic must kill the request, not the worker: recover into a
+	// typed error the HTTP layer renders as a structured 500.
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.panic()
+			resp, err = Response{}, fmt.Errorf("%w: %v", ErrPanic, p)
+		}
+	}()
 	timeout := j.timeout
 	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
 		timeout = s.opts.MaxTimeout
@@ -345,6 +410,12 @@ func (s *Server) serveOp(w http.ResponseWriter, r *http.Request, tenantID, op st
 			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
 				s.metrics.drop()
 				return // client is gone; nothing to write
+			}
+			if errors.Is(res.err, ErrPanic) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(w).Encode(map[string]any{"error": res.err.Error(), "code": CodeInternal})
+				return
 			}
 			code := http.StatusInternalServerError
 			if errors.Is(res.err, ErrUsage) {

@@ -485,3 +485,75 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	res.Body.Close()
 }
+
+// TestWorkerPanicRecovered asserts the recovery middleware: a panic in a
+// worker's solve kills the request — surfacing as a structured 500 with
+// the internal verdict code — while the daemon keeps serving, and the
+// panic is counted in /metrics alongside the federation counters.
+func TestWorkerPanicRecovered(t *testing.T) {
+	st := fig1State(t)
+	s := New(st, Options{Concurrency: 1, QueueDepth: 4, FedParty: "k8s"})
+	defer s.Close()
+	real := s.execFn
+	s.execFn = func(ctx context.Context, st *State, cache *muppet.SolveCache, req Request, b muppet.Budget) (Response, error) {
+		if req.Op == "reconcile" {
+			panic("solver blew up")
+		}
+		return real(ctx, st, cache, req, b)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	body, _ := json.Marshal(Request{Op: "reconcile"})
+	res, err := hs.Client().Post(hs.URL+"/v1/reconcile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking op: status %d, want 500", res.StatusCode)
+	}
+	var out struct {
+		Error string `json:"error"`
+		Code  int    `json:"code"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("panic response is not structured JSON: %v", err)
+	}
+	if out.Code != CodeInternal || !strings.Contains(out.Error, "internal panic") ||
+		!strings.Contains(out.Error, "solver blew up") {
+		t.Fatalf("panic response %+v, want internal panic with code %d", out, CodeInternal)
+	}
+
+	// The worker survived: the next request on the same daemon succeeds.
+	res2, ok := postOp(t, hs.Client(), hs.URL, Request{Op: "check", Party: "k8s"}, nil)
+	if res2.StatusCode != http.StatusOK || ok.Code != CodeSat {
+		t.Fatalf("daemon did not survive the panic: status %d code %d", res2.StatusCode, ok.Code)
+	}
+
+	mres, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	raw, _ := io.ReadAll(mres.Body)
+	metrics := string(raw)
+	if !strings.Contains(metrics, "muppetd_panics_total 1") {
+		t.Fatalf("panic not counted:\n%s", metrics)
+	}
+	// Fed counters are lazily exported: with no federation traffic yet,
+	// none of them may appear (a panic must not fabricate fed series).
+	if strings.Contains(metrics, "muppetd_fed_") {
+		t.Fatalf("idle fed counters exported:\n%s", metrics)
+	}
+	// The federated peer surface is mounted and survived the panic.
+	fres, err := hs.Client().Post(hs.URL+"/fed/join", "application/json",
+		strings.NewReader(`{"session":"after-panic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fres.Body.Close()
+	if fres.StatusCode != http.StatusOK {
+		t.Fatalf("/fed/join after panic: status %d", fres.StatusCode)
+	}
+}

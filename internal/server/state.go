@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"muppet"
+	"muppet/internal/feder"
 )
 
 // Config names the inputs of one mediation state: the YAML bundle, the
@@ -111,6 +112,33 @@ func (st *State) FreshParties() (k8s, istio *muppet.Party, err error) {
 		return nil, nil, err
 	}
 	return k8s, istio, nil
+}
+
+// FedParty materializes this state's side of a federated negotiation:
+// the named party (k8s or istio) wrapped for the /fed/ peer protocol.
+func (st *State) FedParty(kind string) (*feder.LocalParty, error) {
+	switch strings.ToLower(kind) {
+	case "k8s", "kubernetes":
+		return feder.NewLocalK8s(st.Sys, st.Bundle.K8s, st.K8sOffer, st.K8sGoalRows, "")
+	case "istio":
+		return feder.NewLocalIstio(st.Sys, st.Bundle.Istio, st.IstioOffer, st.IstioGoalRows, "")
+	}
+	return nil, fmt.Errorf("%w: bad federated party %q (want k8s or istio)", ErrUsage, kind)
+}
+
+// FedReplicas builds the coordinator's local replicas in the party order
+// FreshParties uses (k8s, then istio), which fixes the round-robin cycle
+// — and therefore byte-parity with the single-process negotiation.
+func (st *State) FedReplicas() ([]*feder.LocalParty, error) {
+	k8s, err := feder.NewLocalK8s(st.Sys, st.Bundle.K8s, st.K8sOffer, st.K8sGoalRows, "")
+	if err != nil {
+		return nil, err
+	}
+	istio, err := feder.NewLocalIstio(st.Sys, st.Bundle.Istio, st.IstioOffer, st.IstioGoalRows, "")
+	if err != nil {
+		return nil, err
+	}
+	return []*feder.LocalParty{k8s, istio}, nil
 }
 
 // ParseOffer maps an offer-mode name to an Offer, "" meaning fixed.

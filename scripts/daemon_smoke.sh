@@ -7,21 +7,30 @@
 # Phase 2 (multi tenant): start over a -tenant-dir with two tenants,
 # serve both, hot-reload one mid-traffic (both keep answering, the
 # revision advances), pick up a third tenant via SIGHUP, and check the
-# muppetd_tenant_* metrics. Run from the repository root (`make smoke`).
+# muppetd_tenant_* metrics.
+#
+# Phase 3 (federated): two peer daemons (one with fault injection on),
+# a CLI coordinator negotiating across them through the injected 500s,
+# then a kill/restart of one peer followed by a second negotiation, and
+# `muppet transcript verify` over the accumulated transcript.
+# Run from the repository root (`make smoke`).
 set -eu
 
 GO="${GO:-go}"
 tmp="$(mktemp -d)"
 pid=""
+pid2=""
 traffic_pid=""
 cleanup() {
 	[ -n "$traffic_pid" ] && kill "$traffic_pid" 2>/dev/null || true
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	[ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
 
 $GO build -o "$tmp/muppetd" ./cmd/muppetd
+$GO build -o "$tmp/muppet" ./cmd/muppet
 
 # wait_addr <log>: scrape the bound address once the listener is up.
 wait_addr() {
@@ -195,4 +204,111 @@ echo "$metrics" | grep -q '^muppetd_cache_budget_bytes 67108864$' || {
 
 stop_daemon "$tmp/log2"
 echo "daemon smoke: multi-tenant OK ($addr)"
+
+# --- Phase 3: federated negotiation across two peer daemons ----------
+
+# Each peer daemon holds ONLY its own goals, as real trust domains would;
+# -ports carries the other side's goal ports so all universes agree.
+# The Istio peer runs with deterministic fault injection (latency + 500s)
+# so the coordinator's retry machinery is exercised, not just present.
+"$tmp/muppetd" -addr 127.0.0.1:0 -fed-party k8s \
+	-files testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml \
+	-k8s-goals testdata/fig1/k8s_goals.csv -k8s-offer soft \
+	-ports 10000,12000,14000,16000 \
+	>"$tmp/log3k" 2>&1 &
+pid=$!
+wait_addr "$tmp/log3k"
+k8s_addr="$addr"
+
+start_istio_peer() {
+	"$tmp/muppetd" -addr "$1" -fed-party istio \
+		-files testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml \
+		-istio-goals testdata/fig1/istio_goals_revised.csv -istio-offer soft \
+		-ports 23 \
+		$2 >"$3" 2>&1 &
+	pid2=$!
+}
+
+# fault-seed 2 is pinned so the error class deterministically fires on
+# the coordinator's first Istio request (and the retry then rides
+# through) without ever tripping the breaker's 3-consecutive threshold.
+start_istio_peer 127.0.0.1:0 "-fault-spec latency=10ms:0.5,error=0.4 -fault-seed 2" "$tmp/log3i"
+save_pid="$pid"
+pid="$pid2"
+wait_addr "$tmp/log3i"
+pid="$save_pid"
+istio_addr="$addr"
+
+# negotiate_federated <transcript-file>: one CLI-coordinated run. Each
+# run writes its own HMAC chain (a chain spans one negotiation).
+negotiate_federated() {
+	"$tmp/muppet" negotiate \
+		-files testdata/fig1/mesh.yaml,testdata/fig1/k8s_current.yaml,testdata/fig1/istio_current.yaml \
+		-k8s-goals testdata/fig1/k8s_goals.csv -k8s-offer soft \
+		-istio-goals testdata/fig1/istio_goals_revised.csv -istio-offer soft \
+		-federated -peers "k8s=http://$k8s_addr,istio=http://$istio_addr" \
+		-retries 6 -transcript "$1" -transcript-key smoke-key -v
+}
+
+negotiate_federated "$tmp/transcript1.log" >"$tmp/nego1" || {
+	echo "daemon smoke: federated negotiation failed under fault injection" >&2
+	cat "$tmp/nego1" "$tmp/log3i" >&2
+	exit 1
+}
+grep -q '^NEGOTIATED$' "$tmp/nego1" || {
+	echo "daemon smoke: federated run did not converge" >&2
+	cat "$tmp/nego1" >&2
+	exit 1
+}
+# The injected 500 must actually have been retried through, or the
+# chaos leg tested nothing.
+grep -q '// fed: .*retries: .*Istio=[1-9]' "$tmp/nego1" || {
+	echo "daemon smoke: fault injection never fired (no Istio retries)" >&2
+	cat "$tmp/nego1" >&2
+	exit 1
+}
+
+# Kill the faulty Istio peer and restart it (clean) on the same address;
+# a second negotiation must converge against the fresh incarnation.
+kill -TERM "$pid2"
+wait "$pid2" 2>/dev/null || true
+pid2=""
+start_istio_peer "$istio_addr" "" "$tmp/log3i2"
+i=0
+while [ $i -lt 100 ]; do
+	curl -fsS "http://$istio_addr/readyz" >/dev/null 2>&1 && break
+	i=$((i + 1))
+	sleep 0.1
+done
+
+negotiate_federated "$tmp/transcript2.log" >"$tmp/nego2" || {
+	echo "daemon smoke: federated negotiation failed after peer restart" >&2
+	cat "$tmp/nego2" "$tmp/log3i2" >&2
+	exit 1
+}
+grep -q '^NEGOTIATED$' "$tmp/nego2" || {
+	echo "daemon smoke: post-restart federated run did not converge" >&2
+	cat "$tmp/nego2" >&2
+	exit 1
+}
+
+# Both transcripts' HMAC chains must verify end to end.
+for tr in "$tmp/transcript1.log" "$tmp/transcript2.log"; do
+	"$tmp/muppet" transcript verify -key smoke-key "$tr" >"$tmp/verify" || {
+		echo "daemon smoke: transcript verification failed for $tr" >&2
+		cat "$tmp/verify" >&2
+		exit 1
+	}
+	grep -q '^OK: ' "$tmp/verify" || {
+		echo "daemon smoke: unexpected transcript verdict for $tr" >&2
+		cat "$tmp/verify" >&2
+		exit 1
+	}
+done
+
+kill -TERM "$pid2" 2>/dev/null || true
+wait "$pid2" 2>/dev/null || true
+pid2=""
+stop_daemon "$tmp/log3k"
+echo "daemon smoke: federated OK (k8s=$k8s_addr istio=$istio_addr, $(cat "$tmp/verify"))"
 echo "daemon smoke OK"
