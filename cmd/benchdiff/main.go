@@ -1,15 +1,17 @@
 // Command benchdiff compares two benchjson reports (baseline, current) and
-// enforces the encoding-size regression gate: for every benchmark present
-// in both reports, deterministic size metrics (solver-clauses by default)
-// may not grow by more than the allowed fraction. Timing metrics are
-// printed for context but never gate — CI machines are too noisy for
-// one-iteration wall-clock comparisons, while clause counts are exact.
+// enforces the benchmark regression gates: for every benchmark present in
+// both reports, the deterministic size metric (solver-clauses by default),
+// allocations per op, and wall time per op may not grow by more than their
+// allowed fractions. Size and alloc metrics are exact and gate tightly;
+// the time gate has the same default bound but can be widened (or disabled
+// with a negative bound) on noisy CI machines.
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff [-metric solver-clauses] [-max-regress 0.25] baseline.json current.json
+//	go run ./cmd/benchdiff [-metric solver-clauses] [-max-regress 0.25] \
+//	    [-max-alloc-regress 0.25] [-max-time-regress 0.25] baseline.json current.json
 //
-// Exit status 1 means at least one gated metric regressed past the bound.
+// Exit status 1 means at least one gated metric regressed past its bound.
 package main
 
 import (
@@ -34,9 +36,18 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// gate is one metric bound: a fractional growth limit, disabled when the
+// bound is negative or the metric is absent from either report.
+type gate struct {
+	metric string
+	bound  float64
+}
+
 func main() {
 	metric := flag.String("metric", "solver-clauses", "deterministic size metric to gate on")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional growth of the gated metric")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional growth of the size metric")
+	maxAlloc := flag.Float64("max-alloc-regress", 0.25, "maximum allowed fractional growth of allocs/op (negative disables)")
+	maxTime := flag.Float64("max-time-regress", 0.25, "maximum allowed fractional growth of ns/op (negative disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
@@ -64,35 +75,38 @@ func main() {
 		fatal(fmt.Errorf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1)))
 	}
 
+	gates := []gate{
+		{*metric, *maxRegress},
+		{"allocs/op", *maxAlloc},
+		{"ns/op", *maxTime},
+	}
 	failed := 0
 	for _, name := range names {
 		b, c := baseBy[name], curBy[name]
-		bv, bok := b.Metrics[*metric]
-		cv, cok := c.Metrics[*metric]
-		if bok && cok && bv > 0 {
+		for _, g := range gates {
+			bv, bok := b.Metrics[g.metric]
+			cv, cok := c.Metrics[g.metric]
+			if !bok || !cok || bv <= 0 {
+				continue
+			}
 			growth := cv/bv - 1
 			status := "ok"
-			if growth > *maxRegress {
+			switch {
+			case g.bound < 0:
+				status = "info"
+			case growth > g.bound:
 				status = "FAIL"
 				failed++
 			}
-			fmt.Printf("%-45s %s %10.0f -> %10.0f  (%+.1f%%)  [%s]\n",
-				name, *metric, bv, cv, 100*growth, status)
-		}
-		if bt, ok := b.Metrics["ns/op"]; ok {
-			if ct, ok := c.Metrics["ns/op"]; ok && bt > 0 {
-				fmt.Printf("%-45s ns/op    %12.0f -> %12.0f  (%+.1f%%)  [info]\n",
-					name, bt, ct, 100*(ct/bt-1))
-			}
+			fmt.Printf("%-45s %-14s %12.0f -> %12.0f  (%+.1f%%)  [%s]\n",
+				name, g.metric, bv, cv, 100*growth, status)
 		}
 	}
 	if failed > 0 {
-		fmt.Printf("benchdiff: %d benchmark(s) regressed %s by more than %.0f%%\n",
-			failed, *metric, 100**maxRegress)
+		fmt.Printf("benchdiff: %d gated metric(s) regressed past their bounds\n", failed)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %s within %.0f%% of baseline on all %d common benchmarks\n",
-		*metric, 100**maxRegress, len(names))
+	fmt.Printf("benchdiff: within bounds on all %d common benchmarks\n", len(names))
 }
 
 func load(path string) (*Report, error) {

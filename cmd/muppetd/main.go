@@ -39,11 +39,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -92,6 +94,8 @@ func run(argv []string, ready func(addr string)) int {
 	faultSpec := fs.String("fault-spec", "",
 		"chaos-testing fault injection, e.g. latency=50ms:0.3,error=0.1,unavail=0.05:2,drop=0.05,slow=0.1 (default off)")
 	faultSeed := fs.Int64("fault-seed", 1, "deterministic seed for -fault-spec decisions")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this separate address, e.g. 127.0.0.1:6060 (default off)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(argv); err != nil {
 		return server.CodeUsage
@@ -183,6 +187,30 @@ func run(argv []string, ready func(addr string)) int {
 		log.Printf("muppetd: CHAOS: injecting faults (%s, seed %d)", faults, *faultSeed)
 		handler = faults.Middleware(*faultSeed, s)
 	}
+	// The profiler gets its own listener and mux, never the serving one:
+	// pprof handlers must stay off the request port so they can be bound
+	// to loopback (or a firewalled port) independently of -addr.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "muppetd:", err)
+			return server.CodeInternal
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("muppetd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("muppetd: pprof server: %v", err)
+			}
+		}()
+		defer pln.Close()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "muppetd:", err)

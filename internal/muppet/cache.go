@@ -72,6 +72,17 @@ type EncodingStats struct {
 	// CNF preprocessing; ClausesRemoved accumulates clauses it removed.
 	VarsEliminated int64
 	ClausesRemoved int64
+	// ArenaBytes is the exact backing size of the flat clause arenas —
+	// the measured counterpart of the ApproxBytes estimate.
+	ArenaBytes int64
+	// Search-core counters, accumulated across each session's lifetime:
+	// chronological backtracks taken instead of long backjumps, conflict
+	// clauses deleted by on-the-fly subsumption, inprocessing passes run,
+	// and clauses shortened by vivification.
+	ChronoBacktracks int64
+	OTFSubsumed      int64
+	InprocessRuns    int64
+	Vivified         int64
 }
 
 // Approximate per-object sizes of the live solving structures, in bytes.
@@ -98,6 +109,11 @@ func (e *EncodingStats) add(t EncodingStats) {
 	e.LearntClauses += t.LearntClauses
 	e.VarsEliminated += t.VarsEliminated
 	e.ClausesRemoved += t.ClausesRemoved
+	e.ArenaBytes += t.ArenaBytes
+	e.ChronoBacktracks += t.ChronoBacktracks
+	e.OTFSubsumed += t.OTFSubsumed
+	e.InprocessRuns += t.InprocessRuns
+	e.Vivified += t.Vivified
 }
 
 // sessionEncodingStats snapshots one live session's encoding sizes.
@@ -110,6 +126,12 @@ func sessionEncodingStats(ss *relational.Session) EncodingStats {
 		LearntClauses:  int64(s.NumLearnts()),
 		VarsEliminated: s.Stats.SimpVarsEliminated,
 		ClausesRemoved: s.Stats.SimpClausesRemoved,
+
+		ArenaBytes:       s.ArenaBytes(),
+		ChronoBacktracks: s.Stats.ChronoBacktracks,
+		OTFSubsumed:      s.Stats.OTFSubsumed,
+		InprocessRuns:    s.Stats.InprocessRuns,
+		Vivified:         s.Stats.Vivified,
 	}
 }
 

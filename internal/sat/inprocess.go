@@ -1,0 +1,165 @@
+package sat
+
+// Scheduled inprocessing: between restarts — the one point mid-search
+// where the trail is back at level 0 — the solver periodically (1) probes
+// problem clauses with clause vivification, shrinking or deleting them,
+// and (2) re-runs the internal/simp preprocessor so bounded variable
+// elimination sees the clauses learnt since the last pass. Assumption
+// variables are frozen at Solve entry, so elimination never removes a
+// variable the caller will assume or read, and Extend/Restore keep
+// incremental sessions correct exactly as for pre-search simplification.
+
+// inprocessDefaultInterval is how many conflicts pass between ticks.
+const inprocessDefaultInterval = 4000
+
+// bveTickPeriod: a full preprocessor re-run (subsumption + BVE + database
+// rebuild) costs far more than a vivification round, so it runs only on
+// every bveTickPeriod-th tick.
+const bveTickPeriod = 4
+
+// vivifyPropBudget bounds the unit-propagation work of one vivification
+// round; the rolling cursor resumes where the budget ran out.
+const vivifyPropBudget = 100_000
+
+// vivifyMinSize: clauses shorter than this are not probed — binary
+// clauses cannot shrink usefully and propagate cheaply anyway.
+const vivifyMinSize = 3
+
+func (s *Solver) inprocessInterval() int64 {
+	if s.opts.InprocessInterval > 0 {
+		return s.opts.InprocessInterval
+	}
+	return inprocessDefaultInterval
+}
+
+// maybeInprocess runs an inprocessing tick if enough conflicts have
+// accumulated. Called from Solve's restart loop at decision level 0.
+func (s *Solver) maybeInprocess() {
+	if s.opts.DisableInprocess || s.opts.DisableLearning ||
+		s.opts.NaivePropagation || s.unsatLevel0 {
+		return
+	}
+	if s.Stats.Conflicts < s.nextInprocess {
+		return
+	}
+	s.nextInprocess = s.Stats.Conflicts + s.inprocessInterval()
+	s.inprocessTicks++
+	s.Stats.InprocessRuns++
+
+	s.vivifyRound()
+	if s.unsatLevel0 {
+		return
+	}
+	if !s.opts.DisableSimp && s.inprocessTicks%bveTickPeriod == 0 &&
+		len(s.clauses) >= s.simpMinClauses() {
+		s.runSimplify()
+	}
+}
+
+// vivifyRound probes problem clauses at level 0: for clause c = l1∨…∨ln it
+// assumes ¬l1,…,¬lk in turn and unit-propagates. A conflict means the
+// first k literals already form a valid (shorter) clause; a literal
+// propagated true means the clause is implied by its prefix plus that
+// literal; a literal propagated false is redundant and dropped. The
+// clause is eagerly detached while probing (otherwise it would justify
+// its own literals) and reattached, shrunk in place, afterwards.
+func (s *Solver) vivifyRound() {
+	if len(s.clauses) == 0 || s.decisionLevel() != 0 {
+		return
+	}
+	startProps := s.Stats.Propagations
+	if s.vivifyHead >= len(s.clauses) {
+		s.vivifyHead = 0
+	}
+	for visited := 0; visited < len(s.clauses); visited++ {
+		if s.Stats.Propagations-startProps > vivifyPropBudget {
+			break
+		}
+		if s.vivifyHead >= len(s.clauses) {
+			s.vivifyHead = 0
+		}
+		c := s.clauses[s.vivifyHead]
+		s.vivifyHead++
+		if s.ca.deleted(c) || s.ca.size(c) < vivifyMinSize {
+			continue
+		}
+		if !s.vivifyClause(c) {
+			return // level-0 contradiction
+		}
+	}
+}
+
+// vivifyClause probes one clause; reports false on level-0 unsat.
+func (s *Solver) vivifyClause(c cref) bool {
+	lits := s.ca.lits(c)
+	// Detach both watchers before touching the assignment: the probe must
+	// not be allowed to use c itself.
+	s.removeWatch(lits[0], c)
+	s.removeWatch(lits[1], c)
+
+	s.newDecisionLevel()
+	keep := 0          // live prefix literals, compacted to the front
+	satisfied := false // clause deletable: satisfied at level 0
+	done := false
+	for i := 0; i < len(lits) && !done; i++ {
+		l := lits[i]
+		switch s.value(l) {
+		case lTrue:
+			if s.level[l.Var()] == 0 {
+				// True regardless of the probe assumptions: delete.
+				satisfied = true
+			} else {
+				// ¬l1…¬l(keep) ⊨ l: the clause shrinks to prefix ∨ l.
+				lits[keep] = l
+				keep++
+			}
+			done = true
+		case lFalse:
+			// Redundant under the prefix assumptions (or false at level 0
+			// outright): drop l and keep scanning the rest.
+		default:
+			lits[keep] = l
+			keep++
+			s.uncheckedEnqueue(l.Not(), crefUndef)
+			if s.propagate() != crefUndef {
+				// The prefix alone is contradictory when all false — i.e.
+				// the prefix is a valid clause on its own.
+				done = true
+			}
+		}
+	}
+	s.cancelUntil(0)
+
+	oldSize := len(lits)
+	switch {
+	case satisfied:
+		s.detach(c) // watchers already removed; flag reclaims the words
+		s.Stats.Vivified++
+		s.Stats.VivifyLits += int64(oldSize)
+		return true
+	case keep == oldSize:
+		s.attach(c) // nothing changed
+		return true
+	}
+	s.Stats.Vivified++
+	s.Stats.VivifyLits += int64(oldSize - keep)
+	switch keep {
+	case 0:
+		s.unsatLevel0 = true
+		return false
+	case 1:
+		u := lits[0]
+		s.detach(c)
+		if s.value(u) != lTrue {
+			s.uncheckedEnqueue(u, crefUndef)
+			if s.propagate() != crefUndef {
+				s.unsatLevel0 = true
+				return false
+			}
+		}
+		return true
+	}
+	s.ca.shrink(c, keep)
+	s.attach(c)
+	return true
+}

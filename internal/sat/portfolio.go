@@ -30,10 +30,10 @@ func (s *Solver) CloneWithOptions(opts Options) *Solver {
 		}
 	}
 	for _, c := range s.clauses {
-		if c.deleted {
+		if s.ca.deleted(c) {
 			continue
 		}
-		if !ns.AddClause(c.lits...) {
+		if !ns.AddClause(s.ca.lits(c)...) {
 			return ns
 		}
 	}

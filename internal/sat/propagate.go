@@ -1,8 +1,11 @@
 package sat
 
 // propagate performs unit propagation over all enqueued assignments.
-// It returns the conflicting clause, or nil if no conflict arose.
-func (s *Solver) propagate() *clause {
+// It returns the conflicting clause, or crefUndef if no conflict arose.
+// The hot loop works directly on the arena: the watcher's blocker check
+// avoids touching clause memory at all, and a visited clause is one
+// contiguous block of int32s.
+func (s *Solver) propagate() cref {
 	if s.opts.NaivePropagation {
 		return s.propagateNaive()
 	}
@@ -15,29 +18,30 @@ func (s *Solver) propagate() *clause {
 		out := ws[:0]
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if w.c.deleted {
-				continue // purge lazily
-			}
 			if s.value(w.blocker) == lTrue {
 				out = append(out, w)
 				continue
 			}
 			c := w.c
-			// Ensure the false literal is at position 1.
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if s.ca.deleted(c) {
+				continue // purge lazily
 			}
-			first := c.lits[0]
+			lits := s.ca.lits(c)
+			// Ensure the false literal is at position 1.
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
 				out = append(out, watcher{c, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, first})
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, first})
 					found = true
 					break
 				}
@@ -58,13 +62,13 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[falseLit] = out
 	}
-	return nil
+	return crefUndef
 }
 
 // propagateNaive is the ablation propagation mode: for each newly false
 // literal it scans every clause containing it, checking satisfaction and
 // unit status by full traversal.
-func (s *Solver) propagateNaive() *clause {
+func (s *Solver) propagateNaive() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -73,14 +77,15 @@ func (s *Solver) propagateNaive() *clause {
 		occ := s.occs[falseLit]
 		live := occ[:0]
 		for _, c := range occ {
-			if c.deleted {
+			if s.ca.deleted(c) {
 				continue
 			}
 			live = append(live, c)
+			lits := s.ca.lits(c)
 			var unit Lit = LitUndef
 			nUndef := 0
 			sat := false
-			for _, l := range c.lits {
+			for _, l := range lits {
 				switch s.value(l) {
 				case lTrue:
 					sat = true
@@ -103,9 +108,9 @@ func (s *Solver) propagateNaive() *clause {
 			case 1:
 				// Conflict analysis expects the asserting literal of a
 				// reason clause at position 0.
-				for k, l := range c.lits {
+				for k, l := range lits {
 					if l == unit {
-						c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+						lits[0], lits[k] = lits[k], lits[0]
 						break
 					}
 				}
@@ -114,5 +119,5 @@ func (s *Solver) propagateNaive() *clause {
 		}
 		s.occs[falseLit] = live
 	}
-	return nil
+	return crefUndef
 }

@@ -1,13 +1,12 @@
 package sat
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // analyze derives a first-UIP learnt clause from a conflict. It returns the
-// learnt literals (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+// learnt literals (asserting literal first) and the backtrack level. The
+// returned slice is the solver's reused scratch buffer: callers must copy
+// it (into the arena) before the next analyze call.
+func (s *Solver) analyze(confl cref) ([]Lit, int32) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, LitUndef) // slot for the asserting literal
 	pathC := 0
@@ -15,19 +14,17 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
 	idx := len(s.trail) - 1
 
 	for {
-		if confl == nil {
-			msg := fmt.Sprintf("analyze: nil reason; pathC=%d p=%v level(p)=%d dl=%d trail=%d learntSoFar=%v",
-				pathC, p, s.level[p.Var()], s.decisionLevel(), len(s.trail), learnt)
-			panic(msg)
+		if confl == crefUndef {
+			panic("sat: analyze reached a reason-less literal before the first UIP")
 		}
-		if confl.learnt {
+		if s.ca.learnt(confl) {
 			s.claBump(confl)
 		}
-		start := 0
+		clits := s.ca.lits(confl)
 		if p != LitUndef {
-			start = 1 // skip the asserting literal of the reason clause
+			clits = clits[1:] // skip the asserting literal of the reason clause
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range clits {
 			v := q.Var()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
@@ -58,16 +55,17 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
 	// Snapshot the variables whose seen flags must be cleared: the in-place
 	// compaction below overwrites dropped literals (MiniSat keeps a separate
 	// analyze_toclear list for the same reason).
-	toClear := make([]Var, len(learnt))
-	for i, l := range learnt {
-		toClear[i] = l.Var()
+	toClear := s.toClear[:0]
+	for _, l := range learnt {
+		toClear = append(toClear, l.Var())
 	}
+	s.toClear = toClear[:0]
 
 	// Conflict-clause minimisation: drop literals implied by the rest.
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		if s.reason[v] == nil || !s.litRedundant(learnt[i]) {
+		if s.reason[v] == crefUndef || !s.litRedundant(learnt[i]) {
 			learnt[j] = learnt[i]
 			j++
 		}
@@ -91,9 +89,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
 		btLevel = s.level[minimized[1].Var()]
 	}
 	s.analyzeBuf = learnt[:0]
-	out := make([]Lit, len(minimized))
-	copy(out, minimized)
-	return out, btLevel
+	return minimized, btLevel
 }
 
 // litRedundant reports whether l is implied by the other literals of the
@@ -101,7 +97,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
 // minimisation: every antecedent literal must itself be seen or at level 0).
 func (s *Solver) litRedundant(l Lit) bool {
 	c := s.reason[l.Var()]
-	for _, q := range c.lits[1:] {
+	for _, q := range s.ca.lits(c)[1:] {
 		v := q.Var()
 		if s.seen[v] == 0 && s.level[v] != 0 {
 			return false
@@ -111,13 +107,46 @@ func (s *Solver) litRedundant(l Lit) bool {
 }
 
 // computeLBD returns the number of distinct decision levels among a
-// clause's literals — the "literal block distance" quality measure.
+// clause's literals — the "literal block distance" quality measure. The
+// per-level stamp array replaces the map the old implementation allocated
+// on every conflict.
 func (s *Solver) computeLBD(lits []Lit) int32 {
-	levels := map[int32]struct{}{}
-	for _, l := range lits {
-		levels[s.level[l.Var()]] = struct{}{}
+	s.lbdTick++
+	if s.lbdTick == 0 { // wrapped: stale stamps could collide
+		for i := range s.levelStamp {
+			s.levelStamp[i] = 0
+		}
+		s.lbdTick = 1
 	}
-	return int32(len(levels))
+	tick := s.lbdTick
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		for int(lv) >= len(s.levelStamp) {
+			s.levelStamp = append(s.levelStamp, 0)
+		}
+		if s.levelStamp[lv] != tick {
+			s.levelStamp[lv] = tick
+			n++
+		}
+	}
+	return n
+}
+
+// subsumes reports whether every literal of small occurs in the clause c —
+// the on-the-fly subsumption test run after conflict analysis.
+func (s *Solver) subsumes(small []Lit, c cref) bool {
+	clits := s.ca.lits(c)
+outer:
+	for _, l := range small {
+		for _, q := range clits {
+			if q == l {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
 }
 
 // analyzeFinal computes the set of assumption literals responsible for
@@ -134,11 +163,11 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == crefUndef {
 			// Decision ⇒ assumption at this point of the search.
 			s.conflict = append(s.conflict, s.trail[i].Not())
 		} else {
-			for _, q := range s.reason[v].lits[1:] {
+			for _, q := range s.ca.lits(s.reason[v])[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -151,22 +180,28 @@ func (s *Solver) analyzeFinal(p Lit) {
 
 // reduceDB removes roughly half of the learnt clauses, preferring high-LBD,
 // low-activity ones. Glue clauses (LBD ≤ 2) and reason clauses survive.
+// Entries already deleted on the fly are purged, and the arena is
+// compacted when enough of it has died.
 func (s *Solver) reduceDB() {
+	ca := &s.ca
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return b.lbd <= 2 // glue clauses last (kept)
+		if ga, gb := ca.lbd(a) <= 2, ca.lbd(b) <= 2; ga != gb {
+			return gb // glue clauses last (kept)
 		}
-		return a.activity < b.activity
+		return ca.act(a) < ca.act(b)
 	})
-	locked := func(c *clause) bool {
-		v := c.lits[0].Var()
+	locked := func(c cref) bool {
+		v := ca.lits(c)[0].Var()
 		return s.assigns[v] != lUndef && s.reason[v] == c
 	}
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if i < limit && c.lbd > 2 && !locked(c) && len(c.lits) > 2 {
+		if ca.deleted(c) {
+			continue // removed on the fly (OTF subsumption)
+		}
+		if i < limit && ca.lbd(c) > 2 && !locked(c) && ca.size(c) > 2 {
 			s.detach(c)
 			s.Stats.Removed++
 		} else {
@@ -174,6 +209,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = keep
+	s.maybeGC()
 }
 
 // luby computes the i-th element (1-based) of the Luby restart sequence
@@ -194,6 +230,15 @@ func luby(base int64, i int64) int64 {
 	return base << (k - 1)
 }
 
+// chronoThreshold is the backjump length past which the solver backtracks
+// chronologically (one level) instead: a conflict whose assertion level is
+// hundreds of levels down usually reconstructs most of the discarded trail
+// verbatim, so keeping it and asserting the learnt literal in place is
+// cheaper (Nadel & Ryvchin, SAT'18). Soundness: at any level ≥ the
+// assertion level every non-asserting literal of the learnt clause is
+// still false, so the clause is unit there too.
+const chronoThreshold = 100
+
 // search runs CDCL until a model, a restart or budget exhaustion, a
 // cancellation, or an assumption failure. nConflicts bounds this restart's
 // conflicts (<0: none). Budget/cancellation stops set s.stopReason, which
@@ -207,7 +252,7 @@ func (s *Solver) search(nConflicts int64) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -228,30 +273,49 @@ func (s *Solver) search(nConflicts int64) Status {
 				}
 				s.cancelUntil(s.decisionLevel() - 1)
 				if len(decs) == 1 {
-					s.uncheckedEnqueue(decs[0], nil)
+					s.uncheckedEnqueue(decs[0], crefUndef)
 				} else {
-					c := &clause{lits: decs, learnt: true, lbd: s.computeLBD(decs)}
 					// Order for watching: asserting literal first.
 					last := len(decs) - 1
-					c.lits[0], c.lits[last] = c.lits[last], c.lits[0]
+					decs[0], decs[last] = decs[last], decs[0]
+					c := s.ca.alloc(decs, true)
+					s.ca.setLBD(c, s.computeLBD(decs))
 					s.learnts = append(s.learnts, c)
 					s.attach(c)
-					s.uncheckedEnqueue(c.lits[0], c)
+					s.uncheckedEnqueue(decs[0], c)
 				}
 				s.varDecay()
 				continue
 			}
 			learnt, btLevel := s.analyze(confl)
+			// On-the-fly subsumption: when the minimized learnt clause is a
+			// strict subset of the conflicting learnt clause, the latter is
+			// redundant — drop it now instead of carrying both to reduceDB.
+			if s.ca.learnt(confl) && len(learnt) < s.ca.size(confl) &&
+				len(learnt) <= 30 && s.subsumes(learnt, confl) {
+				s.detach(confl)
+				s.Stats.OTFSubsumed++
+			}
+			// Chrono never applies to unit learnts: a unit is a global fact
+			// that must live at level 0 — asserted higher it would be a
+			// reason-less non-decision literal, which analyze/analyzeFinal
+			// (rightly) treat as impossible.
+			if !s.opts.DisableChrono && len(learnt) > 1 &&
+				s.decisionLevel()-btLevel > chronoThreshold {
+				btLevel = s.decisionLevel() - 1
+				s.Stats.ChronoBacktracks++
+			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				c := s.ca.alloc(learnt, true)
+				s.ca.setLBD(c, s.computeLBD(learnt))
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learnt++
 				s.attach(c)
 				s.claBump(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				s.uncheckedEnqueue(s.ca.lits(c)[0], c)
 			}
 			s.varDecay()
 			s.claDecay()
@@ -289,7 +353,7 @@ func (s *Solver) search(nConflicts int64) Status {
 			s.Stats.Decisions++
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -318,7 +382,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		return Unknown
 	}
 	s.cancelUntil(0)
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); confl != crefUndef {
 		s.unsatLevel0 = true
 		s.conflict = s.conflict[:0]
 		return Unsat
@@ -346,6 +410,9 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	}
 	if s.opts.LearntCap > 0 {
 		s.maxLearnts = float64(s.opts.LearntCap)
+	}
+	if s.nextInprocess == 0 {
+		s.nextInprocess = s.Stats.Conflicts + s.inprocessInterval()
 	}
 
 	var restart int64 = 1
@@ -375,6 +442,13 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		restart++
 		if s.opts.LearntCap <= 0 {
 			s.maxLearnts *= s.learntGrowth
+		}
+		// Between restarts the trail is at the assumption level (0) — the
+		// one place mid-search where inprocessing is safe to run.
+		s.maybeInprocess()
+		if s.unsatLevel0 {
+			s.conflict = s.conflict[:0]
+			return Unsat
 		}
 	}
 }

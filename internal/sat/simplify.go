@@ -113,47 +113,67 @@ func (s *Solver) maybeSimplify() {
 
 // runSimplify hands the live problem clauses (reduced under the level-0
 // assignment) to the preprocessor and rebuilds the solver's clause
-// database, watches, and trail bookkeeping around the simplified set.
-// Learnt clauses survive unless they mention an eliminated variable.
+// database — a fresh arena with the simplified set — plus watches and
+// trail bookkeeping. Learnt clauses survive (with their LBD/activity)
+// unless they mention an eliminated variable.
 func (s *Solver) runSimplify() {
 	p := s.pp()
 	p.EnsureVars(len(s.assigns))
-	in := make([][]simp.Lit, 0, len(s.clauses))
+
+	// Build the preprocessor input over one flat backing buffer: the total
+	// literal count is known from the arena headers, so the buffer never
+	// reallocates and the per-clause sub-slices stay valid. (simp copies
+	// its input clauses, so handing it views is safe.)
+	total := 0
 	for _, c := range s.clauses {
-		if c.deleted {
+		if !s.ca.deleted(c) {
+			total += s.ca.size(c)
+		}
+	}
+	buf := make([]simp.Lit, 0, total)
+	spans := make([][2]int32, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		if s.ca.deleted(c) {
 			continue
 		}
-		lits := make([]simp.Lit, 0, len(c.lits))
+		lo := len(buf)
 		sat0 := false
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			switch s.value(l) {
 			case lTrue:
 				sat0 = true
 			case lFalse:
 			default:
-				lits = append(lits, simp.Lit(l))
+				buf = append(buf, simp.Lit(l))
 			}
 			if sat0 {
 				break
 			}
 		}
 		if sat0 {
+			buf = buf[:lo]
 			continue
 		}
-		switch len(lits) {
+		switch len(buf) - lo {
 		case 0:
 			s.unsatLevel0 = true
 			return
 		case 1:
 			// propagate ran just before; still, handle a stray unit.
-			s.uncheckedEnqueue(Lit(lits[0]), nil)
-			if s.propagate() != nil {
+			u := Lit(buf[lo])
+			buf = buf[:lo]
+			s.uncheckedEnqueue(u, crefUndef)
+			if s.propagate() != crefUndef {
 				s.unsatLevel0 = true
 				return
 			}
 		default:
-			in = append(in, lits)
+			spans = append(spans, [2]int32{int32(lo), int32(len(buf))})
 		}
+	}
+	in := make([][]simp.Lit, len(spans))
+	for i, sp := range spans {
+		in[i] = buf[sp[0]:sp[1]]
 	}
 
 	res := p.Run(in, func() bool { return s.stopNow() != StopNone })
@@ -167,21 +187,31 @@ func (s *Solver) runSimplify() {
 		return
 	}
 
-	newCls := make([]*clause, 0, len(res.Clauses))
+	// Rebuild the arena from scratch: the simplified problem clauses first,
+	// then the surviving learnts copied over with their LBD and activity.
+	// Rebuilding (rather than patching) leaves zero wasted words and packs
+	// the post-simplification database contiguously.
+	words := 0
 	for _, lits := range res.Clauses {
-		out := make([]Lit, len(lits))
-		for i, l := range lits {
-			out[i] = Lit(l)
-		}
-		newCls = append(newCls, &clause{lits: out})
+		words += len(lits) + claHdrWords
 	}
-	keptLearnts := s.learnts[:0]
+	newCA := clauseDB{data: make([]Lit, 0, words)}
+	newCls := make([]cref, 0, len(res.Clauses))
+	conv := make([]Lit, 0, 16)
+	for _, lits := range res.Clauses {
+		conv = conv[:0]
+		for _, l := range lits {
+			conv = append(conv, Lit(l))
+		}
+		newCls = append(newCls, newCA.alloc(conv, false))
+	}
+	newLrn := make([]cref, 0, len(s.learnts))
 	for _, c := range s.learnts {
-		if c.deleted {
+		if s.ca.deleted(c) {
 			continue
 		}
 		drop := false
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			if p.Eliminated(int32(l.Var())) {
 				drop = true
 				break
@@ -191,9 +221,15 @@ func (s *Solver) runSimplify() {
 			s.Stats.Removed++
 			continue
 		}
-		keptLearnts = append(keptLearnts, c)
+		n := newCA.alloc(s.ca.lits(c), true)
+		newCA.setLBD(n, s.ca.lbd(c))
+		newCA.setAct(n, s.ca.act(c))
+		newLrn = append(newLrn, n)
 	}
-	s.learnts = keptLearnts
+	s.ca = newCA
+	s.clauses = newCls
+	s.learnts = newLrn
+	s.vivifyHead = 0 // the rolling vivification cursor indexes s.clauses
 
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
@@ -203,17 +239,16 @@ func (s *Solver) runSimplify() {
 			s.occs[i] = s.occs[i][:0]
 		}
 	}
-	s.clauses = newCls
 	for _, c := range s.clauses {
 		s.attach(c)
 	}
 	for _, c := range s.learnts {
 		s.attach(c)
 	}
-	// The level-0 trail survives the rebuild, but its reason pointers
-	// refer to pre-simplification clauses; level-0 facts need no reason.
+	// The level-0 trail survives the rebuild, but its reason references
+	// point into the discarded arena; level-0 facts need no reason.
 	for _, l := range s.trail {
-		s.reason[l.Var()] = nil
+		s.reason[l.Var()] = crefUndef
 	}
 	s.qhead = 0
 	for _, u := range res.Units {
@@ -225,9 +260,9 @@ func (s *Solver) runSimplify() {
 			s.unsatLevel0 = true
 			return
 		}
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(l, crefUndef)
 	}
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.unsatLevel0 = true
 		return
 	}

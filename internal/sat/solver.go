@@ -75,6 +75,20 @@ type Options struct {
 	// database grows past the floor. 0 means the default floor
 	// (simpDefaultMinClauses); negative means no floor.
 	SimpMinClauses int
+	// DisableChrono turns off chronological backtracking: every conflict
+	// backjumps all the way to the learnt clause's assertion level, even
+	// when that discards hundreds of levels of still-useful trail. With
+	// chrono on (the default), backjumps longer than chronoThreshold
+	// levels backtrack a single level instead and assert the learnt
+	// literal there, preserving the trail prefix.
+	DisableChrono bool
+	// DisableInprocess turns off scheduled inprocessing: the periodic
+	// clause vivification and bounded-variable-elimination passes run
+	// between restarts (see inprocess.go).
+	DisableInprocess bool
+	// InprocessInterval, when positive, overrides how many conflicts pass
+	// between inprocessing ticks (default inprocessDefaultInterval).
+	InprocessInterval int64
 }
 
 // restartBase returns the Luby restart unit in conflicts.
@@ -101,15 +115,16 @@ func splitmix64(x uint64) uint64 {
 type Solver struct {
 	opts Options
 
-	clauses []*clause // problem clauses
-	learnts []*clause // learnt clauses
+	ca      clauseDB // the arena holding every clause's header and literals
+	clauses []cref   // problem clauses
+	learnts []cref   // learnt clauses
 
 	watches [][]watcher // indexed by literal: clauses watching that literal
-	occs    [][]*clause // naive mode: occurrence lists per literal
+	occs    [][]cref    // naive mode: occurrence lists per literal
 
 	assigns  []lbool // per variable
 	level    []int32 // decision level per variable
-	reason   []*clause
+	reason   []cref
 	trail    []Lit
 	trailLim []int32 // trail index at each decision level
 	qhead    int
@@ -121,6 +136,10 @@ type Solver struct {
 
 	seen       []byte
 	analyzeBuf []Lit
+	toClear    []Var   // seen-flag cleanup scratch for analyze
+	addBuf     []Lit   // AddClause normalisation scratch
+	levelStamp []int32 // per-decision-level stamp backing computeLBD
+	lbdTick    int32
 
 	claInc       float64
 	maxLearnts   float64
@@ -146,6 +165,11 @@ type Solver struct {
 	simpRan       bool
 	simpWatermark int // problem clause count right after the last run
 
+	// Inprocessing schedule (see inprocess.go).
+	nextInprocess  int64 // Stats.Conflicts threshold of the next tick
+	inprocessTicks int64 // ticks run, to interleave BVE every few ticks
+	vivifyHead     int   // rolling cursor into clauses
+
 	// Stats accumulates counters across Solve calls.
 	Stats Stats
 }
@@ -167,6 +191,17 @@ type Stats struct {
 	SimpClausesSubsumed  int64
 	SimpLitsStrengthened int64
 	SimpClausesRemoved   int64
+
+	// Search-core counters: chronological backtracks taken instead of long
+	// backjumps, conflict clauses deleted because the learnt clause
+	// subsumed them on the fly, inprocessing passes run, clauses shortened
+	// by vivification (and the literals they lost), and arena compactions.
+	ChronoBacktracks int64
+	OTFSubsumed      int64
+	InprocessRuns    int64
+	Vivified         int64
+	VivifyLits       int64
+	ArenaGCs         int64
 }
 
 // New creates an empty solver with default options.
@@ -196,6 +231,10 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // long-lived session's memory accounting must include.
 func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
+// ArenaBytes reports the clause arena's current backing size in bytes —
+// the flat allocation that replaces per-clause heap objects.
+func (s *Solver) ArenaBytes() int64 { return s.ca.bytes() }
+
 // NewVar introduces a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
@@ -210,7 +249,7 @@ func (s *Solver) NewVar() Var {
 	}
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, activity)
 	s.polarity = append(s.polarity, phase)
 	s.seen = append(s.seen, 0)
@@ -249,6 +288,29 @@ func (s *Solver) Core() []Lit {
 	return core
 }
 
+// SetPhases seeds the saved-phase array from a model prefix: the next
+// search tries each covered variable at its model value first. Combined
+// with chronological backtracking this is what lets the totalizer bound
+// descent re-descend from the previous near-optimal assignment instead
+// of replaying the search from the root (see internal/target).
+func (s *Solver) SetPhases(model []bool) {
+	n := len(model)
+	if n > len(s.polarity) {
+		n = len(s.polarity)
+	}
+	for v := 0; v < n; v++ {
+		s.polarity[v] = !model[v]
+	}
+}
+
+// SetPhaseLit biases the next search to try l's variable at the polarity
+// that makes l true.
+func (s *Solver) SetPhaseLit(l Lit) {
+	if v := l.Var(); int(v) < len(s.polarity) {
+		s.polarity[v] = l.Neg()
+	}
+}
+
 // AddClause adds a disjunction of literals. It returns false if the clause
 // set is now known unsatisfiable at level 0 (an empty clause was derived).
 // Duplicate literals are merged and tautologies are dropped.
@@ -272,9 +334,10 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 	}
 
-	// Normalise: sort-free dedupe, drop level-0-false lits, detect tautology
-	// and level-0-true lits.
-	out := lits[:0:0] // fresh backing array; callers may reuse lits
+	// Normalise into the reused scratch buffer: dedupe, drop level-0-false
+	// lits, detect tautology and level-0-true lits. Nested AddClause calls
+	// (variable restoration above) finish before the scratch is touched.
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if l.Var() < 0 || int(l.Var()) >= len(s.assigns) {
 			panic("sat: AddClause literal for unknown variable")
@@ -303,44 +366,60 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			out = append(out, l)
 		}
 	}
+	s.addBuf = out[:0]
 
 	switch len(out) {
 	case 0:
 		s.unsatLevel0 = true
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], crefUndef)
+		if s.propagate() != crefUndef {
 			s.unsatLevel0 = true
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: out}
+	c := s.ca.alloc(out, false)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
+func (s *Solver) attach(c cref) {
+	lits := s.ca.lits(c)
 	if s.opts.NaivePropagation {
-		for _, l := range c.lits {
+		for _, l := range lits {
 			s.occs[l] = append(s.occs[l], c)
 		}
 		return
 	}
 	// Watch the first two literals; the watch list for a literal holds
 	// clauses in which that literal is watched, visited when it goes false.
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watcher{c, c.lits[1]})
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, c.lits[0]})
+	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{c, lits[1]})
+	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, lits[0]})
 }
 
-// detachAll lazily marks a clause deleted; watch lists are purged on scan.
-func (s *Solver) detach(c *clause) { c.deleted = true }
+// detach lazily marks a clause deleted; watch lists are purged on scan and
+// the arena words are reclaimed by the next garbage collection.
+func (s *Solver) detach(c cref) { s.ca.delete(c) }
+
+// removeWatch eagerly deletes c from l's watch list (vivification needs
+// the clause fully detached while it probes, not lazily flagged).
+func (s *Solver) removeWatch(l Lit, c cref) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
 	v := l.Var()
 	s.assigns[v] = lTrue.xorSign(l.Neg())
 	s.level[v] = s.decisionLevel()
@@ -366,7 +445,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 			s.polarity[v] = l.Neg()
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		s.order.push(v)
 	}
 	s.trail = s.trail[:bound]
@@ -390,11 +469,12 @@ func (s *Solver) varBump(v Var) {
 
 func (s *Solver) varDecay() { s.varInc /= 0.95 }
 
-func (s *Solver) claBump(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) claBump(c cref) {
+	a := s.ca.act(c) + float32(s.claInc)
+	s.ca.setAct(c, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setAct(lc, s.ca.act(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -413,4 +493,92 @@ func (s *Solver) pickBranchVar() Lit {
 		}
 	}
 	return LitUndef
+}
+
+// maybeGC compacts the arena when a quarter of it is dead words. Callers
+// must hold no cref locals across the call (every stored cref — clause
+// lists, reasons, watches — is remapped; locals are not).
+func (s *Solver) maybeGC() {
+	if len(s.ca.data) >= 4096 && s.ca.wasted*4 >= len(s.ca.data) {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts live clauses into a fresh arena and remaps
+// every outstanding clause reference: the problem and learnt lists, the
+// reason column, and the watch lists (purging watchers of dead clauses on
+// the way). Each moved clause leaves a forwarding address in its old
+// header, so a clause reachable from several places is copied once.
+// Offsets change but list order does not, which is what keeps replay
+// (CloneWithOptions) and the deterministic-output guarantees stable.
+func (s *Solver) garbageCollect() {
+	old := s.ca
+	to := clauseDB{data: make([]Lit, 0, len(old.data)-old.wasted)}
+	reloc := func(c cref) cref {
+		if old.deleted(c) {
+			return crefUndef
+		}
+		if old.reloced(c) {
+			return old.relocTarget(c)
+		}
+		n := to.alloc(old.lits(c), old.learnt(c))
+		to.data[n+1] = old.data[c+1] // LBD
+		to.data[n+2] = old.data[c+2] // activity
+		old.setReloced(c, n)
+		return n
+	}
+
+	cls := s.clauses[:0]
+	for _, c := range s.clauses {
+		if n := reloc(c); n != crefUndef {
+			cls = append(cls, n)
+		}
+	}
+	s.clauses = cls
+	lrn := s.learnts[:0]
+	for _, c := range s.learnts {
+		if n := reloc(c); n != crefUndef {
+			lrn = append(lrn, n)
+		}
+	}
+	s.learnts = lrn
+
+	// Reasons: level-0 facts need none (analysis never dereferences them);
+	// above level 0 a reason clause is locked and therefore alive.
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.level[v] == 0 {
+			s.reason[v] = crefUndef
+			continue
+		}
+		if r := s.reason[v]; r != crefUndef {
+			s.reason[v] = reloc(r)
+		}
+	}
+
+	for i := range s.watches {
+		ws := s.watches[i]
+		out := ws[:0]
+		for _, w := range ws {
+			if n := reloc(w.c); n != crefUndef {
+				out = append(out, watcher{n, w.blocker})
+			}
+		}
+		s.watches[i] = out
+	}
+	if s.opts.NaivePropagation {
+		for i := range s.occs {
+			occ := s.occs[i]
+			out := occ[:0]
+			for _, c := range occ {
+				if n := reloc(c); n != crefUndef {
+					out = append(out, n)
+				}
+			}
+			s.occs[i] = out
+		}
+	}
+
+	s.ca = to
+	s.Stats.ArenaGCs++
 }

@@ -310,6 +310,26 @@ func (m *metrics) write(w io.Writer, sc scrape) {
 	fmt.Fprintln(w, "# TYPE muppetd_encoding_clauses_removed_total counter")
 	fmt.Fprintf(w, "muppetd_encoding_clauses_removed_total %d\n", reuse.Encoding.ClausesRemoved)
 
+	fmt.Fprintln(w, "# HELP muppetd_solver_arena_bytes Exact clause-arena backing bytes across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_arena_bytes gauge")
+	fmt.Fprintf(w, "muppetd_solver_arena_bytes %d\n", reuse.Encoding.ArenaBytes)
+
+	fmt.Fprintln(w, "# HELP muppetd_solver_chrono_backtracks_total Chronological backtracks taken instead of long backjumps, across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_chrono_backtracks_total counter")
+	fmt.Fprintf(w, "muppetd_solver_chrono_backtracks_total %d\n", reuse.Encoding.ChronoBacktracks)
+
+	fmt.Fprintln(w, "# HELP muppetd_solver_otf_subsumed_total Conflict clauses deleted by on-the-fly subsumption, across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_otf_subsumed_total counter")
+	fmt.Fprintf(w, "muppetd_solver_otf_subsumed_total %d\n", reuse.Encoding.OTFSubsumed)
+
+	fmt.Fprintln(w, "# HELP muppetd_solver_inprocess_runs_total Scheduled inprocessing passes (vivification and in-search BVE), across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_inprocess_runs_total counter")
+	fmt.Fprintf(w, "muppetd_solver_inprocess_runs_total %d\n", reuse.Encoding.InprocessRuns)
+
+	fmt.Fprintln(w, "# HELP muppetd_solver_vivified_total Clauses shortened or deleted by vivification, across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_vivified_total counter")
+	fmt.Fprintf(w, "muppetd_solver_vivified_total %d\n", reuse.Encoding.Vivified)
+
 	if len(portfolio) > 0 {
 		fmt.Fprintln(w, "# HELP muppetd_portfolio_worker_conflicts Conflicts per portfolio worker in the most recent portfolio solve.")
 		fmt.Fprintln(w, "# TYPE muppetd_portfolio_worker_conflicts gauge")

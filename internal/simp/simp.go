@@ -14,6 +14,12 @@
 //     clause, so a model of the simplified formula extends to a model of
 //     the original one.
 //
+// The working state is flat: clause literals live in one per-run arena
+// indexed by (offset, length) clause headers, clauses are referenced by
+// index, and occurrence lists hold indices — a Run makes O(1) allocations
+// per pass instead of two per clause, which matters because preprocessing
+// runs on every cold reconcile and again during solver inprocessing.
+//
 // The package is deliberately below package sat in the import graph (sat
 // drives it before search), so it defines its own literal type with the
 // same encoding and no solver dependencies. All iteration is over slices
@@ -64,11 +70,12 @@ type Stats struct {
 
 // elimRecord is one entry of the reconstruction stack: the variable and
 // the clauses (all of which mention it) that were removed when it was
-// eliminated.
+// eliminated, stored flat — one literal buffer with prefix ends.
 type elimRecord struct {
-	v       int32
-	clauses [][]Lit
-	dead    bool // restored; skipped by Extend
+	v    int32
+	flat []Lit
+	ends []int32 // ends[i] is the exclusive end of clause i in flat
+	dead bool    // restored; skipped by Extend
 }
 
 // Preprocessor holds the state that must persist across runs of an
@@ -121,6 +128,7 @@ func (p *Preprocessor) NumEliminated() int { return len(p.recIdx) }
 // Restore un-eliminates v and returns the clauses recorded at its
 // elimination; the caller must re-add them to its database (they may
 // mention other eliminated variables, which then need restoring too).
+// The returned slices view the record's retained buffer and stay valid.
 // Returns nil when v is not eliminated.
 func (p *Preprocessor) Restore(v int32) [][]Lit {
 	idx, ok := p.recIdx[v]
@@ -132,7 +140,13 @@ func (p *Preprocessor) Restore(v int32) [][]Lit {
 	delete(p.recIdx, v)
 	p.elim[v] = false
 	p.Stats.VarsEliminated--
-	return rec.clauses
+	out := make([][]Lit, len(rec.ends))
+	start := int32(0)
+	for i, end := range rec.ends {
+		out[i] = rec.flat[start:end]
+		start = end
+	}
+	return out
 }
 
 // Extend assigns every eliminated variable a value consistent with its
@@ -150,7 +164,10 @@ func (p *Preprocessor) Extend(model []bool) {
 		// otherwise satisfied forces true. The resolvents kept in the
 		// database guarantee no clause then needs v false.
 		val := false
-		for _, cls := range rec.clauses {
+		start := int32(0)
+		for _, end := range rec.ends {
+			cls := rec.flat[start:end]
+			start = end
 			needsTrue, satisfied := false, false
 			for _, l := range cls {
 				if l.Var() == rec.v {
@@ -174,7 +191,9 @@ func (p *Preprocessor) Extend(model []bool) {
 // Result is the outcome of one Run.
 type Result struct {
 	// Clauses is the simplified database (each with ≥ 2 literals, sorted,
-	// duplicate- and tautology-free).
+	// duplicate- and tautology-free). The slices view the run's literal
+	// arena: they stay valid until the caller drops the Result, but the
+	// caller is expected to copy them into its own database promptly.
 	Clauses [][]Lit
 	// Units are facts derived during simplification, to be enqueued at
 	// level 0 by the caller.
@@ -191,13 +210,21 @@ type Result struct {
 func (p *Preprocessor) Run(clauses [][]Lit, abort func() bool) Result {
 	p.Stats.Runs++
 	p.Stats.ClausesIn = int64(len(clauses))
-	rs := &runState{p: p, abort: abort}
 	for _, lits := range clauses {
 		for _, l := range lits {
 			p.EnsureVars(int(l.Var()) + 1)
 		}
 	}
-	rs.occ = make([][]*cl, 2*len(p.frozen))
+	total := 0
+	for _, lits := range clauses {
+		total += len(lits)
+	}
+	rs := &runState{p: p, abort: abort}
+	// Half again the input size leaves headroom for resolvents before the
+	// arena has to grow.
+	rs.arena = make([]Lit, 0, total+total/2)
+	rs.cls = make([]cl, 0, len(clauses))
+	rs.occ = make([][]clRef, 2*len(p.frozen))
 	rs.assigns = make([]int8, len(p.frozen))
 	for _, lits := range clauses {
 		rs.addClause(lits)
@@ -216,9 +243,10 @@ func (p *Preprocessor) Run(clauses [][]Lit, abort func() bool) Result {
 
 	res := Result{Units: rs.units, Unsat: rs.unsat}
 	if !rs.unsat {
-		for _, c := range rs.cls {
-			if !c.deleted {
-				res.Clauses = append(res.Clauses, c.lits)
+		res.Clauses = make([][]Lit, 0, len(rs.cls))
+		for ci := range rs.cls {
+			if !rs.cls[ci].deleted {
+				res.Clauses = append(res.Clauses, rs.litsOf(clRef(ci)))
 			}
 		}
 	}
@@ -226,10 +254,15 @@ func (p *Preprocessor) Run(clauses [][]Lit, abort func() bool) Result {
 	return res
 }
 
-// cl is one working clause: literals kept sorted for two-pointer subset
-// checks, with a variable-set signature as a subsumption prefilter.
+// clRef references a working clause by index into runState.cls.
+type clRef int32
+
+// cl is one working clause header: its literals live in the run's arena
+// at [off, off+n), kept sorted for two-pointer subset checks, with a
+// variable-set signature as a subsumption prefilter. Strengthening
+// compacts the literals in place and shrinks n.
 type cl struct {
-	lits    []Lit
+	off, n  int32
 	sig     uint64
 	deleted bool
 	queued  bool // pending in the subsumption queue
@@ -245,14 +278,25 @@ func sigOf(lits []Lit) uint64 {
 
 type runState struct {
 	p        *Preprocessor
-	cls      []*cl
-	occ      [][]*cl // indexed by literal; cleaned lazily
-	assigns  []int8  // 0 undef, +1 true, -1 false
+	arena    []Lit // every working clause's literals, contiguous
+	cls      []cl
+	occ      [][]clRef // indexed by literal; cleaned lazily
+	assigns  []int8    // 0 undef, +1 true, -1 false
 	units    []Lit
 	pending  []Lit // units awaiting propagation
-	subQueue []*cl
+	subQueue []clRef
+	subHead  int
+	resBuf   []Lit   // resolvent scratch, reset per tryEliminate
+	resEnds  []int32 // prefix ends into resBuf
 	unsat    bool
 	abort    func() bool
+}
+
+// litsOf returns the clause's current literal block in the arena. The
+// view is invalidated by addClause (the arena may grow).
+func (rs *runState) litsOf(ci clRef) []Lit {
+	c := &rs.cls[ci]
+	return rs.arena[c.off : c.off+c.n : c.off+c.n]
 }
 
 func (rs *runState) val(l Lit) int8 {
@@ -263,34 +307,39 @@ func (rs *runState) val(l Lit) int8 {
 	return v
 }
 
-// addClause installs a clause (copying and sorting its literals), reduced
-// against the current assignment, and queues it for subsumption.
+// addClause installs a clause — its literals copied into the arena and
+// sorted, reduced against the current assignment — and queues it for
+// subsumption.
 func (rs *runState) addClause(lits []Lit) {
-	out := make([]Lit, 0, len(lits))
+	off := int32(len(rs.arena))
 	for _, l := range lits {
 		switch rs.val(l) {
 		case 1:
-			return // satisfied
+			rs.arena = rs.arena[:off] // satisfied: roll back
+			return
 		case -1:
 			continue
 		}
-		out = append(out, l)
+		rs.arena = append(rs.arena, l)
 	}
+	out := rs.arena[off:]
 	sortLits(out)
 	switch len(out) {
 	case 0:
 		rs.unsat = true
 		return
 	case 1:
-		rs.enqueueUnit(out[0])
+		u := out[0]
+		rs.arena = rs.arena[:off]
+		rs.enqueueUnit(u)
 		return
 	}
-	c := &cl{lits: out, sig: sigOf(out)}
-	rs.cls = append(rs.cls, c)
+	ci := clRef(len(rs.cls))
+	rs.cls = append(rs.cls, cl{off: off, n: int32(len(out)), sig: sigOf(out)})
 	for _, l := range out {
-		rs.occ[l] = append(rs.occ[l], c)
+		rs.occ[l] = append(rs.occ[l], ci)
 	}
-	rs.queueSub(c)
+	rs.queueSub(ci)
 }
 
 func sortLits(ls []Lit) {
@@ -302,10 +351,10 @@ func sortLits(ls []Lit) {
 	}
 }
 
-func (rs *runState) queueSub(c *cl) {
-	if !c.queued {
-		c.queued = true
-		rs.subQueue = append(rs.subQueue, c)
+func (rs *runState) queueSub(ci clRef) {
+	if !rs.cls[ci].queued {
+		rs.cls[ci].queued = true
+		rs.subQueue = append(rs.subQueue, ci)
 	}
 }
 
@@ -332,16 +381,16 @@ func (rs *runState) propagateUnits() {
 	for len(rs.pending) > 0 && !rs.unsat {
 		l := rs.pending[0]
 		rs.pending = rs.pending[1:]
-		for _, c := range rs.occ[l] {
-			c.deleted = true
+		for _, ci := range rs.occ[l] {
+			rs.cls[ci].deleted = true
 		}
 		rs.occ[l] = nil
 		neg := l.Not()
-		for _, c := range rs.occ[neg] {
-			if c.deleted {
+		for _, ci := range rs.occ[neg] {
+			if rs.cls[ci].deleted {
 				continue
 			}
-			rs.removeLit(c, neg)
+			rs.removeLit(ci, neg)
 			if rs.unsat {
 				return
 			}
@@ -350,36 +399,40 @@ func (rs *runState) propagateUnits() {
 	}
 }
 
-// removeLit strengthens c by dropping l, handling the unit and empty
-// cases, and re-queues the stronger clause for subsumption.
-func (rs *runState) removeLit(c *cl, l Lit) {
-	n := c.lits[:0]
-	for _, q := range c.lits {
+// removeLit strengthens the clause by dropping l in place, handling the
+// unit and empty cases, and re-queues the stronger clause for subsumption.
+func (rs *runState) removeLit(ci clRef, l Lit) {
+	c := &rs.cls[ci]
+	lits := rs.arena[c.off : c.off+c.n]
+	k := 0
+	for _, q := range lits {
 		if q != l {
-			n = append(n, q)
+			lits[k] = q
+			k++
 		}
 	}
-	c.lits = n
-	c.sig = sigOf(n)
-	switch len(c.lits) {
+	c.n = int32(k)
+	lits = lits[:k]
+	c.sig = sigOf(lits)
+	switch k {
 	case 0:
 		rs.unsat = true
 	case 1:
 		c.deleted = true
-		rs.enqueueUnit(c.lits[0])
+		rs.enqueueUnit(lits[0])
 	default:
-		rs.queueSub(c)
+		rs.queueSub(ci)
 	}
 }
 
 // liveOcc compacts and returns the live occurrence list of l: clauses
 // neither deleted nor strengthened past l (strengthening leaves stale
 // occurrence entries behind rather than scanning them out eagerly).
-func (rs *runState) liveOcc(l Lit) []*cl {
+func (rs *runState) liveOcc(l Lit) []clRef {
 	out := rs.occ[l][:0]
-	for _, c := range rs.occ[l] {
-		if !c.deleted && containsLit(c.lits, l) {
-			out = append(out, c)
+	for _, ci := range rs.occ[l] {
+		if !rs.cls[ci].deleted && containsLit(rs.litsOf(ci), l) {
+			out = append(out, ci)
 		}
 	}
 	rs.occ[l] = out
@@ -441,32 +494,39 @@ func subsetWithFlip(a, b []Lit, flip Lit) bool {
 // clauses it subsumes and strengthens the clauses it self-subsumes.
 func (rs *runState) processSubsumption() {
 	rs.propagateUnits()
-	for len(rs.subQueue) > 0 && !rs.unsat {
+	for rs.subHead < len(rs.subQueue) && !rs.unsat {
 		rs.propagateUnits()
 		if rs.unsat {
 			return
 		}
-		c := rs.subQueue[0]
-		rs.subQueue = rs.subQueue[1:]
-		c.queued = false
-		if c.deleted || len(c.lits) == 0 {
+		ci := rs.subQueue[rs.subHead]
+		rs.subHead++
+		rs.cls[ci].queued = false
+		if rs.cls[ci].deleted || rs.cls[ci].n == 0 {
 			continue
+		}
+		if rs.subHead == len(rs.subQueue) {
+			// Queue drained: reset so the backing array is reused.
+			rs.subQueue = rs.subQueue[:0]
+			rs.subHead = 0
 		}
 
 		// Scan the shortest occurrence list among c's literals: every
 		// clause containing all of c must appear in it.
-		best := c.lits[0]
-		for _, l := range c.lits[1:] {
+		clits := rs.litsOf(ci)
+		best := clits[0]
+		for _, l := range clits[1:] {
 			if len(rs.occ[l]) < len(rs.occ[best]) {
 				best = l
 			}
 		}
-		for _, d := range rs.liveOcc(best) {
-			if d == c || d.deleted {
+		csig := rs.cls[ci].sig
+		for _, di := range rs.liveOcc(best) {
+			if di == ci || rs.cls[di].deleted {
 				continue
 			}
-			if c.sig&^d.sig == 0 && subset(c.lits, d.lits) {
-				d.deleted = true
+			if csig&^rs.cls[di].sig == 0 && subset(clits, rs.litsOf(di)) {
+				rs.cls[di].deleted = true
 				rs.p.Stats.ClausesSubsumed++
 			}
 		}
@@ -474,17 +534,17 @@ func (rs *runState) processSubsumption() {
 		// Self-subsuming resolution: if c with one literal flipped is a
 		// subset of d, resolving c against d on that variable yields
 		// d minus the flipped literal — strengthen d in place.
-		for _, l := range c.lits {
-			if c.deleted {
+		for _, l := range clits {
+			if rs.cls[ci].deleted {
 				break
 			}
 			neg := l.Not()
-			for _, d := range rs.liveOcc(neg) {
-				if d == c || d.deleted {
+			for _, di := range rs.liveOcc(neg) {
+				if di == ci || rs.cls[di].deleted {
 					continue
 				}
-				if c.sig&^d.sig == 0 && subsetWithFlip(c.lits, d.lits, l) {
-					rs.removeLit(d, neg)
+				if csig&^rs.cls[di].sig == 0 && subsetWithFlip(clits, rs.litsOf(di), l) {
+					rs.removeLit(di, neg)
 					rs.p.Stats.LitsStrengthened++
 					if rs.unsat {
 						return
@@ -495,41 +555,43 @@ func (rs *runState) processSubsumption() {
 	}
 }
 
-// resolve computes the resolvent of p (containing v positively) and n
-// (containing v negatively), both sorted; ok is false for tautologies.
-func resolve(pLits, nLits []Lit, v int32) (out []Lit, ok bool) {
-	out = make([]Lit, 0, len(pLits)+len(nLits)-2)
+// resolveInto appends the resolvent of a (containing v positively) and b
+// (containing v negatively), both sorted, to resBuf; ok is false for
+// tautologies (resBuf is rolled back). n is the resolvent's length.
+func (rs *runState) resolveInto(a, b []Lit, v int32) (n int, ok bool) {
+	start := len(rs.resBuf)
 	i, j := 0, 0
-	for i < len(pLits) || j < len(nLits) {
+	for i < len(a) || j < len(b) {
 		var l Lit
 		switch {
-		case i == len(pLits):
-			l = nLits[j]
+		case i == len(a):
+			l = b[j]
 			j++
-		case j == len(nLits):
-			l = pLits[i]
+		case j == len(b):
+			l = a[i]
 			i++
-		case pLits[i] <= nLits[j]:
-			l = pLits[i]
+		case a[i] <= b[j]:
+			l = a[i]
 			i++
 		default:
-			l = nLits[j]
+			l = b[j]
 			j++
 		}
 		if l.Var() == v {
 			continue
 		}
-		if k := len(out); k > 0 {
-			if out[k-1] == l {
+		if k := len(rs.resBuf); k > start {
+			if rs.resBuf[k-1] == l {
 				continue // duplicate
 			}
-			if out[k-1] == l.Not() {
-				return nil, false // tautology
+			if rs.resBuf[k-1] == l.Not() {
+				rs.resBuf = rs.resBuf[:start]
+				return 0, false // tautology
 			}
 		}
-		out = append(out, l)
+		rs.resBuf = append(rs.resBuf, l)
 	}
-	return out, true
+	return len(rs.resBuf) - start, true
 }
 
 // eliminateVars makes one ascending pass over the variables, eliminating
@@ -567,32 +629,48 @@ func (rs *runState) tryEliminate(v int32) bool {
 		return false
 	}
 	limit := len(pos) + len(neg) // grow = 0
-	resolvents := make([][]Lit, 0, limit)
+	rs.resBuf = rs.resBuf[:0]
+	rs.resEnds = rs.resEnds[:0]
 	for _, pc := range pos {
 		for _, nc := range neg {
-			r, ok := resolve(pc.lits, nc.lits, v)
+			n, ok := rs.resolveInto(rs.litsOf(pc), rs.litsOf(nc), v)
 			if !ok {
 				continue
 			}
-			if len(r) > clauseLim {
+			if n > clauseLim {
 				return false
 			}
-			resolvents = append(resolvents, r)
-			if len(resolvents) > limit {
+			rs.resEnds = append(rs.resEnds, int32(len(rs.resBuf)))
+			if len(rs.resEnds) > limit {
 				return false
 			}
 		}
 	}
 
 	// Commit: record and remove the variable's clauses, then distribute.
-	rec := elimRecord{v: v}
-	for _, c := range pos {
-		rec.clauses = append(rec.clauses, c.lits)
-		c.deleted = true
+	// The record copies the literals into its own compact buffer — the
+	// run's arena is transient, the reconstruction stack is not.
+	words := 0
+	for _, ci := range pos {
+		words += int(rs.cls[ci].n)
 	}
-	for _, c := range neg {
-		rec.clauses = append(rec.clauses, c.lits)
-		c.deleted = true
+	for _, ci := range neg {
+		words += int(rs.cls[ci].n)
+	}
+	rec := elimRecord{
+		v:    v,
+		flat: make([]Lit, 0, words),
+		ends: make([]int32, 0, len(pos)+len(neg)),
+	}
+	for _, ci := range pos {
+		rec.flat = append(rec.flat, rs.litsOf(ci)...)
+		rec.ends = append(rec.ends, int32(len(rec.flat)))
+		rs.cls[ci].deleted = true
+	}
+	for _, ci := range neg {
+		rec.flat = append(rec.flat, rs.litsOf(ci)...)
+		rec.ends = append(rec.ends, int32(len(rec.flat)))
+		rs.cls[ci].deleted = true
 	}
 	rs.occ[MkLit(v, false)] = nil
 	rs.occ[MkLit(v, true)] = nil
@@ -600,8 +678,10 @@ func (rs *runState) tryEliminate(v int32) bool {
 	rs.p.records = append(rs.p.records, rec)
 	rs.p.elim[v] = true
 	rs.p.Stats.VarsEliminated++
-	for _, r := range resolvents {
-		rs.addClause(r)
+	start := int32(0)
+	for _, end := range rs.resEnds {
+		rs.addClause(rs.resBuf[start:end])
+		start = end
 		if rs.unsat {
 			return true
 		}

@@ -291,6 +291,18 @@ func Minimize(s *sat.Solver, soft []sat.Lit, opts Options) Result {
 			r.Stats.Stop = stop
 			return sat.Unknown
 		}
+		// Target-phase saving: re-seed the solver's saved phases from the
+		// best model so far, then bias every soft knob toward its target
+		// polarity. The tightened-bound search re-descends from the
+		// previous near-optimal assignment (most decisions re-establish it
+		// via phase saving) instead of re-exploring from the root — the
+		// descent analogue of Pardinus' target-oriented polarity mode.
+		if r.Model != nil {
+			s.SetPhases(r.Model)
+			for _, l := range soft {
+				s.SetPhaseLit(l)
+			}
+		}
 		all := assumps
 		if len(opts.Assumptions) > 0 {
 			all = make([]sat.Lit, 0, len(opts.Assumptions)+len(assumps))
