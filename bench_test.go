@@ -579,6 +579,90 @@ func BenchmarkEncodingTenantFleet(b *testing.B) {
 	b.ReportMetric(float64(ledger.TotalBytes()), "cache-idle-bytes")
 }
 
+// BenchmarkDeltaReconcile is the full-vs-delta pair for incremental
+// re-reconciliation at the services=12 scenario: a one-tuple goal edit
+// (one ban flipped to an allow) arrives as a new revision, and the
+// daemon either rebuilds from scratch (cold) or serves it through the
+// delta path — snapshot, diff, warm rebase — from the previous
+// revision's live sessions (delta). The delta sub-benchmark times the
+// whole watch-mode step, diff computation included.
+func BenchmarkDeltaReconcile(b *testing.B) {
+	sc := muppet.GenerateScenario(muppet.ScenarioParams{
+		Services:        12,
+		PortsPerService: 2,
+		Flows:           12,
+		BannedPorts:     2,
+		Seed:            42,
+	})
+	sys, err := sc.System()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(kg []muppet.K8sGoal) []*muppet.Party {
+		k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), kg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []*muppet.Party{k8sParty, istioParty}
+	}
+	// Revision B flips the first ban to an allow: same ports, same
+	// universe — the canonical compatible one-tuple edit.
+	goalsB := append([]muppet.K8sGoal(nil), sc.K8sGoals...)
+	goalsB[0].Allow = !goalsB[0].Allow
+	partiesA, partiesB := mk(sc.K8sGoals), mk(goalsB)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ps := partiesA
+			if i%2 == 1 {
+				ps = partiesB
+			}
+			if res := muppet.Reconcile(sys, ps); !res.OK {
+				b.Fatal("scenario must reconcile")
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		cache := muppet.NewSolveCache()
+		ctx := context.Background()
+		prev := muppet.Snapshot(sys, partiesA)
+		if res := cache.ReconcileCtx(ctx, sys, partiesA, muppet.Budget{}); !res.OK {
+			b.Fatal("scenario must reconcile")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps := partiesB
+			if i%2 == 1 {
+				ps = partiesA
+			}
+			next := muppet.Snapshot(sys, ps)
+			plan := muppet.CompareRevisions(prev, next)
+			if !plan.Compatible {
+				b.Fatalf("revisions must be compatible: %s", plan.Reason)
+			}
+			var res *muppet.Result
+			ds := cache.Rebase(plan, func() {
+				res = cache.ReconcileCtx(ctx, sys, ps, muppet.Budget{})
+			})
+			if !res.OK {
+				b.Fatal("scenario must reconcile")
+			}
+			if ds.Cold {
+				b.Fatalf("delta serving went cold: %s", ds.Reason)
+			}
+			prev = next
+		}
+		b.StopTimer()
+		st := cache.Stats()
+		reportReuse(b, st)
+		b.ReportMetric(float64(st.Encoding.Restored), "restored")
+	})
+}
+
 // BenchmarkAblationEnvelopeNoSimplify computes the Fig. 5 envelope without
 // the elementary-simplification pass, reporting size and leakage through
 // custom metrics.

@@ -4,7 +4,10 @@
 // allocations per op, and wall time per op may not grow by more than their
 // allowed fractions. Size and alloc metrics are exact and gate tightly;
 // the time gate has the same default bound but can be widened (or disabled
-// with a negative bound) on noisy CI machines.
+// with a negative bound) on noisy CI machines. When the current report
+// carries the BenchmarkDeltaReconcile cold/delta pair, an absolute gate
+// additionally requires delta serving to stay -min-delta-speedup times
+// faster than the cold rebuild.
 //
 // Usage:
 //
@@ -48,6 +51,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional growth of the size metric")
 	maxAlloc := flag.Float64("max-alloc-regress", 0.25, "maximum allowed fractional growth of allocs/op (negative disables)")
 	maxTime := flag.Float64("max-time-regress", 0.25, "maximum allowed fractional growth of ns/op (negative disables)")
+	minDelta := flag.Float64("min-delta-speedup", 10, "minimum cold/delta ns-per-op ratio for the DeltaReconcile pair in the current report (negative disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
@@ -101,6 +105,26 @@ func main() {
 			fmt.Printf("%-45s %-14s %12.0f -> %12.0f  (%+.1f%%)  [%s]\n",
 				name, g.metric, bv, cv, 100*growth, status)
 		}
+	}
+	// The delta gate is absolute, not differential: the current report's
+	// full-vs-delta pair must keep incremental re-reconciliation at least
+	// -min-delta-speedup times faster than the cold rebuild. Skipped when
+	// the pair is absent (older reports) or the bound is negative.
+	cold, cok := curBy["BenchmarkDeltaReconcile/cold"]
+	delta, dok := curBy["BenchmarkDeltaReconcile/delta"]
+	if *minDelta >= 0 && cok && dok {
+		cns, dns := cold.Metrics["ns/op"], delta.Metrics["ns/op"]
+		if dns <= 0 {
+			fatal(fmt.Errorf("DeltaReconcile/delta has no ns/op metric"))
+		}
+		speedup := cns / dns
+		status := "ok"
+		if speedup < *minDelta {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-45s %-14s %12.1fx (want >= %.0fx)%14s[%s]\n",
+			"BenchmarkDeltaReconcile", "cold/delta", speedup, *minDelta, "", status)
 	}
 	if failed > 0 {
 		fmt.Printf("benchdiff: %d gated metric(s) regressed past their bounds\n", failed)

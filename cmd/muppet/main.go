@@ -6,6 +6,8 @@
 //	muppet reconcile  — reconcile all offers (Alg. 2)
 //	muppet conform    — the conformance workflow (Fig. 7)
 //	muppet negotiate  — the negotiation workflow (Fig. 9)
+//	muppet diff       — diff two bundle revisions; delta re-reconcile
+//	muppet watch      — follow a daemon's watch endpoint
 //	muppet eval       — evaluate one flow under concrete configurations
 //	muppet bench      — serve repeated queries, optionally in parallel
 //	muppet version    — report the build's version and VCS revision
@@ -127,6 +129,10 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		return runConform(ctx, args)
 	case "negotiate":
 		return runNegotiate(ctx, args)
+	case "diff":
+		return runDiff(ctx, args)
+	case "watch":
+		return runWatch(ctx, args)
 	case "eval":
 		return runEval(ctx, args)
 	case "bench":
@@ -155,6 +161,10 @@ commands:
   reconcile  reconcile all parties' offers (Alg. 2)
   conform    run the conformance workflow (Fig. 7)
   negotiate  run the negotiation workflow (Fig. 9)
+  diff       compare two bundle revisions; -op serves the new revision
+             through the old one's warm sessions (delta re-reconcile)
+  watch      follow a daemon's watch endpoint, printing each revision's
+             verdict as goals/configs change
   eval       evaluate a single flow under the loaded configurations
   bench      serve repeated queries from warm sessions, optionally parallel
   transcript verify an HMAC-chained federated negotiation transcript
@@ -194,10 +204,23 @@ check/envelope/reconcile/conform/negotiate/bench also accept:
                   no-polarity,no-sweep,no-simp
   -v              print session-reuse, encoding, and portfolio statistics
 
+diff accepts:
+  -before/-after  the two revisions: tenant.yaml manifests or their dirs
+  -op             also serve this op for -after via warm rebase, exiting
+                  with its verdict code (without -op: exit 0 unchanged,
+                  1 changed)
+  -party/-provider parameterize check/conform
+
+watch accepts:
+  -addr           muppetd to follow (required); -tenant picks the bundle
+  -op             op to watch (default reconcile); -party/-provider as above
+  -events         stop after N events (0 = until terminal or ^C)
+  -raw            suppress the // delta commentary lines
+
 bench also accepts:
   -n                number of queries to serve (default 64)
   -parallel         worker goroutines (0 = GOMAXPROCS; default 1)
-  -kind             query kind: consistency|envelope|reconcile|mixed|tenants
+  -kind             query kind: consistency|envelope|reconcile|mixed|tenants|delta
   -tenants          fleet size for -kind tenants (default 8; -files unused)
   -cache-budget-mb  idle warm-cache budget for -kind tenants, MiB (0 = unlimited)
 
@@ -594,7 +617,7 @@ func runBench(ctx context.Context, args []string) error {
 	lim.register(fs)
 	n := fs.Int("n", 64, "number of queries to serve")
 	parallel := fs.Int("parallel", 1, "worker goroutines (0 = GOMAXPROCS)")
-	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed|tenants")
+	kind := fs.String("kind", "mixed", "query kind: consistency|envelope|reconcile|mixed|tenants|delta")
 	fleet := fs.Int("tenants", 8, "fleet size for -kind tenants")
 	budgetMB := fs.Int("cache-budget-mb", 0, "idle warm-cache budget for -kind tenants, MiB (0 = unlimited)")
 	fs.Parse(args)
@@ -606,6 +629,9 @@ func runBench(ctx context.Context, args []string) error {
 	if *kind == "tenants" {
 		return benchTenants(ctx, &lim, budget, *n, *parallel, *fleet, *budgetMB)
 	}
+	if *kind == "delta" {
+		return benchDelta(ctx, &lim, budget, *n)
+	}
 	st, err := in.load()
 	if err != nil {
 		return err
@@ -616,7 +642,7 @@ func runBench(ctx context.Context, args []string) error {
 	case "consistency", "envelope", "reconcile":
 		kinds = []string{*kind}
 	default:
-		return fmt.Errorf("bad -kind %q (want consistency|envelope|reconcile|mixed|tenants)", *kind)
+		return fmt.Errorf("bad -kind %q (want consistency|envelope|reconcile|mixed|tenants|delta)", *kind)
 	}
 	workers := *parallel
 	if workers <= 0 {
@@ -679,6 +705,100 @@ func runBench(ctx context.Context, args []string) error {
 	qps := float64(served.Load()) / elapsed.Seconds()
 	fmt.Printf("served %d queries (%s) with %d workers in %v (%.1f queries/s)\n",
 		served.Load(), *kind, workers, elapsed.Round(time.Millisecond), qps)
+	return nil
+}
+
+// benchDelta is the -kind delta mode: the full-vs-delta pair at the
+// services=12 generated scenario. One revision edit (the first port ban
+// flipped to an allow) arrives n times, alternating directions; the
+// cold leg rebuilds everything per query, the delta leg serves each
+// from the previous revision's warm sessions via snapshot → diff →
+// rebase. Prints both rates and the speedup — the watch-mode win.
+func benchDelta(ctx context.Context, lim *limits, budget muppet.Budget, n int) error {
+	sc := muppet.GenerateScenario(muppet.ScenarioParams{
+		Services:        12,
+		PortsPerService: 2,
+		Flows:           12,
+		BannedPorts:     2,
+		Seed:            42,
+	})
+	sys, err := sc.System()
+	if err != nil {
+		return err
+	}
+	mk := func(kg []muppet.K8sGoal) ([]*muppet.Party, error) {
+		k8s, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), kg)
+		if err != nil {
+			return nil, err
+		}
+		istio, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+		if err != nil {
+			return nil, err
+		}
+		return []*muppet.Party{k8s, istio}, nil
+	}
+	goalsB := append([]muppet.K8sGoal(nil), sc.K8sGoals...)
+	goalsB[0].Allow = !goalsB[0].Allow
+	partiesA, err := mk(sc.K8sGoals)
+	if err != nil {
+		return err
+	}
+	partiesB, err := mk(goalsB)
+	if err != nil {
+		return err
+	}
+	revs := [2][]*muppet.Party{partiesA, partiesB}
+
+	coldN := n
+	if coldN > 8 {
+		coldN = 8 // cold solves are slow; a few suffice for the rate
+	}
+	coldStart := time.Now()
+	for q := 0; q < coldN; q++ {
+		if res := muppet.Reconcile(sys, revs[q%2]); !res.OK {
+			return fmt.Errorf("cold query %d: scenario must reconcile", q)
+		}
+	}
+	coldPer := time.Since(coldStart) / time.Duration(coldN)
+
+	cache := muppet.NewSolveCache()
+	prev := muppet.Snapshot(sys, partiesA)
+	if res := cache.ReconcileCtx(ctx, sys, partiesA, budget); !res.OK {
+		return fmt.Errorf("warmup: scenario must reconcile")
+	}
+	var last muppet.DeltaStats
+	deltaStart := time.Now()
+	for q := 0; q < n; q++ {
+		ps := revs[(q+1)%2]
+		next := muppet.Snapshot(sys, ps)
+		plan := muppet.CompareRevisions(prev, next)
+		if !plan.Compatible {
+			return fmt.Errorf("delta query %d: revisions must be compatible: %s", q, plan.Reason)
+		}
+		var res *muppet.Result
+		last = cache.Rebase(plan, func() {
+			res = cache.ReconcileCtx(ctx, sys, ps, budget)
+		})
+		if res.Indeterminate {
+			return fmt.Errorf("delta query %d indeterminate (%s)", q, res.Stop)
+		}
+		if !res.OK {
+			return fmt.Errorf("delta query %d: scenario must reconcile", q)
+		}
+		prev = next
+	}
+	deltaPer := time.Since(deltaStart) / time.Duration(n)
+	if lim.verbose {
+		printReuse(cache.Stats(), cache.Workers())
+	}
+	if last.Cold {
+		return fmt.Errorf("delta serving went cold: %s", last.Reason)
+	}
+	fmt.Printf("// delta: groups: %d kept, %d re-asserted; goals: %d kept, +%d −%d; vars restored: %d\n",
+		last.GroupsKept, last.GroupsReasserted, last.GoalsKept, last.GoalsAdded, last.GoalsRemoved, last.Restored)
+	fmt.Printf("cold %v/op (%d ops), delta %v/op (%d ops): %.1fx speedup\n",
+		coldPer.Round(time.Microsecond), coldN, deltaPer.Round(time.Microsecond), n,
+		float64(coldPer)/float64(deltaPer))
 	return nil
 }
 

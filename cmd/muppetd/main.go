@@ -7,6 +7,12 @@
 //
 //	POST /v1/{op}              — workflow op against the default tenant
 //	POST /t/{tenant}/{op}      — workflow op against a named tenant
+//	GET  /v1/watch/{op}        — watch mode against the default tenant:
+//	                             long-poll (?rev=N, 204 on timeout) or SSE
+//	                             (?stream=1); each hot reload is diffed
+//	                             and re-solved incrementally, one event
+//	                             per revision
+//	GET  /t/{tenant}/watch/{op} — watch mode against a named tenant
 //	GET  /tenants              — registry, revisions, cache-pool accounting
 //	POST /tenants/{id}/reload  — hot-reload one tenant (?force=1 to swap
 //	                             even when its inputs are unchanged)
@@ -87,6 +93,10 @@ func run(argv []string, ready func(addr string)) int {
 		"cap on per-request deadlines, also the default budget (0 = unbounded)")
 	drainGrace := fs.Duration("drain-grace", 5*time.Second,
 		"how long in-flight solves may run after a shutdown signal before being cancelled")
+	watchPoll := fs.Duration("watch-poll-timeout", server.DefaultWatchPollTimeout,
+		"watch long-poll timeout before an empty 204 re-poll hint")
+	watchMaxEvents := fs.Int("watch-max-events", 0,
+		"cap on events per SSE watcher before its stream is closed (0 = unlimited)")
 	portfolio := fs.Int("portfolio", 0, "race N diversified solver configurations per solve (0/1 = off)")
 	strategy := fs.String("strategy", "auto", "minimal-edit distance search: auto|linear|binary")
 	fedParty := fs.String("fed-party", "",
@@ -173,11 +183,13 @@ func run(argv []string, ready func(addr string)) int {
 	}
 
 	s := server.NewMulti(reg, server.Options{
-		Concurrency: *concurrency,
-		QueueDepth:  *queueDepth,
-		MaxTimeout:  *maxTimeout,
-		Router:      router,
-		FedParty:    *fedParty,
+		Concurrency:      *concurrency,
+		QueueDepth:       *queueDepth,
+		MaxTimeout:       *maxTimeout,
+		Router:           router,
+		FedParty:         *fedParty,
+		WatchPollTimeout: *watchPoll,
+		WatchMaxEvents:   *watchMaxEvents,
 	})
 	if *fedParty != "" {
 		log.Printf("muppetd: serving federated peer protocol for party %s under /fed/", *fedParty)

@@ -1,0 +1,296 @@
+// Package delta computes what changed between two revisions of a
+// multi-party configuration bundle: which goals were added or removed,
+// which concrete relational atoms entered or left each party's fixed
+// settings, and whether the two revisions share a vocabulary (universe
+// atoms and party shapes) at all.
+//
+// The comparison is the front half of incremental re-reconciliation
+// (ROADMAP "Delta solving"): when two revisions are Compatible, the new
+// revision's constraints can be re-asserted over the previous revision's
+// live solving sessions — untouched selector-guarded CNF groups are kept,
+// only groups covering changed atoms are re-ground, and additions that
+// touch eliminated variables restore them via simp.Restore — instead of a
+// cold ground→translate→solve rebuild. When they are not (new atoms
+// outside the grounded bounds, a changed party set), the caller must fall
+// back to a cold build; Plan.Reason says why.
+//
+// Snapshots are deliberately plain strings — relation names, rendered
+// tuples, rendered goal formulas — never pointers: the two revisions come
+// from two independently compiled Systems whose *Relation identities
+// differ even when their vocabularies agree.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Goal is one named goal of a party revision. Formula is the goal's
+// compiled formula in its canonical Alloy-like rendering, which serves as
+// the equality proxy: two goals compiled from the same row render
+// identically, independent of which System compiled them.
+type Goal struct {
+	Name    string
+	Formula string
+}
+
+// PartyRev snapshots one party at one revision: its goals and its
+// concrete (fixed) settings, the latter as relation name → sorted
+// rendered tuples.
+type PartyRev struct {
+	Name  string
+	Goals []Goal
+	Fixed map[string][]string
+}
+
+// Revision snapshots one bundle/goal-set revision: the universe the
+// System grounded over, and every party's content.
+type Revision struct {
+	Universe []string
+	Parties  []PartyRev
+}
+
+// Atom is one changed relational atom: a tuple entering (Added) or
+// leaving a party's concrete configuration between the two revisions.
+type Atom struct {
+	Party    string
+	Relation string
+	Tuple    string
+	Added    bool
+}
+
+func (a Atom) String() string {
+	sign := "-"
+	if a.Added {
+		sign = "+"
+	}
+	return fmt.Sprintf("%s %s/%s%s", sign, a.Party, a.Relation, a.Tuple)
+}
+
+// Plan is the outcome of comparing two revisions: whether a warm rebase
+// is possible at all, and the minimal re-assertion work if it is. The
+// actual re-assertion machinery lives with the solving sessions (selector
+// memoisation, translator caches, simp.Restore); the plan is what lets a
+// caller predict, report, and verify that work.
+type Plan struct {
+	// Compatible reports whether the new revision can be re-asserted over
+	// the old revision's grounded vocabulary: same universe atoms, same
+	// party names in the same order. When false, Reason says why and a
+	// cold rebuild is required.
+	Compatible bool
+	Reason     string
+
+	// GoalsKept counts goals present in both revisions; GoalsAdded and
+	// GoalsRemoved name (as "party/goal-name") the ones that are not.
+	// A goal whose formula changed counts as removed + added.
+	GoalsKept    int
+	GoalsAdded   []string
+	GoalsRemoved []string
+
+	// AtomsChanged lists the concrete fixed-setting atoms that differ,
+	// sorted by party, relation, tuple.
+	AtomsChanged []Atom
+}
+
+// Unchanged reports whether the two revisions are identical in content —
+// nothing to re-assert.
+func (p *Plan) Unchanged() bool {
+	return p.Compatible && len(p.GoalsAdded) == 0 && len(p.GoalsRemoved) == 0 && len(p.AtomsChanged) == 0
+}
+
+// Summary renders the plan for humans — the `muppet diff` report body.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	if !p.Compatible {
+		fmt.Fprintf(&b, "incompatible revisions: %s\n", p.Reason)
+		fmt.Fprintln(&b, "(cold rebuild required)")
+		return b.String()
+	}
+	if p.Unchanged() {
+		fmt.Fprintln(&b, "revisions identical: nothing to re-assert")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "goals: %d kept, %d added, %d removed\n", p.GoalsKept, len(p.GoalsAdded), len(p.GoalsRemoved))
+	for _, g := range p.GoalsRemoved {
+		fmt.Fprintf(&b, "  - %s\n", g)
+	}
+	for _, g := range p.GoalsAdded {
+		fmt.Fprintf(&b, "  + %s\n", g)
+	}
+	fmt.Fprintf(&b, "atoms changed: %d\n", len(p.AtomsChanged))
+	for _, a := range p.AtomsChanged {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}
+
+// Compare diffs two revision snapshots into a re-assertion plan. Neither
+// argument is mutated; both must be non-nil.
+func Compare(old, new *Revision) *Plan {
+	p := &Plan{Compatible: true}
+
+	// Universe compatibility is exact and order-sensitive: atom indices —
+	// and with them every grounded bound, circuit node, and solver
+	// variable — depend on position, so a permuted universe is as foreign
+	// as a grown one.
+	if !sameStrings(old.Universe, new.Universe) {
+		p.Compatible = false
+		p.Reason = universeDiff(old.Universe, new.Universe)
+	}
+
+	// Party shapes: the workspace key is built from party names and
+	// domains in order, so a changed party set means no session to rebase
+	// onto.
+	if p.Compatible && len(old.Parties) != len(new.Parties) {
+		p.Compatible = false
+		p.Reason = fmt.Sprintf("party count changed: %d -> %d", len(old.Parties), len(new.Parties))
+	}
+	if p.Compatible {
+		for i := range old.Parties {
+			if old.Parties[i].Name != new.Parties[i].Name {
+				p.Compatible = false
+				p.Reason = fmt.Sprintf("party %d changed: %q -> %q", i, old.Parties[i].Name, new.Parties[i].Name)
+				break
+			}
+		}
+	}
+
+	// Content diffs are computed even for incompatible revisions — the
+	// report is still useful; only the warm rebase is off the table.
+	n := len(old.Parties)
+	if len(new.Parties) < n {
+		n = len(new.Parties)
+	}
+	for i := 0; i < n; i++ {
+		diffGoals(p, &old.Parties[i], &new.Parties[i])
+		diffFixed(p, &old.Parties[i], &new.Parties[i])
+	}
+	sort.Slice(p.AtomsChanged, func(i, j int) bool {
+		a, b := p.AtomsChanged[i], p.AtomsChanged[j]
+		if a.Party != b.Party {
+			return a.Party < b.Party
+		}
+		if a.Relation != b.Relation {
+			return a.Relation < b.Relation
+		}
+		if a.Tuple != b.Tuple {
+			return a.Tuple < b.Tuple
+		}
+		return !a.Added && b.Added
+	})
+	sort.Strings(p.GoalsAdded)
+	sort.Strings(p.GoalsRemoved)
+	return p
+}
+
+func diffGoals(p *Plan, old, new *PartyRev) {
+	key := func(g Goal) string { return g.Name + "\x00" + g.Formula }
+	oldSet := make(map[string]int, len(old.Goals))
+	for _, g := range old.Goals {
+		oldSet[key(g)]++
+	}
+	for _, g := range new.Goals {
+		k := key(g)
+		if oldSet[k] > 0 {
+			oldSet[k]--
+			p.GoalsKept++
+		} else {
+			p.GoalsAdded = append(p.GoalsAdded, new.Name+"/"+g.Name)
+		}
+	}
+	for _, g := range old.Goals {
+		k := key(g)
+		if oldSet[k] > 0 {
+			oldSet[k]--
+			p.GoalsRemoved = append(p.GoalsRemoved, old.Name+"/"+g.Name)
+		}
+	}
+}
+
+func diffFixed(p *Plan, old, new *PartyRev) {
+	rels := make(map[string]bool, len(old.Fixed)+len(new.Fixed))
+	for r := range old.Fixed {
+		rels[r] = true
+	}
+	for r := range new.Fixed {
+		rels[r] = true
+	}
+	for r := range rels {
+		oldTs := stringSet(old.Fixed[r])
+		for _, t := range new.Fixed[r] {
+			if oldTs[t] {
+				delete(oldTs, t)
+			} else {
+				p.AtomsChanged = append(p.AtomsChanged, Atom{Party: new.Name, Relation: r, Tuple: t, Added: true})
+			}
+		}
+		for t := range oldTs {
+			p.AtomsChanged = append(p.AtomsChanged, Atom{Party: old.Name, Relation: r, Tuple: t, Added: false})
+		}
+	}
+}
+
+func stringSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// universeDiff explains a universe mismatch compactly: counts plus the
+// first divergence.
+func universeDiff(old, new []string) string {
+	if len(old) != len(new) {
+		extra := diffAtoms(new, old)
+		gone := diffAtoms(old, new)
+		var parts []string
+		parts = append(parts, fmt.Sprintf("universe changed: %d -> %d atoms", len(old), len(new)))
+		if len(extra) > 0 {
+			parts = append(parts, "new: "+strings.Join(clip(extra, 4), ", "))
+		}
+		if len(gone) > 0 {
+			parts = append(parts, "gone: "+strings.Join(clip(gone, 4), ", "))
+		}
+		return strings.Join(parts, "; ")
+	}
+	for i := range old {
+		if old[i] != new[i] {
+			return fmt.Sprintf("universe changed: atom %d is %q, was %q", i, new[i], old[i])
+		}
+	}
+	return "universe changed"
+}
+
+// diffAtoms returns the members of a not in b, in a's order.
+func diffAtoms(a, b []string) []string {
+	inB := stringSet(b)
+	var out []string
+	for _, s := range a {
+		if !inB[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func clip(ss []string, n int) []string {
+	if len(ss) <= n {
+		return ss
+	}
+	out := append([]string(nil), ss[:n]...)
+	return append(out, fmt.Sprintf("… %d more", len(ss)-n))
+}

@@ -1,0 +1,118 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+)
+
+func rev(universe []string, parties ...PartyRev) *Revision {
+	return &Revision{Universe: universe, Parties: parties}
+}
+
+func TestCompareUnchanged(t *testing.T) {
+	a := rev([]string{"x", "y"}, PartyRev{
+		Name:  "K8s",
+		Goals: []Goal{{Name: "g1", Formula: "no x"}},
+		Fixed: map[string][]string{"KInDeny": {"(p, 23)"}},
+	})
+	b := rev([]string{"x", "y"}, PartyRev{
+		Name:  "K8s",
+		Goals: []Goal{{Name: "g1", Formula: "no x"}},
+		Fixed: map[string][]string{"KInDeny": {"(p, 23)"}},
+	})
+	p := Compare(a, b)
+	if !p.Compatible || !p.Unchanged() {
+		t.Fatalf("want compatible+unchanged, got %+v", p)
+	}
+	if !strings.Contains(p.Summary(), "identical") {
+		t.Fatalf("summary: %q", p.Summary())
+	}
+}
+
+func TestCompareGoalAndAtomDiff(t *testing.T) {
+	a := rev([]string{"x"}, PartyRev{
+		Name:  "K8s",
+		Goals: []Goal{{Name: "g1", Formula: "no x"}, {Name: "g2", Formula: "some x"}},
+		Fixed: map[string][]string{"KInDeny": {"(p, 23)", "(p, 80)"}},
+	})
+	b := rev([]string{"x"}, PartyRev{
+		Name:  "K8s",
+		Goals: []Goal{{Name: "g1", Formula: "no x"}, {Name: "g2", Formula: "lone x"}},
+		Fixed: map[string][]string{"KInDeny": {"(p, 80)", "(p, 443)"}},
+	})
+	p := Compare(a, b)
+	if !p.Compatible {
+		t.Fatalf("want compatible, got reason %q", p.Reason)
+	}
+	if p.Unchanged() {
+		t.Fatal("must not be unchanged")
+	}
+	if p.GoalsKept != 1 {
+		t.Fatalf("GoalsKept = %d, want 1", p.GoalsKept)
+	}
+	// g2's formula changed: removed + added under the same name.
+	if len(p.GoalsAdded) != 1 || p.GoalsAdded[0] != "K8s/g2" {
+		t.Fatalf("GoalsAdded = %v", p.GoalsAdded)
+	}
+	if len(p.GoalsRemoved) != 1 || p.GoalsRemoved[0] != "K8s/g2" {
+		t.Fatalf("GoalsRemoved = %v", p.GoalsRemoved)
+	}
+	if len(p.AtomsChanged) != 2 {
+		t.Fatalf("AtomsChanged = %v", p.AtomsChanged)
+	}
+	// Sorted by party/relation/tuple: "(p, 23)" removed before "(p, 443)" added.
+	if p.AtomsChanged[0].Added || p.AtomsChanged[0].Tuple != "(p, 23)" {
+		t.Fatalf("first atom = %+v", p.AtomsChanged[0])
+	}
+	if !p.AtomsChanged[1].Added || p.AtomsChanged[1].Tuple != "(p, 443)" {
+		t.Fatalf("second atom = %+v", p.AtomsChanged[1])
+	}
+}
+
+func TestCompareUniverseChange(t *testing.T) {
+	a := rev([]string{"x", "y"}, PartyRev{Name: "K8s"})
+	b := rev([]string{"x", "y", "z"}, PartyRev{Name: "K8s"})
+	p := Compare(a, b)
+	if p.Compatible {
+		t.Fatal("grown universe must be incompatible")
+	}
+	if !strings.Contains(p.Reason, "universe changed") || !strings.Contains(p.Reason, "z") {
+		t.Fatalf("reason = %q", p.Reason)
+	}
+	if !strings.Contains(p.Summary(), "cold rebuild") {
+		t.Fatalf("summary: %q", p.Summary())
+	}
+
+	// Same atoms, permuted: still incompatible (indices shift).
+	c := rev([]string{"y", "x"}, PartyRev{Name: "K8s"})
+	if p := Compare(a, c); p.Compatible {
+		t.Fatal("permuted universe must be incompatible")
+	}
+}
+
+func TestComparePartyShapeChange(t *testing.T) {
+	a := rev([]string{"x"}, PartyRev{Name: "K8s"}, PartyRev{Name: "Istio"})
+	b := rev([]string{"x"}, PartyRev{Name: "K8s"})
+	if p := Compare(a, b); p.Compatible {
+		t.Fatal("dropped party must be incompatible")
+	}
+	c := rev([]string{"x"}, PartyRev{Name: "Istio"}, PartyRev{Name: "K8s"})
+	p := Compare(a, c)
+	if p.Compatible {
+		t.Fatal("reordered parties must be incompatible")
+	}
+	if !strings.Contains(p.Reason, "party") {
+		t.Fatalf("reason = %q", p.Reason)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	add := Atom{Party: "K8s", Relation: "KInDeny", Tuple: "(p, 23)", Added: true}
+	if got := add.String(); got != "+ K8s/KInDeny(p, 23)" {
+		t.Fatalf("got %q", got)
+	}
+	del := Atom{Party: "K8s", Relation: "KInDeny", Tuple: "(p, 23)"}
+	if got := del.String(); got != "- K8s/KInDeny(p, 23)" {
+		t.Fatalf("got %q", got)
+	}
+}

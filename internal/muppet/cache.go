@@ -70,8 +70,11 @@ type EncodingStats struct {
 	LearntClauses int64
 	// VarsEliminated is the number of variables currently eliminated by
 	// CNF preprocessing; ClausesRemoved accumulates clauses it removed.
+	// Restored counts variables un-eliminated because an incremental
+	// addition (a delta re-assertion, typically) touched them.
 	VarsEliminated int64
 	ClausesRemoved int64
+	Restored       int64
 	// ArenaBytes is the exact backing size of the flat clause arenas —
 	// the measured counterpart of the ApproxBytes estimate.
 	ArenaBytes int64
@@ -109,6 +112,7 @@ func (e *EncodingStats) add(t EncodingStats) {
 	e.LearntClauses += t.LearntClauses
 	e.VarsEliminated += t.VarsEliminated
 	e.ClausesRemoved += t.ClausesRemoved
+	e.Restored += t.Restored
 	e.ArenaBytes += t.ArenaBytes
 	e.ChronoBacktracks += t.ChronoBacktracks
 	e.OTFSubsumed += t.OTFSubsumed
@@ -126,6 +130,7 @@ func sessionEncodingStats(ss *relational.Session) EncodingStats {
 		LearntClauses:  int64(s.NumLearnts()),
 		VarsEliminated: s.Stats.SimpVarsEliminated,
 		ClausesRemoved: s.Stats.SimpClausesRemoved,
+		Restored:       s.Stats.SimpRestored,
 
 		ArenaBytes:       s.ArenaBytes(),
 		ChronoBacktracks: s.Stats.ChronoBacktracks,

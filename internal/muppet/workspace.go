@@ -70,6 +70,14 @@ type workspace struct {
 	// lastUsed is the owning SolveCache's logical clock at the most recent
 	// use, ordering LRU eviction. Unused (zero) on one-shot workspaces.
 	lastUsed int64
+
+	// groupsKept and groupsNew count, cumulatively across this session's
+	// lifetime, the selector-guarded config groups reused verbatim (memo
+	// hits in enforceFixed) vs. ground fresh. A delta rebase brackets a
+	// workflow call with probes of these to report how much of the warm
+	// CNF one revision step kept.
+	groupsKept int64
+	groupsNew  int64
 }
 
 type softRef struct {
@@ -273,6 +281,11 @@ func (ws *workspace) enforceFixed(p *Party, om *encode.OfferMap) {
 		}
 		key := kb.String()
 		sel, seen := ws.fixedSels[key]
+		if seen {
+			ws.groupsKept++
+		} else {
+			ws.groupsNew++
+		}
 		if !seen {
 			sel = sat.PosLit(ws.ss.Solver().NewVar())
 			// The selector is assumed across calls and named in cores;

@@ -55,6 +55,7 @@ func (s *Solver) restoreVar(v Var) {
 	if cls == nil {
 		return
 	}
+	s.Stats.SimpRestored++
 	s.order.push(v)
 	buf := make([]Lit, 0, 8)
 	for _, c := range cls {

@@ -191,6 +191,7 @@ type Stats struct {
 	SimpClausesSubsumed  int64
 	SimpLitsStrengthened int64
 	SimpClausesRemoved   int64
+	SimpRestored         int64
 
 	// Search-core counters: chronological backtracks taken instead of long
 	// backjumps, conflict clauses deleted because the learnt clause

@@ -176,6 +176,8 @@ type scrape struct {
 	budgetBytes                   int64
 	idleBytes                     int64
 	ledgerEvictions               int64
+	watchers                      int64
+	watchEvents                   int64
 }
 
 // tenantScrape is one tenant's slice of a scrape.
@@ -330,6 +332,10 @@ func (m *metrics) write(w io.Writer, sc scrape) {
 	fmt.Fprintln(w, "# TYPE muppetd_solver_vivified_total counter")
 	fmt.Fprintf(w, "muppetd_solver_vivified_total %d\n", reuse.Encoding.Vivified)
 
+	fmt.Fprintln(w, "# HELP muppetd_solver_restored_total Variables un-eliminated because an incremental addition touched them, across live sessions.")
+	fmt.Fprintln(w, "# TYPE muppetd_solver_restored_total counter")
+	fmt.Fprintf(w, "muppetd_solver_restored_total %d\n", reuse.Encoding.Restored)
+
 	if len(portfolio) > 0 {
 		fmt.Fprintln(w, "# HELP muppetd_portfolio_worker_conflicts Conflicts per portfolio worker in the most recent portfolio solve.")
 		fmt.Fprintln(w, "# TYPE muppetd_portfolio_worker_conflicts gauge")
@@ -413,6 +419,14 @@ func (m *metrics) write(w io.Writer, sc scrape) {
 	fmt.Fprintln(w, "# HELP muppetd_cache_evictions_total Warm sessions evicted for budget pressure across all tenants.")
 	fmt.Fprintln(w, "# TYPE muppetd_cache_evictions_total counter")
 	fmt.Fprintf(w, "muppetd_cache_evictions_total %d\n", sc.ledgerEvictions)
+
+	fmt.Fprintln(w, "# HELP muppetd_watchers Watch-mode requests currently connected (long-poll and SSE).")
+	fmt.Fprintln(w, "# TYPE muppetd_watchers gauge")
+	fmt.Fprintf(w, "muppetd_watchers %d\n", sc.watchers)
+
+	fmt.Fprintln(w, "# HELP muppetd_watch_events_total Watch events published (baselines, revision updates, terminals).")
+	fmt.Fprintln(w, "# TYPE muppetd_watch_events_total counter")
+	fmt.Fprintf(w, "muppetd_watch_events_total %d\n", sc.watchEvents)
 
 	if len(m.attempts) > 0 {
 		fmt.Fprintln(w, "# HELP muppetd_pool_attempts_total Routed solver-pool leaf executions, by pool and outcome.")

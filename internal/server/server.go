@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"muppet"
@@ -44,6 +45,12 @@ type Options struct {
 	// peer protocol under /fed/, serving that side of the default
 	// tenant's bundle to a remote coordinator ("" = not a peer).
 	FedParty string
+	// WatchPollTimeout bounds a watch long-poll with no event before the
+	// 204 re-poll hint (0 = DefaultWatchPollTimeout).
+	WatchPollTimeout time.Duration
+	// WatchMaxEvents caps events per SSE watcher before the stream is
+	// closed with a terminal budget event (0 = unlimited).
+	WatchMaxEvents int
 }
 
 // Server is the mediation daemon's HTTP surface: the workflow endpoints
@@ -65,6 +72,7 @@ type Server struct {
 	pool     *pool
 	metrics  *metrics
 	mux      *http.ServeMux
+	watch    *watchHub
 
 	draining     chan struct{} // closed by Drain
 	drainOnce    sync.Once
@@ -119,6 +127,11 @@ func NewMulti(reg *tenant.Registry[*State], opts Options) *Server {
 		})
 	}
 	s.pool = newPool(opts.Concurrency, opts.QueueDepth, s.runJob)
+	s.watch = newWatchHub(s)
+	// Watch mode rides the registry's swap notifications: every hot
+	// reload (SIGHUP, rescan, admin) becomes one delta re-reconcile and
+	// one event per watched op.
+	reg.SetOnSwap(s.watch.onSwap)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -181,8 +194,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Drain stops admitting work: /readyz flips to 503 and new workflow
 // requests are refused, while in-flight and queued jobs keep running.
+// Watchers get a terminal drain event and their streams close.
 func (s *Server) Drain() {
-	s.drainOnce.Do(func() { close(s.draining) })
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		s.watch.shutdown()
+	})
 }
 
 // CancelSolves cancels every in-flight and future solve — the drain
@@ -195,6 +212,7 @@ func (s *Server) CancelSolves() { s.cancelSolves() }
 func (s *Server) Close() {
 	s.Drain()
 	s.pool.close()
+	<-s.watch.done
 }
 
 // Draining reports whether Drain has been called.
@@ -289,6 +307,8 @@ func (s *Server) scrape() scrape {
 		queueCap:   s.pool.capacity(),
 		workers:    s.opts.Concurrency,
 	}
+	sc.watchers = atomic.LoadInt64(&s.watch.watchers)
+	sc.watchEvents = atomic.LoadInt64(&s.watch.events)
 	ledger := s.registry.Ledger()
 	sc.budgetBytes = ledger.Budget()
 	sc.idleBytes = ledger.TotalBytes()
@@ -314,17 +334,26 @@ const (
 )
 
 // handleOp serves /v1/{op} against the default tenant — the original
-// single-bundle surface, unchanged.
+// single-bundle surface — plus /v1/watch/{op} for watch mode.
 func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
-	s.serveOp(w, r, DefaultTenant, strings.TrimPrefix(r.URL.Path, "/v1/"))
+	op := strings.TrimPrefix(r.URL.Path, "/v1/")
+	if wop, ok := strings.CutPrefix(op, "watch/"); ok {
+		s.serveWatch(w, r, DefaultTenant, wop)
+		return
+	}
+	s.serveOp(w, r, DefaultTenant, op)
 }
 
-// handleTenantOp serves /t/{tenant}/{op}.
+// handleTenantOp serves /t/{tenant}/{op} and /t/{tenant}/watch/{op}.
 func (s *Server) handleTenantOp(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/t/")
 	id, op, ok := strings.Cut(rest, "/")
 	if !ok || id == "" {
 		http.Error(w, "want /t/{tenant}/{op}", http.StatusNotFound)
+		return
+	}
+	if wop, ok := strings.CutPrefix(op, "watch/"); ok {
+		s.serveWatch(w, r, id, wop)
 		return
 	}
 	s.serveOp(w, r, id, op)

@@ -114,6 +114,32 @@ func (st *State) FreshParties() (k8s, istio *muppet.Party, err error) {
 	return k8s, istio, nil
 }
 
+// Snapshot captures the delta-comparable content of this state's party
+// pair (goals, concrete fixed settings, universe) over its own system —
+// one side of a revision comparison.
+func (st *State) Snapshot() (*muppet.DeltaRevision, error) {
+	k8s, istio, err := st.FreshParties()
+	if err != nil {
+		return nil, err
+	}
+	return muppet.Snapshot(st.Sys, []*muppet.Party{k8s, istio}), nil
+}
+
+// RebasedOn returns a copy of this state re-anchored on another
+// revision's system: parties built from the copy ground the new
+// revision's goals and configurations over sys's (universe-compatible)
+// vocabulary, so the previous revision's warm sessions keep serving. It
+// fails — and the caller must fall back to a cold build — when the new
+// goals do not compile over sys (atoms outside the grounded bounds).
+func (st *State) RebasedOn(sys *muppet.System) (*State, error) {
+	cp := *st
+	cp.Sys = sys
+	if _, _, err := cp.FreshParties(); err != nil {
+		return nil, fmt.Errorf("rebase: %w", err)
+	}
+	return &cp, nil
+}
+
 // FedParty materializes this state's side of a federated negotiation:
 // the named party (k8s or istio) wrapped for the /fed/ peer protocol.
 func (st *State) FedParty(kind string) (*feder.LocalParty, error) {

@@ -66,6 +66,7 @@ type Stats struct {
 	LitsStrengthened int64 // literals removed by self-subsuming resolution
 	ClausesIn        int64 // clauses most recently handed to Run
 	ClausesOut       int64 // clauses most recently returned by Run
+	Restored         int64 // variables un-eliminated by Restore
 }
 
 // elimRecord is one entry of the reconstruction stack: the variable and
@@ -140,6 +141,7 @@ func (p *Preprocessor) Restore(v int32) [][]Lit {
 	delete(p.recIdx, v)
 	p.elim[v] = false
 	p.Stats.VarsEliminated--
+	p.Stats.Restored++
 	out := make([][]Lit, len(rec.ends))
 	start := int32(0)
 	for i, end := range rec.ends {

@@ -27,6 +27,10 @@ type Entry[T any] struct {
 	Pool     *CachePool
 	// Fingerprint is the input fingerprint the revision was built from.
 	Fingerprint string
+	// PrevFingerprint is the fingerprint of the revision this one replaced
+	// ("" for a first load). A delta consumer uses the pair to distinguish
+	// "tenant changed" (both non-empty, different) from "tenant is new".
+	PrevFingerprint string
 }
 
 // Registry maps tenant IDs to their current revision. Lookups are
@@ -50,6 +54,9 @@ type Registry[T any] struct {
 	// discover re-enumerates dynamic tenants (e.g. a -tenant-dir scan);
 	// see SetDiscover and Rescan.
 	discover func() (map[string]LoadFunc[T], error)
+
+	// onSwap observes entry transitions; see SetOnSwap.
+	onSwap func(old, new *Entry[T])
 }
 
 // NewRegistry creates an empty registry whose tenant pools share the
@@ -100,7 +107,11 @@ func (r *Registry[T]) add(id string, load LoadFunc[T], static bool) (*Entry[T], 
 	r.entries[id] = ent
 	r.loaders[id] = load
 	r.static[id] = static
+	hook := r.onSwap
 	r.mu.Unlock()
+	if hook != nil {
+		hook(nil, ent)
+	}
 	return ent, nil
 }
 
@@ -185,12 +196,17 @@ func (r *Registry[T]) reload(id string, force bool) (*Entry[T], bool, error) {
 	ent := &Entry[T]{
 		ID: id, Revision: old.Revision + 1, State: state,
 		Pool: r.ledger.NewPool(id), Fingerprint: fp,
+		PrevFingerprint: old.Fingerprint,
 	}
 	r.mu.Lock()
 	r.entries[id] = ent
 	r.reloads[id]++
+	hook := r.onSwap
 	r.mu.Unlock()
 	old.Pool.Retire()
+	if hook != nil {
+		hook(old, ent)
+	}
 	return ent, true, nil
 }
 
@@ -211,11 +227,27 @@ func (r *Registry[T]) remove(id string) bool {
 		delete(r.static, id)
 		delete(r.reloads, id)
 	}
+	hook := r.onSwap
 	r.mu.Unlock()
 	if ok {
 		ent.Pool.Retire()
+		if hook != nil {
+			hook(ent, nil)
+		}
 	}
 	return ok
+}
+
+// SetOnSwap installs an observer for entry transitions: (nil, new) when
+// a tenant is first loaded, (old, new) when a reload swaps revisions,
+// and (old, nil) when a tenant is removed. The hook runs after the swap
+// is visible to Get, outside the entry lock but serialized with other
+// mutations, so observers see transitions in order and exactly once.
+// A skipped reload (fingerprint unchanged) does not fire it.
+func (r *Registry[T]) SetOnSwap(f func(old, new *Entry[T])) {
+	r.mu.Lock()
+	r.onSwap = f
+	r.mu.Unlock()
 }
 
 // SetDiscover installs the enumerator Rescan uses to manage dynamic

@@ -262,3 +262,53 @@ func TestRegistryConcurrentReload(t *testing.T) {
 		t.Fatalf("final revision = %d, want 201", ent.Revision)
 	}
 }
+
+func TestRegistryOnSwapAndPrevFingerprint(t *testing.T) {
+	r := NewRegistry[string](nil)
+	type swap struct{ oldID, newID string }
+	var swaps []swap
+	r.SetOnSwap(func(old, new *Entry[string]) {
+		s := swap{}
+		if old != nil {
+			s.oldID = fmt.Sprintf("%s@%d", old.ID, old.Revision)
+		}
+		if new != nil {
+			s.newID = fmt.Sprintf("%s@%d", new.ID, new.Revision)
+		}
+		swaps = append(swaps, s)
+	})
+
+	ld := &loader{state: "v1", fp: "fp1"}
+	if _, err := r.Add("acme", ld.fn()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A skipped reload (same fingerprint, unforced) must not fire the hook.
+	if _, swapped, err := r.Reload("acme", false); err != nil || swapped {
+		t.Fatalf("unchanged reload: swapped=%v err=%v", swapped, err)
+	}
+
+	ld.set("v2", "fp2")
+	ent, swapped, err := r.Reload("acme", false)
+	if err != nil || !swapped {
+		t.Fatalf("changed reload: swapped=%v err=%v", swapped, err)
+	}
+	if ent.PrevFingerprint != "fp1" || ent.Fingerprint != "fp2" {
+		t.Fatalf("fingerprints = (%q -> %q), want (fp1 -> fp2)", ent.PrevFingerprint, ent.Fingerprint)
+	}
+	r.Remove("acme")
+
+	want := []swap{
+		{"", "acme@1"},       // first load: new tenant, no predecessor
+		{"acme@1", "acme@2"}, // revision swap
+		{"acme@2", ""},       // removal
+	}
+	if len(swaps) != len(want) {
+		t.Fatalf("swaps = %v, want %v", swaps, want)
+	}
+	for i := range want {
+		if swaps[i] != want[i] {
+			t.Fatalf("swap[%d] = %v, want %v", i, swaps[i], want[i])
+		}
+	}
+}

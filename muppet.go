@@ -42,6 +42,7 @@ import (
 	"context"
 	"strings"
 
+	"muppet/internal/delta"
 	"muppet/internal/encode"
 	"muppet/internal/envelope"
 	"muppet/internal/goals"
@@ -169,6 +170,35 @@ type (
 
 // NewSolveCache creates an empty solving-session cache.
 func NewSolveCache() *SolveCache { return core.NewSolveCache() }
+
+// Delta re-reconciliation (package delta + the SolveCache Rebase path):
+// given two revisions of a bundle/goal set, compute the changed goals and
+// relational atoms, then re-solve the new revision over the previous
+// revision's warm sessions — untouched selector-guarded CNF groups kept,
+// changed groups re-asserted (restoring eliminated variables as needed) —
+// instead of a cold rebuild. Verdicts are byte-identical to cold runs;
+// DeltaStats reports how incremental the step was.
+type (
+	// DeltaRevision snapshots one revision's comparable content.
+	DeltaRevision = delta.Revision
+	// DeltaPlan is the diff between two revisions: the changed atoms, the
+	// goal churn, and whether a warm rebase is possible at all.
+	DeltaPlan = delta.Plan
+	// DeltaAtom is one changed relational atom.
+	DeltaAtom = delta.Atom
+	// DeltaStats reports warm-state reuse across one rebase.
+	DeltaStats = core.DeltaStats
+)
+
+// Snapshot captures a party set's delta-comparable content over a system.
+func Snapshot(sys *System, parties []*Party) *DeltaRevision {
+	return core.Snapshot(sys, parties)
+}
+
+// CompareRevisions diffs two revision snapshots into a re-assertion plan.
+func CompareRevisions(old, new *DeltaRevision) *DeltaPlan {
+	return delta.Compare(old, new)
+}
 
 // SetPortfolioWorkers sets the package-wide portfolio width for workflow
 // solves and returns the previous value: n > 1 races n diversified solver

@@ -13,6 +13,12 @@
 # a CLI coordinator negotiating across them through the injected 500s,
 # then a kill/restart of one peer followed by a second negotiation, and
 # `muppet transcript verify` over the accumulated transcript.
+#
+# Phase 4 (watch mode): a `muppet watch` client follows a tenant's
+# reconcile verdict across a SIGHUP-reloaded goal edit; the streamed
+# revision-2 answer must be served warm (delta rebase) yet match the
+# cold CLI reconcile of the new bundle byte for byte, and `muppet diff`
+# must report the same one-tuple edit between the two revisions.
 # Run from the repository root (`make smoke`).
 set -eu
 
@@ -311,4 +317,93 @@ wait "$pid2" 2>/dev/null || true
 pid2=""
 stop_daemon "$tmp/log3k"
 echo "daemon smoke: federated OK (k8s=$k8s_addr istio=$istio_addr, $(cat "$tmp/verify"))"
+
+# --- Phase 4: watch mode and delta re-reconciliation -----------------
+
+rm -rf "$tmp/tenants"
+mktenant delta 23
+# Keep a copy of revision 1 so `muppet diff` can compare it afterwards.
+cp -r "$tmp/tenants/delta" "$tmp/rev1"
+
+"$tmp/muppetd" -addr 127.0.0.1:0 -tenant-dir "$tmp/tenants" \
+	>"$tmp/log4" 2>&1 &
+pid=$!
+wait_addr "$tmp/log4"
+
+# The watch client exits by itself after two events: the baseline and
+# the post-reload revision. -raw keeps the output machine-comparable.
+"$tmp/muppet" watch -addr "$addr" -tenant delta -op reconcile -events 2 -raw \
+	>"$tmp/watch.out" 2>&1 &
+traffic_pid=$!
+
+i=0
+while [ $i -lt 100 ]; do
+	grep -q '^=== revision 1 ' "$tmp/watch.out" && break
+	i=$((i + 1))
+	sleep 0.1
+done
+grep -q '^=== revision 1 ' "$tmp/watch.out" || {
+	echo "daemon smoke: watch client never saw the baseline" >&2
+	cat "$tmp/watch.out" "$tmp/log4" >&2
+	exit 1
+}
+
+# One-tuple goal edit that keeps the universe: flip the port-23 ban to
+# an allow, then SIGHUP so the daemon rescans and publishes revision 2.
+printf 'port,perm,selector\n23,ALLOW,*\n' >"$tmp/tenants/delta/k8s_goals.csv"
+kill -HUP "$pid"
+if ! wait "$traffic_pid"; then
+	echo "daemon smoke: watch client failed" >&2
+	cat "$tmp/watch.out" "$tmp/log4" >&2
+	exit 1
+fi
+traffic_pid=""
+
+grep -q '^=== revision 2 ' "$tmp/watch.out" || {
+	echo "daemon smoke: watch client never saw revision 2" >&2
+	cat "$tmp/watch.out" "$tmp/log4" >&2
+	exit 1
+}
+
+# The streamed revision-2 verdict must equal the cold CLI reconcile of
+# the edited bundle, byte for byte.
+sed -n '/^=== revision 2 /,$p' "$tmp/watch.out" | sed '1d' >"$tmp/watch.rev2"
+"$tmp/muppet" reconcile \
+	-files "$tmp/tenants/delta/mesh.yaml,$tmp/tenants/delta/k8s_current.yaml,$tmp/tenants/delta/istio_current.yaml" \
+	-k8s-goals "$tmp/tenants/delta/k8s_goals.csv" \
+	-istio-goals "$tmp/tenants/delta/istio_goals_revised.csv" \
+	-k8s-offer soft -istio-offer soft >"$tmp/cold.rev2"
+cmp -s "$tmp/watch.rev2" "$tmp/cold.rev2" || {
+	echo "daemon smoke: watch-mode verdict differs from cold reconcile" >&2
+	diff "$tmp/cold.rev2" "$tmp/watch.rev2" >&2 || true
+	exit 1
+}
+
+# The daemon must have served revision 2 warm, and counted the watcher.
+metrics="$(curl -fsS "http://$addr/metrics")"
+echo "$metrics" | grep -q '^muppetd_watch_events_total [1-9]' || {
+	echo "daemon smoke: watch events metric missing" >&2
+	exit 1
+}
+
+# muppet diff between the kept revision-1 copy and the live bundle:
+# exit 1 (changed) without -op, and a warm rebase serving it with -op.
+if "$tmp/muppet" diff -before "$tmp/rev1" -after "$tmp/tenants/delta" >"$tmp/diff.out"; then
+	echo "daemon smoke: diff reported no change for a changed bundle" >&2
+	cat "$tmp/diff.out" >&2
+	exit 1
+fi
+"$tmp/muppet" diff -before "$tmp/rev1" -after "$tmp/tenants/delta" -op reconcile >"$tmp/diff2.out" || {
+	echo "daemon smoke: diff -op reconcile failed" >&2
+	cat "$tmp/diff2.out" >&2
+	exit 1
+}
+grep -q '^// delta: warm rebase' "$tmp/diff2.out" || {
+	echo "daemon smoke: diff -op did not serve warm" >&2
+	cat "$tmp/diff2.out" >&2
+	exit 1
+}
+
+stop_daemon "$tmp/log4"
+echo "daemon smoke: watch mode OK ($addr)"
 echo "daemon smoke OK"
