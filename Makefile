@@ -36,19 +36,21 @@ bench-smoke:
 
 # bench-diff re-measures the encoding ablation family and gates it
 # against the most recent committed BENCH_*.json: any benchmark whose
-# post-preprocessing clause count, allocs/op, or ns/op grew more than 25%
-# over the baseline fails the target. The gated measurement runs without
-# profiling — SIGPROF overhead inflates ns/op 10-30% on small machines,
-# which would bias the time gate — and a second, profiled run leaves
-# bench.pprof for the CI artifact.
+# post-preprocessing clause count, allocs/op, B/op, or ns/op grew more
+# than 25% over the baseline fails the target. The gated measurement runs
+# without profiling — SIGPROF overhead inflates ns/op 10-30% on small
+# machines, which would bias the time gate — and a second, profiled run
+# leaves bench.pprof (CPU) and bench-mem.pprof (front-end allocations)
+# for the CI artifact.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-diff:
 	$(GO) test -run '^$$' -bench '^BenchmarkEncoding' -benchmem . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > bench-current.json
 	$(GO) run ./cmd/benchdiff -metric solver-clauses -max-regress 0.25 \
-		-max-alloc-regress 0.25 -max-time-regress 0.25 \
+		-max-alloc-regress 0.25 -max-bytes-regress 0.25 -max-time-regress 0.25 \
 		$(BENCH_BASELINE) bench-current.json
-	$(GO) test -run '^$$' -bench '^BenchmarkEncoding' -cpuprofile bench.pprof . > /dev/null
+	$(GO) test -run '^$$' -bench '^BenchmarkEncoding' \
+		-cpuprofile bench.pprof -memprofile bench-mem.pprof . > /dev/null
 
 # smoke boots a real muppetd over the Fig. 1 testdata, probes /healthz,
 # runs one check, and asserts a clean SIGTERM drain.

@@ -1,8 +1,8 @@
 // Command benchdiff compares two benchjson reports (baseline, current) and
 // enforces the benchmark regression gates: for every benchmark present in
 // both reports, the deterministic size metric (solver-clauses by default),
-// allocations per op, and wall time per op may not grow by more than their
-// allowed fractions. Size and alloc metrics are exact and gate tightly;
+// allocations per op, bytes per op, and wall time per op may not grow by
+// more than their allowed fractions. Size and alloc metrics are exact and gate tightly;
 // the time gate has the same default bound but can be widened (or disabled
 // with a negative bound) on noisy CI machines. When the current report
 // carries the BenchmarkDeltaReconcile cold/delta pair, an absolute gate
@@ -12,7 +12,8 @@
 // Usage:
 //
 //	go run ./cmd/benchdiff [-metric solver-clauses] [-max-regress 0.25] \
-//	    [-max-alloc-regress 0.25] [-max-time-regress 0.25] baseline.json current.json
+//	    [-max-alloc-regress 0.25] [-max-bytes-regress 0.25] \
+//	    [-max-time-regress 0.25] baseline.json current.json
 //
 // Exit status 1 means at least one gated metric regressed past its bound.
 package main
@@ -50,6 +51,7 @@ func main() {
 	metric := flag.String("metric", "solver-clauses", "deterministic size metric to gate on")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional growth of the size metric")
 	maxAlloc := flag.Float64("max-alloc-regress", 0.25, "maximum allowed fractional growth of allocs/op (negative disables)")
+	maxBytes := flag.Float64("max-bytes-regress", 0.25, "maximum allowed fractional growth of B/op (negative disables)")
 	maxTime := flag.Float64("max-time-regress", 0.25, "maximum allowed fractional growth of ns/op (negative disables)")
 	minDelta := flag.Float64("min-delta-speedup", 10, "minimum cold/delta ns-per-op ratio for the DeltaReconcile pair in the current report (negative disables)")
 	flag.Parse()
@@ -82,6 +84,7 @@ func main() {
 	gates := []gate{
 		{*metric, *maxRegress},
 		{"allocs/op", *maxAlloc},
+		{"B/op", *maxBytes},
 		{"ns/op", *maxTime},
 	}
 	failed := 0

@@ -1,0 +1,116 @@
+package boolcirc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomOps drives f through a deterministic pseudo-random gate sequence
+// over nVars variables and nOps gates, returning every ref produced (the
+// variables first). The same seed must yield the same circuit in any
+// factory — the determinism and hash-consing property tests below both
+// lean on this.
+func randomOps(f *Factory, rng *rand.Rand, nVars, nOps int) []Ref {
+	refs := make([]Ref, 0, nVars+nOps)
+	refs = append(refs, True, False)
+	for i := 0; i < nVars; i++ {
+		refs = append(refs, f.Var())
+	}
+	pick := func() Ref {
+		r := refs[rng.Intn(len(refs))]
+		if rng.Intn(2) == 0 {
+			return r.Not()
+		}
+		return r
+	}
+	for i := 0; i < nOps; i++ {
+		var r Ref
+		switch rng.Intn(4) {
+		case 0:
+			r = f.And(pick(), pick())
+		case 1:
+			r = f.Or(pick(), pick())
+		case 2:
+			r = f.Iff(pick(), pick())
+		default:
+			r = f.ITE(pick(), pick(), pick())
+		}
+		refs = append(refs, r)
+	}
+	return refs
+}
+
+// TestFactoryDeterministicConstruction: the arena factory is a pure
+// function of its operation sequence — two factories fed the same ops
+// return identical refs at every step and end with identical arenas.
+// Callers (the translator's encoding cache, the crosscheck suite) depend
+// on this to make circuit construction reproducible across processes.
+func TestFactoryDeterministicConstruction(t *testing.T) {
+	f1, f2 := New(), New()
+	r1 := randomOps(f1, rand.New(rand.NewSource(99)), 12, 4000)
+	r2 := randomOps(f2, rand.New(rand.NewSource(99)), 12, 4000)
+	if len(r1) != len(r2) {
+		t.Fatalf("ref counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ref %d differs: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+	if f1.NumNodes() != f2.NumNodes() {
+		t.Fatalf("arena sizes differ: %d vs %d", f1.NumNodes(), f2.NumNodes())
+	}
+}
+
+// TestFactoryHashConsStability: re-issuing every AND pair already in the
+// arena returns the existing node without allocating, even after the
+// cons table has rehashed several times — 4000 gates starting from a
+// 64-slot table force multiple consGrow rounds, so this pins rehashing
+// against dropped or duplicated entries.
+func TestFactoryHashConsStability(t *testing.T) {
+	f := New()
+	randomOps(f, rand.New(rand.NewSource(7)), 10, 4000)
+	n := f.NumNodes()
+	if n < 1000 {
+		t.Fatalf("expected a grown arena, got %d nodes", n)
+	}
+	type pair struct{ a, b Ref }
+	pairs := make([]pair, 0, n)
+	for i := 1; i < n; i++ {
+		if f.kind[i] == kindAnd {
+			pairs = append(pairs, pair{f.ina[i], f.inb[i]})
+		}
+	}
+	for _, p := range pairs {
+		before := f.NumNodes()
+		r := f.And(p.a, p.b)
+		if f.NumNodes() != before {
+			t.Fatalf("And(%d, %d) allocated a duplicate node", p.a, p.b)
+		}
+		if r.IsConst() || f.kind[r.node()] != kindAnd {
+			t.Fatalf("And(%d, %d) = %d: not the interned gate", p.a, p.b, r)
+		}
+	}
+}
+
+// TestFactoryAblationAgreesWithHashCons: with sharing disabled the arena
+// grows without bound, but every ref must still evaluate identically —
+// the NoHashCons ablation changes only allocation, never semantics.
+func TestFactoryAblationAgreesWithHashCons(t *testing.T) {
+	const nVars = 8
+	shared, flat := New(), NewWithOptions(Options{NoHashCons: true})
+	rs := randomOps(shared, rand.New(rand.NewSource(21)), nVars, 600)
+	rf := randomOps(flat, rand.New(rand.NewSource(21)), nVars, 600)
+	if len(rs) != len(rf) {
+		t.Fatalf("ref counts differ: %d vs %d", len(rs), len(rf))
+	}
+	for trial := 0; trial < 64; trial++ {
+		bits := rand.New(rand.NewSource(int64(trial))).Uint64()
+		val := func(v int) bool { return bits>>uint(v)&1 == 1 }
+		for i := range rs {
+			if gs, gf := shared.Eval(rs[i], val), flat.Eval(rf[i], val); gs != gf {
+				t.Fatalf("trial %d ref %d: shared=%v flat=%v", trial, i, gs, gf)
+			}
+		}
+	}
+}

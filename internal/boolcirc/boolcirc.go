@@ -9,6 +9,14 @@
 // translator (package relational) grounds bounded first-order formulas into
 // circuits, and the circuit is what the SAT backend ultimately decides. It
 // plays the role of Kodkod's boolean factory.
+//
+// Storage is a flat struct-of-arrays arena: a node is an index into three
+// parallel slices (kind, input a, input b), a Ref is an edge made of a node
+// offset plus a complement bit, and hash-consing runs over an open-addressed
+// index table into the arena rather than a Go map of boxed keys. The CNF
+// emitter and the sweeper keep their per-node state in dense slices indexed
+// by the same offsets, so the whole formula→clause front-end walks flat
+// memory the way the solver's clause arena does.
 package boolcirc
 
 import (
@@ -44,25 +52,28 @@ const (
 	kindAnd
 )
 
-type node struct {
-	kind nodeKind
-	// a, b are the AND inputs; for kindVar, a holds the variable id.
-	a, b Ref
-}
-
 // Options configure a Factory.
 type Options struct {
 	// NoHashCons disables structural sharing of AND nodes (ablation).
 	NoHashCons bool
 }
 
-// Factory builds and owns circuit nodes. The zero value is not usable; call
-// New or NewWithOptions.
+// Factory builds and owns circuit nodes in a struct-of-arrays arena:
+// kind[i], ina[i], inb[i] describe node i. For kindVar nodes ina holds the
+// variable id. The zero value is not usable; call New or NewWithOptions.
 type Factory struct {
-	opts  Options
-	nodes []node
-	cons  map[[2]Ref]Ref
-	vars  int32
+	opts Options
+	kind []nodeKind
+	ina  []Ref
+	inb  []Ref
+	vars int32
+	// cons is an open-addressed hash table mapping the (a,b) inputs of an
+	// AND node to its arena index: consTab holds node indices (0 = empty;
+	// the zero node is the constant and never an AND, so 0 is free as the
+	// empty marker). The keys live in the arena itself — a probe compares
+	// against ina/inb at the stored index — so the table is just int32s.
+	consTab  []int32
+	consUsed int
 }
 
 // New returns an empty factory with hash-consing enabled.
@@ -71,42 +82,50 @@ func New() *Factory { return NewWithOptions(Options{}) }
 // NewWithOptions returns an empty factory.
 func NewWithOptions(opts Options) *Factory {
 	f := &Factory{
-		opts:  opts,
-		nodes: []node{{kind: kindConst}},
+		opts: opts,
+		kind: make([]nodeKind, 1, 64),
+		ina:  make([]Ref, 1, 64),
+		inb:  make([]Ref, 1, 64),
 	}
 	if !opts.NoHashCons {
-		f.cons = make(map[[2]Ref]Ref)
+		f.consTab = make([]int32, 64)
 	}
 	return f
 }
 
 // NumNodes returns the number of allocated nodes (constants, variables and
 // AND gates).
-func (f *Factory) NumNodes() int { return len(f.nodes) }
+func (f *Factory) NumNodes() int { return len(f.kind) }
 
 // NumVars returns the number of circuit variables created.
 func (f *Factory) NumVars() int { return int(f.vars) }
+
+func (f *Factory) newNode(k nodeKind, a, b Ref) int32 {
+	f.kind = append(f.kind, k)
+	f.ina = append(f.ina, a)
+	f.inb = append(f.inb, b)
+	return int32(len(f.kind) - 1)
+}
 
 // Var allocates a fresh circuit variable and returns its positive edge.
 func (f *Factory) Var() Ref {
 	id := f.vars
 	f.vars++
-	f.nodes = append(f.nodes, node{kind: kindVar, a: Ref(id)})
-	return Ref((len(f.nodes) - 1) << 1)
+	return Ref(f.newNode(kindVar, Ref(id), 0) << 1)
 }
 
 // VarID returns the variable identifier behind a variable reference
 // (ignoring complementation). It panics if r does not point at a variable.
 func (f *Factory) VarID(r Ref) int {
-	n := f.nodes[r.node()]
-	if n.kind != kindVar {
+	ni := r.node()
+	if f.kind[ni] != kindVar {
 		panic("boolcirc: VarID of non-variable ref")
 	}
-	return int(n.a)
+	return int(f.ina[ni])
 }
 
 // IsVar reports whether r points at a variable node.
-func (f *Factory) IsVar(r Ref) bool { return f.nodes[r.node()].kind == kindVar }
+func (f *Factory) IsVar(r Ref) bool { return f.kind[r.node()] == kindVar }
 
 // Bool returns the constant for b.
 func (f *Factory) Bool(b bool) Ref {
@@ -159,6 +178,50 @@ func (f *Factory) ITE(c, t, e Ref) Ref {
 	return f.And(f.Implies(c, t), f.Implies(c.Not(), e))
 }
 
+// consHash mixes an ordered (a,b) input pair into a table index seed.
+func consHash(a, b Ref) uint64 {
+	h := uint64(uint32(a))<<32 | uint64(uint32(b))
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// consFind probes for an AND node with inputs (a,b); it returns the node
+// index, or the slot where such a node should be inserted (marked by a
+// negative return with the slot encoded as ^slot).
+func (f *Factory) consFind(a, b Ref) int32 {
+	mask := uint64(len(f.consTab) - 1)
+	i := consHash(a, b) & mask
+	for {
+		ni := f.consTab[i]
+		if ni == 0 {
+			return int32(^i)
+		}
+		if f.ina[ni] == a && f.inb[ni] == b {
+			return ni
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (f *Factory) consGrow() {
+	old := f.consTab
+	f.consTab = make([]int32, 2*len(old))
+	mask := uint64(len(f.consTab) - 1)
+	for _, ni := range old {
+		if ni == 0 {
+			continue
+		}
+		i := consHash(f.ina[ni], f.inb[ni]) & mask
+		for f.consTab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		f.consTab[i] = ni
+	}
+}
+
 func (f *Factory) and2(a, b Ref) Ref {
 	// Constant and structural folding.
 	switch {
@@ -176,58 +239,81 @@ func (f *Factory) and2(a, b Ref) Ref {
 	if a > b {
 		a, b = b, a
 	}
-	if f.cons != nil {
-		if r, ok := f.cons[[2]Ref{a, b}]; ok {
-			return r
-		}
+	if f.consTab == nil {
+		return Ref(f.newNode(kindAnd, a, b) << 1)
 	}
-	f.nodes = append(f.nodes, node{kind: kindAnd, a: a, b: b})
-	r := Ref((len(f.nodes) - 1) << 1)
-	if f.cons != nil {
-		f.cons[[2]Ref{a, b}] = r
+	slot := f.consFind(a, b)
+	if slot >= 0 {
+		return Ref(slot << 1)
 	}
-	return r
+	ni := f.newNode(kindAnd, a, b)
+	f.consTab[^slot] = ni
+	f.consUsed++
+	if f.consUsed*4 >= len(f.consTab)*3 {
+		f.consGrow()
+	}
+	return Ref(ni << 1)
 }
 
 // Eval computes the value of r under the variable assignment varVal
 // (indexed by variable id as returned by VarID). The memo is a dense
-// slice keyed by node index — one allocation, no hashing — which is what
-// makes repeated envelope/feedback evaluation over large circuits cheap.
+// slice keyed by node index — one allocation, no hashing — and the walk
+// is an explicit stack over the flat arena, so repeated envelope/feedback
+// evaluation over large circuits stays cheap and recursion-free.
 func (f *Factory) Eval(r Ref, varVal func(int) bool) bool {
 	const (
 		unknown uint8 = iota
 		valFalse
 		valTrue
 	)
-	memo := make([]uint8, len(f.nodes))
-	var rec func(Ref) bool
-	rec = func(e Ref) bool {
-		ni := e.node()
-		n := f.nodes[ni]
-		var v bool
-		switch n.kind {
-		case kindConst:
-			v = true
+	memo := make([]uint8, len(f.kind))
+	memo[0] = valTrue
+	// The stack holds node indices; a node is pushed at most twice: once
+	// to schedule its children, once (found memoised-or-ready) to combine.
+	stack := make([]int32, 0, 64)
+	stack = append(stack, r.node())
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		if memo[ni] != unknown {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		switch f.kind[ni] {
 		case kindVar:
-			v = varVal(int(n.a))
-		case kindAnd:
-			if m := memo[ni]; m != unknown {
-				v = m == valTrue
+			if varVal(int(f.ina[ni])) {
+				memo[ni] = valTrue
 			} else {
-				v = rec(n.a) && rec(n.b)
-				if v {
-					memo[ni] = valTrue
-				} else {
-					memo[ni] = valFalse
-				}
+				memo[ni] = valFalse
 			}
+			stack = stack[:len(stack)-1]
+		case kindAnd:
+			an, bn := f.ina[ni].node(), f.inb[ni].node()
+			ma, mb := memo[an], memo[bn]
+			if ma == unknown {
+				stack = append(stack, an)
+				continue
+			}
+			if mb == unknown {
+				stack = append(stack, bn)
+				continue
+			}
+			va := ma == valTrue != f.ina[ni].complemented()
+			vb := mb == valTrue != f.inb[ni].complemented()
+			if va && vb {
+				memo[ni] = valTrue
+			} else {
+				memo[ni] = valFalse
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			stack = stack[:len(stack)-1]
 		}
-		if e.complemented() {
-			return !v
-		}
-		return v
 	}
-	return rec(r)
+	v := memo[r.node()] == valTrue
+	if r.complemented() {
+		return !v
+	}
+	return v
 }
 
 // Polarity bits track which implication direction of a gate's Tseitin
@@ -264,7 +350,8 @@ type CNFOptions struct {
 
 // CNF incrementally emits circuit nodes into a SAT solver via the Tseitin
 // transformation. One CNF may serve many Assert/LitFor calls; node→solver
-// variable mappings and emitted polarities are memoised.
+// variable mappings and emitted polarities are memoised in dense slices
+// indexed by arena offset.
 //
 // Emission is polarity-aware (Plaisted–Greenbaum): Assert emits only the
 // implication direction the asserted polarity needs, and a gate first
@@ -282,9 +369,9 @@ type CNF struct {
 	f       *Factory
 	s       *sat.Solver
 	opts    CNFOptions
-	nodeVar map[int32]sat.Var // circuit node index → solver variable
-	nodePol map[int32]uint8   // circuit node index → emitted polarities
-	varVar  map[int32]sat.Var // circuit variable id → solver variable
+	nodeVar []sat.Var // circuit node index → solver variable (-1 unset)
+	nodePol []uint8   // circuit node index → emitted polarities
+	varVar  []sat.Var // circuit variable id → solver variable (-1 unset)
 	sw      *sweeper
 }
 
@@ -295,18 +382,21 @@ func NewCNF(f *Factory, s *sat.Solver) *CNF {
 
 // NewCNFWithOptions couples a factory with a solver.
 func NewCNFWithOptions(f *Factory, s *sat.Solver, opts CNFOptions) *CNF {
-	c := &CNF{
-		f:       f,
-		s:       s,
-		opts:    opts,
-		nodeVar: make(map[int32]sat.Var),
-		nodePol: make(map[int32]uint8),
-		varVar:  make(map[int32]sat.Var),
-	}
+	c := &CNF{f: f, s: s, opts: opts}
 	if !opts.NoSweep {
 		c.sw = newSweeper(f)
 	}
 	return c
+}
+
+// ensureNode grows the dense node-indexed state to cover node ni (the
+// factory keeps allocating nodes after the CNF is created — the sweeper's
+// bottom-up rebuild in particular appends to the arena mid-emission).
+func (c *CNF) ensureNode(ni int32) {
+	for int(ni) >= len(c.nodeVar) {
+		c.nodeVar = append(c.nodeVar, -1)
+		c.nodePol = append(c.nodePol, 0)
+	}
 }
 
 // Solver returns the underlying SAT solver.
@@ -318,12 +408,15 @@ func (c *CNF) Factory() *Factory { return c.f }
 // SolverVar returns the solver variable allocated for circuit variable id,
 // creating (and freezing) it if needed.
 func (c *CNF) SolverVar(id int) sat.Var {
-	if v, ok := c.varVar[int32(id)]; ok {
+	for id >= len(c.varVar) {
+		c.varVar = append(c.varVar, -1)
+	}
+	if v := c.varVar[id]; v >= 0 {
 		return v
 	}
 	v := c.s.NewVar()
 	c.s.Freeze(v)
-	c.varVar[int32(id)] = v
+	c.varVar[id] = v
 	return v
 }
 
@@ -355,23 +448,24 @@ func (c *CNF) litForNode(ni int32, pol uint8) sat.Var {
 	if c.opts.NoPolarity {
 		pol = polBoth
 	}
-	n := c.f.nodes[ni]
-	v, ok := c.nodeVar[ni]
-	if !ok {
-		switch n.kind {
+	c.ensureNode(ni)
+	kind := c.f.kind[ni]
+	v := c.nodeVar[ni]
+	if v < 0 {
+		switch kind {
 		case kindConst:
 			v = c.s.NewVar()
 			c.s.AddClause(sat.PosLit(v)) // the true node
 		case kindVar:
-			v = c.SolverVar(int(n.a))
+			v = c.SolverVar(int(c.f.ina[ni]))
 		case kindAnd:
 			v = c.s.NewVar()
 		default:
-			panic(fmt.Sprintf("boolcirc: unknown node kind %d", n.kind))
+			panic(fmt.Sprintf("boolcirc: unknown node kind %d", kind))
 		}
 		c.nodeVar[ni] = v
 	}
-	if n.kind != kindAnd {
+	if kind != kindAnd {
 		return v
 	}
 	missing := pol &^ c.nodePol[ni]
@@ -382,17 +476,18 @@ func (c *CNF) litForNode(ni int32, pol uint8) sat.Var {
 	// a DAG — but the mark keeps re-entrant requests cheap).
 	c.nodePol[ni] |= pol
 	out := sat.PosLit(v)
+	a, b := c.f.ina[ni], c.f.inb[ni]
 	if missing&polPos != 0 {
 		// v → a ∧ b: children used positively.
-		la := c.litEdge(n.a, polPos)
-		lb := c.litEdge(n.b, polPos)
+		la := c.litEdge(a, polPos)
+		lb := c.litEdge(b, polPos)
 		c.s.AddClause(out.Not(), la)
 		c.s.AddClause(out.Not(), lb)
 	}
 	if missing&polNeg != 0 {
 		// a ∧ b → v: children used negatively.
-		la := c.litEdge(n.a, polNeg)
-		lb := c.litEdge(n.b, polNeg)
+		la := c.litEdge(a, polNeg)
+		lb := c.litEdge(b, polNeg)
 		c.s.AddClause(la.Not(), lb.Not(), out)
 	}
 	return v
@@ -434,9 +529,8 @@ func (c *CNF) Assert(r Ref) {
 // VarValue reads the model value of circuit variable id after a Sat solve.
 // Unconstrained variables default to false.
 func (c *CNF) VarValue(id int) bool {
-	v, ok := c.varVar[int32(id)]
-	if !ok {
+	if id >= len(c.varVar) || c.varVar[id] < 0 {
 		return false
 	}
-	return c.s.Value(v)
+	return c.s.Value(c.varVar[id])
 }

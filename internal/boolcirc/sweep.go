@@ -14,37 +14,88 @@ package boolcirc
 //     the CNF layer only ever sees canonical cones.
 //
 // Wider cones fall back to structural hash-consing (the factory's cons
-// map), which the bottom-up rebuild exercises for free. Sweeping is exact
-// (truth tables, not simulation samples), so no SAT check is needed to
-// confirm a merge.
+// table), which the bottom-up rebuild exercises for free. Sweeping is
+// exact (truth tables, not simulation samples), so no SAT check is needed
+// to confirm a merge.
+//
+// All per-node sweep state lives in dense slices indexed by arena offset
+// (canonical edge, support, truth table); supports are carved out of one
+// shared int32 arena. The functional-hash table is keyed by a fixed-size
+// comparable struct, so probing it never builds a string.
 
 // sweepMaxSupport bounds the support size for exact functional hashing;
 // 2^(2^6) functions fit a uint64 truth table.
 const sweepMaxSupport = 6
 
+// canonUnset marks a node whose canonical edge has not been computed yet.
+// Refs are non-negative (node offset shifted left), so -1 is free.
+const canonUnset Ref = -1
+
+// Support-state markers for suppLen: a node either has no functional info
+// yet, is a wide cone (structural sharing only), or has a tabled function
+// of suppLen-suppTabled variables.
+const (
+	suppUnset  int8 = -2
+	suppWide   int8 = -1
+	suppTabled int8 = 0
+)
+
+// fnKey identifies a boolean function: support size, the (≤6) sorted
+// support variable ids, and the complement-canonicalised truth table.
+// It is a comparable fixed-size value, so map operations on it do not
+// allocate.
+type fnKey struct {
+	n    int8
+	supp [sweepMaxSupport]int32
+	tt   uint64
+}
+
 type sweeper struct {
 	f *Factory
 	// canonOf maps a node index to the canonical edge computing the
 	// node's positive function. Canonical nodes map to themselves.
-	canonOf map[int32]Ref
-	// suppOf/ttOf describe canonical nodes: sorted support variable ids
-	// and the truth table of the node's positive function over them. A
-	// present-but-nil support marks a wide cone (no truth table).
-	suppOf map[int32][]int32
-	ttOf   map[int32]uint64
-	// canon maps a (support, truth table) key — complement-canonicalised
-	// so bit 0 is clear — to the edge computing that function.
-	canon map[string]Ref
+	canonOf []Ref
+	// suppLen/suppOff/tt describe canonical nodes: suppLen is suppUnset,
+	// suppWide, or suppTabled+k for a k-variable function whose sorted
+	// support ids live at suppArena[suppOff : suppOff+k] and whose
+	// positive-function truth table is tt.
+	suppLen   []int8
+	suppOff   []int32
+	tt        []uint64
+	suppArena []int32
+	// canon maps a complement-canonicalised function (bit 0 of the table
+	// clear) to the edge computing it.
+	canon map[fnKey]Ref
 }
 
 func newSweeper(f *Factory) *sweeper {
-	return &sweeper{
-		f:       f,
-		canonOf: make(map[int32]Ref),
-		suppOf:  make(map[int32][]int32),
-		ttOf:    make(map[int32]uint64),
-		canon:   make(map[string]Ref),
+	return &sweeper{f: f, canon: make(map[fnKey]Ref)}
+}
+
+// ensure grows the dense node-indexed state to cover node ni; the factory
+// arena keeps growing while the sweeper rebuilds cones.
+func (sw *sweeper) ensure(ni int32) {
+	for int(ni) >= len(sw.canonOf) {
+		sw.canonOf = append(sw.canonOf, canonUnset)
+		sw.suppLen = append(sw.suppLen, suppUnset)
+		sw.suppOff = append(sw.suppOff, 0)
+		sw.tt = append(sw.tt, 0)
 	}
+}
+
+// support returns the sorted support ids of a tabled node.
+func (sw *sweeper) support(ni int32) []int32 {
+	k := int32(sw.suppLen[ni])
+	return sw.suppArena[sw.suppOff[ni] : sw.suppOff[ni]+k]
+}
+
+// setSupport records a tabled function for ni, interning the support into
+// the shared arena.
+func (sw *sweeper) setSupport(ni int32, supp []int32, table uint64) {
+	sw.suppOff[ni] = int32(len(sw.suppArena))
+	sw.suppArena = append(sw.suppArena, supp...)
+	sw.suppLen[ni] = suppTabled + int8(len(supp))
+	sw.tt[ni] = table
 }
 
 // sweep returns the canonical edge equivalent to r.
@@ -59,22 +110,23 @@ func (sw *sweeper) sweep(r Ref) Ref {
 // canonNode returns the canonical edge for the node's positive function,
 // rebuilding AND cones bottom-up through the factory's folding rules.
 func (sw *sweeper) canonNode(ni int32) Ref {
-	if ce, ok := sw.canonOf[ni]; ok {
+	sw.ensure(ni)
+	if ce := sw.canonOf[ni]; ce != canonUnset {
 		return ce
 	}
-	n := sw.f.nodes[ni]
 	var result Ref
-	switch n.kind {
+	switch sw.f.kind[ni] {
 	case kindConst:
 		result = True
 	case kindVar:
-		sw.registerLeaf(ni, int32(n.a))
+		sw.registerLeaf(ni, int32(sw.f.ina[ni]))
 		result = Ref(ni << 1)
 	case kindAnd:
-		ea := sw.sweep(n.a)
-		eb := sw.sweep(n.b)
+		ea := sw.sweep(sw.f.ina[ni])
+		eb := sw.sweep(sw.f.inb[ni])
 		result = sw.canonAnd(sw.f.and2(ea, eb))
 	}
+	sw.ensure(ni)
 	sw.canonOf[ni] = result
 	return result
 }
@@ -88,20 +140,20 @@ func (sw *sweeper) canonAnd(r Ref) Ref {
 		return r
 	}
 	ni := r.node()
-	if ce, ok := sw.canonOf[ni]; ok {
+	sw.ensure(ni)
+	if ce := sw.canonOf[ni]; ce != canonUnset {
 		if r.complemented() {
 			return ce.Not()
 		}
 		return ce
 	}
-	n := sw.f.nodes[ni]
 	var ce Ref
-	if n.kind == kindAnd {
-		ce = sw.hashAnd(ni, n)
+	if sw.f.kind[ni] == kindAnd {
+		ce = sw.hashAnd(ni)
 	} else {
 		// Defensive: folding handed back an unseen leaf.
-		if n.kind == kindVar {
-			sw.registerLeaf(ni, int32(n.a))
+		if sw.f.kind[ni] == kindVar {
+			sw.registerLeaf(ni, int32(sw.f.ina[ni]))
 		}
 		ce = Ref(ni << 1)
 	}
@@ -115,43 +167,44 @@ func (sw *sweeper) canonAnd(r Ref) Ref {
 // hashAnd computes the exact function of an AND node over canonical
 // children and merges it with any functionally identical earlier cone.
 // It returns the canonical edge for the node's positive function.
-func (sw *sweeper) hashAnd(ni int32, n node) Ref {
+func (sw *sweeper) hashAnd(ni int32) Ref {
 	pos := Ref(ni << 1)
-	suppA, ttA, okA := sw.childInfo(n.a)
-	suppB, ttB, okB := sw.childInfo(n.b)
+	ea, eb := sw.f.ina[ni], sw.f.inb[ni]
+	suppA, ttA, okA := sw.childInfo(ea)
+	suppB, ttB, okB := sw.childInfo(eb)
 	if !okA || !okB {
-		sw.suppOf[ni] = nil // wide cone: structural sharing only
+		sw.suppLen[ni] = suppWide // wide cone: structural sharing only
 		return pos
 	}
-	supp := unionSupport(suppA, suppB)
+	var buf [2 * sweepMaxSupport]int32
+	supp := unionSupport(suppA, suppB, buf[:0])
 	if len(supp) > sweepMaxSupport {
-		sw.suppOf[ni] = nil
+		sw.suppLen[ni] = suppWide
 		return pos
 	}
-	tt := expandTT(ttA, suppA, supp) & expandTT(ttB, suppB, supp)
-	supp, tt = minimizeSupport(supp, tt)
+	table := expandTT(ttA, suppA, supp) & expandTT(ttB, suppB, supp)
+	supp, table = minimizeSupport(supp, table)
 	switch {
-	case tt == 0:
+	case table == 0:
 		return False
-	case tt == ttMask(len(supp)):
+	case table == ttMask(len(supp)):
 		return True
 	}
 	// Complement canonicalisation: store the phase whose table has bit 0
 	// clear, so a cone and its complement share one entry.
-	neg := tt&1 == 1
-	ktt := tt
+	neg := table&1 == 1
+	ktt := table
 	if neg {
-		ktt = ^tt & ttMask(len(supp))
+		ktt = ^table & ttMask(len(supp))
 	}
-	key := canonKey(supp, ktt)
+	key := mkFnKey(supp, ktt)
 	if ce, ok := sw.canon[key]; ok {
 		if neg {
 			return ce.Not()
 		}
 		return ce
 	}
-	sw.suppOf[ni] = supp
-	sw.ttOf[ni] = tt
+	sw.setSupport(ni, supp, table)
 	reg := pos
 	if neg {
 		reg = pos.Not()
@@ -164,13 +217,13 @@ func (sw *sweeper) hashAnd(ni int32, n node) Ref {
 // claims the canon entry for that function, so any cone that minimises
 // to a single variable collapses onto the variable itself.
 func (sw *sweeper) registerLeaf(ni, varID int32) {
-	if _, ok := sw.suppOf[ni]; ok {
+	sw.ensure(ni)
+	if sw.suppLen[ni] != suppUnset {
 		return
 	}
-	supp := []int32{varID}
-	sw.suppOf[ni] = supp
-	sw.ttOf[ni] = 0b10 // value = the variable
-	key := canonKey(supp, 0b10)
+	supp := [1]int32{varID}
+	sw.setSupport(ni, supp[:], 0b10) // value = the variable
+	key := mkFnKey(supp[:], 0b10)
 	if _, ok := sw.canon[key]; !ok {
 		sw.canon[key] = Ref(ni << 1)
 	}
@@ -180,15 +233,17 @@ func (sw *sweeper) registerLeaf(ni, varID int32) {
 // edge, complementing the table for complement edges. ok is false for
 // wide cones.
 func (sw *sweeper) childInfo(e Ref) ([]int32, uint64, bool) {
-	supp, ok := sw.suppOf[e.node()]
-	if !ok || supp == nil {
+	ni := e.node()
+	sw.ensure(ni)
+	if sw.suppLen[ni] < suppTabled {
 		return nil, 0, false
 	}
-	tt := sw.ttOf[e.node()]
+	supp := sw.support(ni)
+	table := sw.tt[ni]
 	if e.complemented() {
-		tt = ^tt & ttMask(len(supp))
+		table = ^table & ttMask(len(supp))
 	}
-	return supp, tt, true
+	return supp, table, true
 }
 
 // ttMask is the mask of valid truth-table bits for k support variables.
@@ -197,9 +252,9 @@ func ttMask(k int) uint64 {
 	return (uint64(1) << (1 << uint(k))) - 1
 }
 
-// unionSupport merges two sorted id slices into a fresh sorted slice.
-func unionSupport(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
+// unionSupport merges two sorted id slices into out (typically
+// stack-backed scratch), returning the merged sorted slice.
+func unionSupport(a, b, out []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -227,7 +282,7 @@ func expandTT(tt uint64, from, to []int32) uint64 {
 	if len(from) == len(to) {
 		return tt // from ⊆ to, equal lengths ⇒ identical supports
 	}
-	pos := make([]int, len(from))
+	var pos [sweepMaxSupport]int
 	for i, v := range from {
 		for j, w := range to {
 			if v == w {
@@ -240,8 +295,8 @@ func expandTT(tt uint64, from, to []int32) uint64 {
 	n := 1 << uint(len(to))
 	for j := 0; j < n; j++ {
 		jj := 0
-		for i, p := range pos {
-			if j>>uint(p)&1 == 1 {
+		for i := range from {
+			if j>>uint(pos[i])&1 == 1 {
 				jj |= 1 << uint(i)
 			}
 		}
@@ -288,14 +343,10 @@ func minimizeSupport(supp []int32, tt uint64) ([]int32, uint64) {
 	return supp, tt
 }
 
-// canonKey packs a support and canonical truth table into a map key.
-func canonKey(supp []int32, tt uint64) string {
-	b := make([]byte, 0, len(supp)*4+8)
-	for _, v := range supp {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	b = append(b,
-		byte(tt), byte(tt>>8), byte(tt>>16), byte(tt>>24),
-		byte(tt>>32), byte(tt>>40), byte(tt>>48), byte(tt>>56))
-	return string(b)
+// mkFnKey packs a support and canonical truth table into a fixed-size
+// comparable key.
+func mkFnKey(supp []int32, tt uint64) fnKey {
+	k := fnKey{n: int8(len(supp)), tt: tt}
+	copy(k.supp[:], supp)
+	return k
 }

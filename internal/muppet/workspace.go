@@ -100,6 +100,7 @@ func newWorkspace(sys *encode.System, specs []partySpec, reusable bool) *workspa
 	ws.bindOffers()
 	cfg := EncodingConfig()
 	satOpts := sat.Options{DisableSimp: cfg.NoPreprocess}
+	satOpts.VivifyPropBudget, satOpts.BVETickPeriod = InprocessTuning()
 	if !reusable {
 		// A one-shot workspace hardens its whole problem before the first
 		// Solve, so preprocessing runs unconditionally there: once, early,
@@ -176,6 +177,27 @@ func unpackEncoding(f uint32) Encoding {
 		NoSweep:      f&encNoSweep != 0,
 		NoPreprocess: f&encNoPreprocess != 0,
 	}
+}
+
+// Inprocessing tuning for workspace solvers, stored atomically like the
+// encoding flags so benchmarks and the CLI can reconfigure a running
+// process. Zero means the solver default; a negative budget disables
+// vivification entirely.
+var (
+	tunVivifyBudget atomic.Int64
+	tunBVEPeriod    atomic.Int64
+)
+
+// SetInprocessTuning installs the vivification propagation budget and the
+// BVE tick period for subsequently built workspaces (0 = solver default,
+// negative budget disables vivification) and returns the previous pair.
+func SetInprocessTuning(vivifyPropBudget, bveTickPeriod int64) (prevVivify, prevBVE int64) {
+	return tunVivifyBudget.Swap(vivifyPropBudget), tunBVEPeriod.Swap(bveTickPeriod)
+}
+
+// InprocessTuning reports the current inprocessing tuning pair.
+func InprocessTuning() (vivifyPropBudget, bveTickPeriod int64) {
+	return tunVivifyBudget.Load(), tunBVEPeriod.Load()
 }
 
 // bindOffers (re-)binds each party's free bounds and captures the offer

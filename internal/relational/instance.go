@@ -67,6 +67,20 @@ func (in *Instance) String() string {
 	return b.String()
 }
 
+// env maps quantified variables to the atom they are currently bound to
+// during evaluation. (The translator uses a dense binding array instead;
+// the evaluator is not hot and keeps the simple copying map.)
+type env map[*Var]int
+
+func (e env) extend(v *Var, atom int) env {
+	n := make(env, len(e)+1)
+	for k, val := range e {
+		n[k] = val
+	}
+	n[v] = atom
+	return n
+}
+
 // Eval evaluates a closed formula under an instance.
 func Eval(f Formula, in *Instance) bool {
 	return evalFormula(f, in, env{})

@@ -2,41 +2,54 @@ package relational
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"strings"
+	"strconv"
 
 	"muppet/internal/boolcirc"
 )
 
+// Tuples, matrices and quantifier environments are the allocation-heavy
+// part of grounding: a services-scale bundle touches every subterm under
+// thousands of bindings, and the original string-keyed maps built a fresh
+// key (and often a fresh tuple) per touch. The translator therefore
+// interns tuples once into a flat table — a tuple becomes an int32 id —
+// and keys every matrix, cache and index by those ids; quantifier
+// environments are a dense binding array indexed by variable id with
+// interned byte-string keys for the memo tables. Grounding allocates only
+// when it encounters a genuinely new tuple, environment or subterm.
+
 // matrix is the boolean-matrix denotation of an expression during
-// translation: each possibly-present tuple maps to a circuit edge. Tuples
-// that are definitely absent are simply missing from the map.
+// translation: each possibly-present tuple (by interned id) maps to a
+// circuit edge. Tuples that are definitely absent are simply missing.
 type matrix struct {
 	arity int
-	cells map[string]mcell
-}
-
-type mcell struct {
-	t Tuple
-	r boolcirc.Ref
+	cells map[int32]boolcirc.Ref
 }
 
 func newMatrix(arity int) *matrix {
-	return &matrix{arity: arity, cells: make(map[string]mcell)}
+	return &matrix{arity: arity, cells: make(map[int32]boolcirc.Ref)}
 }
 
-func (m *matrix) set(t Tuple, r boolcirc.Ref) {
+func (m *matrix) set(id int32, r boolcirc.Ref) {
 	if r == boolcirc.False {
 		return
 	}
-	m.cells[t.key()] = mcell{t: t, r: r}
+	m.cells[id] = r
 }
 
-func (m *matrix) get(t Tuple) boolcirc.Ref {
-	if c, ok := m.cells[t.key()]; ok {
-		return c.r
+func (m *matrix) get(id int32) boolcirc.Ref {
+	if r, ok := m.cells[id]; ok {
+		return r
 	}
 	return boolcirc.False
+}
+
+// cellRef pairs an interned tuple id with its circuit edge for ordered
+// iteration.
+type cellRef struct {
+	id int32
+	r  boolcirc.Ref
 }
 
 // RelVar associates a free tuple of a relation (in its upper but not lower
@@ -55,15 +68,30 @@ type Translator struct {
 	bounds  *Bounds
 	relVars map[*Relation][]RelVar
 	relMats map[*Relation]*matrix
-	relIdx  map[*Relation]map[string]boolcirc.Ref // tuple key → free-tuple variable
+	relIdx  map[*Relation]map[int32]boolcirc.Ref // tuple id → free-tuple variable
+
+	// Tuple interner: tuples[id] is the content of interned tuple id;
+	// tupTab is an open-addressed table of id+1 entries (0 = empty) hashed
+	// by content.
+	tuples  []Tuple
+	tupTab  []int32
+	tupUsed int
+
+	// Quantifier environments: varIDs gives each *Var a dense id, bind is
+	// the current binding per id (atom+1; 0 = unbound), and envIntern maps
+	// the packed (id, atom) pairs of a subterm's free variables to a small
+	// env id for cache keys. Env id 0 is the empty environment.
+	varIDs    map[*Var]int
+	bind      []int32
+	envIntern map[string]int32
+	envScr    []byte
 
 	// Memoisation: grounding re-enters the same subterm under many
 	// quantifier bindings, but a subterm's denotation depends only on the
 	// bindings of its free variables. Caching on (node, free-var bindings)
 	// turns the naive exponential re-translation into Kodkod-style sharing.
-	varIDs    map[*Var]int
-	freeE     map[Expr]map[*Var]bool
-	freeF     map[Formula]map[*Var]bool
+	freeE     map[Expr][]int32    // sorted free-variable ids
+	freeF     map[Formula][]int32 // sorted free-variable ids
 	exprCache map[exprKey]*matrix
 	formCache map[formKey]boolcirc.Ref
 
@@ -74,6 +102,7 @@ type Translator struct {
 	// lets them reuse the previously grounded circuit edge.
 	relIDs      map[*Relation]int
 	structCache map[string]boolcirc.Ref
+	structScr   []byte
 	stats       CacheStats
 }
 
@@ -95,26 +124,36 @@ func (tr *Translator) Cache() CacheStats { return tr.stats }
 
 type exprKey struct {
 	e   Expr
-	env string
+	env int32
 }
 
 type formKey struct {
 	f   Formula
-	env string
+	env int32
 }
+
+// envUnbound marks an environment that leaves some free variable of the
+// subterm unbound; such translations are not cached (they panic or are
+// re-entered under a complete environment later).
+const envUnbound int32 = -1
 
 // NewTranslator creates a translator over the given bounds, allocating one
 // circuit variable per free tuple of each bound relation.
 func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 	tr := &Translator{
-		factory:   f,
-		bounds:    b,
-		relVars:   make(map[*Relation][]RelVar),
-		relMats:   make(map[*Relation]*matrix),
-		relIdx:    make(map[*Relation]map[string]boolcirc.Ref),
+		factory: f,
+		bounds:  b,
+		relVars: make(map[*Relation][]RelVar),
+		relMats: make(map[*Relation]*matrix),
+		relIdx:  make(map[*Relation]map[int32]boolcirc.Ref),
+
+		tupTab: make([]int32, 256),
+
 		varIDs:    make(map[*Var]int),
-		freeE:     make(map[Expr]map[*Var]bool),
-		freeF:     make(map[Formula]map[*Var]bool),
+		envIntern: make(map[string]int32),
+
+		freeE:     make(map[Expr][]int32),
+		freeF:     make(map[Formula][]int32),
 		exprCache: make(map[exprKey]*matrix),
 		formCache: make(map[formKey]boolcirc.Ref),
 
@@ -125,16 +164,17 @@ func NewTranslator(b *Bounds, f *boolcirc.Factory) *Translator {
 		m := newMatrix(r.arity)
 		lower := b.Lower(r)
 		var vars []RelVar
-		idx := make(map[string]boolcirc.Ref)
+		idx := make(map[int32]boolcirc.Ref)
 		for _, t := range b.Upper(r).Tuples() {
+			id := tr.intern(t, nil)
 			if lower.Contains(t) {
-				m.set(t, boolcirc.True)
+				m.set(id, boolcirc.True)
 				continue
 			}
 			v := f.Var()
-			m.set(t, v)
-			vars = append(vars, RelVar{Tuple: t, Ref: v})
-			idx[t.key()] = v
+			m.set(id, v)
+			vars = append(vars, RelVar{Tuple: tr.tuples[id], Ref: v})
+			idx[id] = v
 		}
 		tr.relVars[r] = vars
 		tr.relMats[r] = m
@@ -156,20 +196,116 @@ func (tr *Translator) RelationVars(r *Relation) []RelVar { return tr.relVars[r] 
 // in O(1). ok is false when t is not free in r (it is in the lower bound,
 // outside the upper bound, or r is unbound).
 func (tr *Translator) TupleVar(r *Relation, t Tuple) (boolcirc.Ref, bool) {
-	v, ok := tr.relIdx[r][t.key()]
+	id, ok := tr.lookup(t)
+	if !ok {
+		return 0, false
+	}
+	v, ok := tr.relIdx[r][id]
 	return v, ok
 }
 
-// env maps quantified variables to the atom they are currently bound to.
-type env map[*Var]int
-
-func (e env) extend(v *Var, atom int) env {
-	n := make(env, len(e)+1)
-	for k, val := range e {
-		n[k] = val
+// tupHash mixes tuple content (two concatenated parts) FNV-1a style.
+func tupHash(a, b Tuple) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range a {
+		h = (h ^ uint64(uint32(x))) * 1099511628211
 	}
-	n[v] = atom
-	return n
+	for _, x := range b {
+		h = (h ^ uint64(uint32(x))) * 1099511628211
+	}
+	return h
+}
+
+func tupMatches(t, a, b Tuple) bool {
+	if len(t) != len(a)+len(b) {
+		return false
+	}
+	for i, x := range a {
+		if t[i] != x {
+			return false
+		}
+	}
+	for i, x := range b {
+		if t[len(a)+i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the id of the tuple a++b, copying the content into the
+// flat table only on first encounter. Callers concatenating tuples pass
+// the parts directly, so a join or product probes the table without
+// building the combined tuple first.
+func (tr *Translator) intern(a, b Tuple) int32 {
+	mask := uint64(len(tr.tupTab) - 1)
+	i := tupHash(a, b) & mask
+	for {
+		e := tr.tupTab[i]
+		if e == 0 {
+			break
+		}
+		if tupMatches(tr.tuples[e-1], a, b) {
+			return e - 1
+		}
+		i = (i + 1) & mask
+	}
+	t := make(Tuple, 0, len(a)+len(b))
+	t = append(t, a...)
+	t = append(t, b...)
+	tr.tuples = append(tr.tuples, t)
+	id := int32(len(tr.tuples) - 1)
+	tr.tupTab[i] = id + 1
+	tr.tupUsed++
+	if tr.tupUsed*4 >= len(tr.tupTab)*3 {
+		tr.growTupTab()
+	}
+	return id
+}
+
+func (tr *Translator) growTupTab() {
+	old := tr.tupTab
+	tr.tupTab = make([]int32, 2*len(old))
+	mask := uint64(len(tr.tupTab) - 1)
+	for _, e := range old {
+		if e == 0 {
+			continue
+		}
+		i := tupHash(tr.tuples[e-1], nil) & mask
+		for tr.tupTab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		tr.tupTab[i] = e
+	}
+}
+
+// lookup probes for an already-interned tuple without inserting.
+func (tr *Translator) lookup(t Tuple) (int32, bool) {
+	mask := uint64(len(tr.tupTab) - 1)
+	i := tupHash(t, nil) & mask
+	for {
+		e := tr.tupTab[i]
+		if e == 0 {
+			return 0, false
+		}
+		if tupMatches(tr.tuples[e-1], t, nil) {
+			return e - 1, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// ordered returns a matrix's cells sorted by tuple content, so circuit
+// construction order (and therefore emitted CNF) is reproducible.
+func (tr *Translator) ordered(m *matrix) []cellRef {
+	out := make([]cellRef, 0, len(m.cells))
+	for id, r := range m.cells {
+		out = append(out, cellRef{id: id, r: r})
+	}
+	slices.SortFunc(out, func(a, b cellRef) int {
+		return slices.Compare(tr.tuples[a.id], tr.tuples[b.id])
+	})
+	return out
 }
 
 // Formula grounds f into a circuit edge that is true exactly in the models
@@ -179,37 +315,41 @@ func (e env) extend(v *Var, atom int) env {
 func (tr *Translator) Formula(f Formula) boolcirc.Ref {
 	// Successful top-level calls are closed formulas (an unbound variable
 	// panics during translation), so the empty env key identifies them.
-	if r, hit := tr.formCache[formKey{f: f, env: ""}]; hit {
+	if r, hit := tr.formCache[formKey{f: f, env: 0}]; hit {
 		tr.stats.PointerHits++
 		return r
 	}
 	key := tr.structKey(f)
-	if r, hit := tr.structCache[key]; hit {
+	if r, hit := tr.structCache[string(key)]; hit {
 		tr.stats.StructHits++
-		tr.formCache[formKey{f: f, env: ""}] = r
+		tr.formCache[formKey{f: f, env: 0}] = r
 		return r
 	}
 	tr.stats.Misses++
-	r := tr.formula(f, env{})
-	tr.structCache[key] = r
+	r := tr.formula(f)
+	tr.structCache[string(key)] = r
 	return r
 }
 
-// structKey serialises a formula's shape: relations and free variables by
-// translator-scoped identity, bound variables by binding position, constant
-// tuple sets by content. Two formulas with equal keys ground to the same
-// circuit edge under this translator's bounds.
-func (tr *Translator) structKey(f Formula) string {
-	h := hasher{tr: tr, bound: make(map[*Var]int)}
+// structKey serialises a formula's shape into the translator's reusable
+// scratch buffer: relations and free variables by translator-scoped
+// identity, bound variables by binding position, constant tuple sets by
+// content. Two formulas with equal keys ground to the same circuit edge
+// under this translator's bounds. The returned bytes alias the scratch —
+// valid until the next structKey call; map lookups on string(key) do not
+// allocate, and inserts copy.
+func (tr *Translator) structKey(f Formula) []byte {
+	h := hasher{tr: tr, bound: make(map[*Var]int), b: tr.structScr[:0]}
 	h.formula(f)
-	return h.b.String()
+	tr.structScr = h.b
+	return h.b
 }
 
 type hasher struct {
 	tr    *Translator
 	bound map[*Var]int // bound variable → de-Bruijn-style binding index
 	next  int
-	b     strings.Builder
+	b     []byte
 }
 
 func (h *hasher) relID(r *Relation) int {
@@ -219,6 +359,11 @@ func (h *hasher) relID(r *Relation) int {
 	id := len(h.tr.relIDs)
 	h.tr.relIDs[r] = id
 	return id
+}
+
+func (h *hasher) mark(c byte, n int) {
+	h.b = append(h.b, c)
+	h.b = strconv.AppendInt(h.b, int64(n), 10)
 }
 
 // bind registers decl variables for a scope and returns an undo closure
@@ -250,43 +395,50 @@ func (h *hasher) bind(decls []Decl) func() {
 func (h *hasher) formula(f Formula) {
 	switch g := f.(type) {
 	case *ConstFormula:
-		fmt.Fprintf(&h.b, "c%v;", g.val)
+		if g.val {
+			h.b = append(h.b, 'c', '1', ';')
+		} else {
+			h.b = append(h.b, 'c', '0', ';')
+		}
 	case *CompFormula:
-		fmt.Fprintf(&h.b, "p%d(", g.op)
+		h.mark('p', int(g.op))
+		h.b = append(h.b, '(')
 		h.expr(g.l)
-		h.b.WriteByte(',')
+		h.b = append(h.b, ',')
 		h.expr(g.r)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *MultFormula:
-		fmt.Fprintf(&h.b, "m%d(", g.mult)
+		h.mark('m', int(g.mult))
+		h.b = append(h.b, '(')
 		h.expr(g.e)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *NotFormula:
-		h.b.WriteString("!(")
+		h.b = append(h.b, '!', '(')
 		h.formula(g.f)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *NaryFormula:
-		fmt.Fprintf(&h.b, "n%d(", g.op)
+		h.mark('n', int(g.op))
+		h.b = append(h.b, '(')
 		for _, sub := range g.fs {
 			h.formula(sub)
-			h.b.WriteByte(',')
+			h.b = append(h.b, ',')
 		}
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *QuantFormula:
 		if g.forall {
-			h.b.WriteString("qa")
+			h.b = append(h.b, 'q', 'a')
 		} else {
-			h.b.WriteString("qe")
+			h.b = append(h.b, 'q', 'e')
 		}
 		undo := h.bind(g.decls)
 		for _, d := range g.decls {
-			h.b.WriteByte('[')
+			h.b = append(h.b, '[')
 			h.expr(d.domain)
-			h.b.WriteByte(']')
+			h.b = append(h.b, ']')
 		}
-		h.b.WriteByte('(')
+		h.b = append(h.b, '(')
 		h.formula(g.body)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 		undo()
 	default:
 		panic(fmt.Sprintf("relational: unknown formula %T", f))
@@ -296,116 +448,154 @@ func (h *hasher) formula(f Formula) {
 func (h *hasher) expr(ex Expr) {
 	switch g := ex.(type) {
 	case *Relation:
-		fmt.Fprintf(&h.b, "r%d;", h.relID(g))
+		h.mark('r', h.relID(g))
+		h.b = append(h.b, ';')
 	case *Var:
 		if idx, ok := h.bound[g]; ok {
-			fmt.Fprintf(&h.b, "v%d;", idx)
+			h.mark('v', idx)
 		} else {
 			// Free variable: identity-keyed, so distinct free variables
 			// never alias even if their display names collide.
-			fmt.Fprintf(&h.b, "V%d;", h.tr.varID(g))
+			h.mark('V', h.tr.varID(g))
 		}
+		h.b = append(h.b, ';')
 	case *ConstExpr:
-		fmt.Fprintf(&h.b, "k%d{", g.ts.arity)
+		h.mark('k', g.ts.arity)
+		h.b = append(h.b, '{')
 		for _, t := range g.ts.Tuples() {
-			h.b.WriteString(t.key())
-			h.b.WriteByte(';')
+			for _, a := range t {
+				h.b = strconv.AppendInt(h.b, int64(a), 10)
+				h.b = append(h.b, ',')
+			}
+			h.b = append(h.b, ';')
 		}
-		h.b.WriteByte('}')
+		h.b = append(h.b, '}')
 	case *BinExpr:
-		fmt.Fprintf(&h.b, "b%d(", g.op)
+		h.mark('b', int(g.op))
+		h.b = append(h.b, '(')
 		h.expr(g.l)
-		h.b.WriteByte(',')
+		h.b = append(h.b, ',')
 		h.expr(g.r)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *TransposeExpr:
-		h.b.WriteString("~(")
+		h.b = append(h.b, '~', '(')
 		h.expr(g.e)
-		h.b.WriteByte(')')
+		h.b = append(h.b, ')')
 	case *ComprehensionExpr:
-		h.b.WriteByte('{')
+		h.b = append(h.b, '{')
 		undo := h.bind(g.decls)
 		for _, d := range g.decls {
-			h.b.WriteByte('[')
+			h.b = append(h.b, '[')
 			h.expr(d.domain)
-			h.b.WriteByte(']')
+			h.b = append(h.b, ']')
 		}
-		h.b.WriteByte('|')
+		h.b = append(h.b, '|')
 		h.formula(g.body)
-		h.b.WriteByte('}')
+		h.b = append(h.b, '}')
 		undo()
 	default:
 		panic(fmt.Sprintf("relational: unknown expression %T", ex))
 	}
 }
 
-// varID assigns stable identifiers to quantified variables for cache keys.
+// varID assigns stable identifiers to quantified variables for cache keys
+// and binding slots.
 func (tr *Translator) varID(v *Var) int {
 	if id, ok := tr.varIDs[v]; ok {
 		return id
 	}
 	id := len(tr.varIDs)
 	tr.varIDs[v] = id
+	tr.bind = append(tr.bind, 0)
 	return id
 }
 
-// envKeyFor serialises the bindings of the given free variables.
-func (tr *Translator) envKeyFor(free map[*Var]bool, e env) string {
-	if len(free) == 0 {
-		return ""
+// freeIDsF returns the sorted free-variable ids of f, memoised.
+func (tr *Translator) freeIDsF(f Formula) []int32 {
+	if ids, ok := tr.freeF[f]; ok {
+		return ids
 	}
-	ids := make([]int, 0, len(free))
-	byID := make(map[int]int, len(free))
-	for v := range free {
-		atom, ok := e[v]
-		if !ok {
-			// Unbound free variable: fall through — translation will
-			// report it; do not cache.
-			return "?unbound"
-		}
-		id := tr.varID(v)
-		ids = append(ids, id)
-		byID[id] = atom
-	}
-	sort.Ints(ids)
-	var b strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&b, "%d=%d;", id, byID[id])
-	}
-	return b.String()
+	ids := tr.sortedIDs(FreeVarsFormula(f))
+	tr.freeF[f] = ids
+	return ids
 }
 
-func (tr *Translator) formula(f Formula, e env) boolcirc.Ref {
-	free, ok := tr.freeF[f]
-	if !ok {
-		free = FreeVarsFormula(f)
-		tr.freeF[f] = free
+// freeIDsE returns the sorted free-variable ids of ex, memoised.
+func (tr *Translator) freeIDsE(ex Expr) []int32 {
+	if ids, ok := tr.freeE[ex]; ok {
+		return ids
 	}
-	ek := tr.envKeyFor(free, e)
-	if ek != "?unbound" {
-		key := formKey{f: f, env: ek}
-		if r, hit := tr.formCache[key]; hit {
-			return r
+	ids := tr.sortedIDs(FreeVars(ex))
+	tr.freeE[ex] = ids
+	return ids
+}
+
+func (tr *Translator) sortedIDs(free map[*Var]bool) []int32 {
+	if len(free) == 0 {
+		return nil
+	}
+	ids := make([]int32, 0, len(free))
+	for v := range free {
+		ids = append(ids, int32(tr.varID(v)))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// envKey interns the current bindings of the given free variables into a
+// small id for cache keys; ok is false when some variable is unbound (the
+// translation is then not cached — it will panic, or the caller re-enters
+// it under a complete environment later).
+func (tr *Translator) envKey(ids []int32) (int32, bool) {
+	if len(ids) == 0 {
+		return 0, true
+	}
+	b := tr.envScr[:0]
+	for _, id := range ids {
+		a := tr.bind[id]
+		if a == 0 {
+			return envUnbound, false
 		}
-		r := tr.formulaUncached(f, e)
-		tr.formCache[key] = r
+		b = append(b,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	tr.envScr = b
+	if eid, ok := tr.envIntern[string(b)]; ok {
+		return eid, true
+	}
+	eid := int32(len(tr.envIntern) + 1)
+	tr.envIntern[string(b)] = eid
+	return eid, true
+}
+
+func (tr *Translator) formula(f Formula) boolcirc.Ref {
+	ek, ok := tr.envKey(tr.freeIDsF(f))
+	if !ok {
+		return tr.formulaUncached(f)
+	}
+	key := formKey{f: f, env: ek}
+	if r, hit := tr.formCache[key]; hit {
 		return r
 	}
-	return tr.formulaUncached(f, e)
+	r := tr.formulaUncached(f)
+	tr.formCache[key] = r
+	return r
 }
 
-func (tr *Translator) formulaUncached(f Formula, e env) boolcirc.Ref {
+func (tr *Translator) formulaUncached(f Formula) boolcirc.Ref {
 	switch g := f.(type) {
 	case *ConstFormula:
 		return tr.factory.Bool(g.val)
 
 	case *CompFormula:
-		lm := tr.expr(g.l, e)
-		rm := tr.expr(g.r, e)
+		lm := tr.expr(g.l)
+		rm := tr.expr(g.r)
 		sub := func(a, b *matrix) boolcirc.Ref {
-			conj := make([]boolcirc.Ref, 0, len(a.cells))
-			for _, c := range a.cells {
-				conj = append(conj, tr.factory.Implies(c.r, b.get(c.t)))
+			cells := tr.ordered(a)
+			conj := make([]boolcirc.Ref, 0, len(cells))
+			for _, c := range cells {
+				conj = append(conj, tr.factory.Implies(c.r, b.get(c.id)))
 			}
 			return tr.factory.And(conj...)
 		}
@@ -415,9 +605,10 @@ func (tr *Translator) formulaUncached(f Formula, e env) boolcirc.Ref {
 		return tr.factory.And(sub(lm, rm), sub(rm, lm))
 
 	case *MultFormula:
-		m := tr.expr(g.e, e)
-		refs := make([]boolcirc.Ref, 0, len(m.cells))
-		for _, c := range orderedCells(m) {
+		m := tr.expr(g.e)
+		cells := tr.ordered(m)
+		refs := make([]boolcirc.Ref, 0, len(cells))
+		for _, c := range cells {
 			refs = append(refs, c.r)
 		}
 		some := tr.factory.Or(refs...)
@@ -434,31 +625,31 @@ func (tr *Translator) formulaUncached(f Formula, e env) boolcirc.Ref {
 		panic("relational: unknown multiplicity")
 
 	case *NotFormula:
-		return tr.formula(g.f, e).Not()
+		return tr.formula(g.f).Not()
 
 	case *NaryFormula:
 		switch g.op {
 		case OpAnd:
 			refs := make([]boolcirc.Ref, len(g.fs))
 			for i, sub := range g.fs {
-				refs[i] = tr.formula(sub, e)
+				refs[i] = tr.formula(sub)
 			}
 			return tr.factory.And(refs...)
 		case OpOr:
 			refs := make([]boolcirc.Ref, len(g.fs))
 			for i, sub := range g.fs {
-				refs[i] = tr.formula(sub, e)
+				refs[i] = tr.formula(sub)
 			}
 			return tr.factory.Or(refs...)
 		case OpImplies:
-			return tr.factory.Implies(tr.formula(g.fs[0], e), tr.formula(g.fs[1], e))
+			return tr.factory.Implies(tr.formula(g.fs[0]), tr.formula(g.fs[1]))
 		case OpIff:
-			return tr.factory.Iff(tr.formula(g.fs[0], e), tr.formula(g.fs[1], e))
+			return tr.factory.Iff(tr.formula(g.fs[0]), tr.formula(g.fs[1]))
 		}
 		panic("relational: unknown connective")
 
 	case *QuantFormula:
-		return tr.quant(g, g.decls, e)
+		return tr.quant(g, g.decls)
 
 	default:
 		panic(fmt.Sprintf("relational: unknown formula %T", f))
@@ -466,22 +657,29 @@ func (tr *Translator) formulaUncached(f Formula, e env) boolcirc.Ref {
 }
 
 // quant grounds one quantifier declaration at a time, so later domains may
-// mention earlier variables.
-func (tr *Translator) quant(q *QuantFormula, decls []Decl, e env) boolcirc.Ref {
+// mention earlier variables. Bindings mutate the dense binding array and
+// are restored on exit; grounding is strictly nested, so no environment
+// copies are needed.
+func (tr *Translator) quant(q *QuantFormula, decls []Decl) boolcirc.Ref {
 	if len(decls) == 0 {
-		return tr.formula(q.body, e)
+		return tr.formula(q.body)
 	}
 	d := decls[0]
-	dom := tr.expr(d.domain, e)
-	parts := make([]boolcirc.Ref, 0, len(dom.cells))
-	for _, c := range orderedCells(dom) {
-		inner := tr.quant(q, decls[1:], e.extend(d.v, c.t[0]))
+	dom := tr.expr(d.domain)
+	cells := tr.ordered(dom)
+	vid := tr.varID(d.v)
+	saved := tr.bind[vid]
+	parts := make([]boolcirc.Ref, 0, len(cells))
+	for _, c := range cells {
+		tr.bind[vid] = int32(tr.tuples[c.id][0]) + 1
+		inner := tr.quant(q, decls[1:])
 		if q.forall {
 			parts = append(parts, tr.factory.Implies(c.r, inner))
 		} else {
 			parts = append(parts, tr.factory.And(c.r, inner))
 		}
 	}
+	tr.bind[vid] = saved
 	if q.forall {
 		return tr.factory.And(parts...)
 	}
@@ -499,26 +697,21 @@ func (tr *Translator) atMostOne(refs []boolcirc.Ref) boolcirc.Ref {
 	return tr.factory.And(conj...)
 }
 
-func (tr *Translator) expr(ex Expr, e env) *matrix {
-	free, ok := tr.freeE[ex]
+func (tr *Translator) expr(ex Expr) *matrix {
+	ek, ok := tr.envKey(tr.freeIDsE(ex))
 	if !ok {
-		free = FreeVars(ex)
-		tr.freeE[ex] = free
+		return tr.exprUncached(ex)
 	}
-	ek := tr.envKeyFor(free, e)
-	if ek != "?unbound" {
-		key := exprKey{e: ex, env: ek}
-		if m, hit := tr.exprCache[key]; hit {
-			return m
-		}
-		m := tr.exprUncached(ex, e)
-		tr.exprCache[key] = m
+	key := exprKey{e: ex, env: ek}
+	if m, hit := tr.exprCache[key]; hit {
 		return m
 	}
-	return tr.exprUncached(ex, e)
+	m := tr.exprUncached(ex)
+	tr.exprCache[key] = m
+	return m
 }
 
-func (tr *Translator) exprUncached(ex Expr, e env) *matrix {
+func (tr *Translator) exprUncached(ex Expr) *matrix {
 	switch g := ex.(type) {
 	case *Relation:
 		m, ok := tr.relMats[g]
@@ -528,89 +721,101 @@ func (tr *Translator) exprUncached(ex Expr, e env) *matrix {
 		return m
 
 	case *Var:
-		atom, ok := e[g]
-		if !ok {
+		a := tr.bind[tr.varID(g)]
+		if a == 0 {
 			panic(fmt.Sprintf("relational: unbound variable %s", g.name))
 		}
 		m := newMatrix(1)
-		m.set(Tuple{atom}, boolcirc.True)
+		atom := [1]int{int(a - 1)}
+		m.set(tr.intern(atom[:], nil), boolcirc.True)
 		return m
 
 	case *ConstExpr:
 		m := newMatrix(g.ts.arity)
 		for _, t := range g.ts.Tuples() {
-			m.set(t, boolcirc.True)
+			m.set(tr.intern(t, nil), boolcirc.True)
 		}
 		return m
 
 	case *BinExpr:
-		lm := tr.expr(g.l, e)
-		rm := tr.expr(g.r, e)
+		lm := tr.expr(g.l)
+		rm := tr.expr(g.r)
 		switch g.op {
 		case opUnion:
 			m := newMatrix(lm.arity)
-			for _, c := range lm.cells {
-				m.set(c.t, c.r)
+			for id, r := range lm.cells {
+				m.set(id, r)
 			}
-			for _, c := range rm.cells {
-				m.set(c.t, tr.factory.Or(m.get(c.t), c.r))
+			for _, c := range tr.ordered(rm) {
+				m.set(c.id, tr.factory.Or(m.get(c.id), c.r))
 			}
 			return m
 		case opIntersect:
 			m := newMatrix(lm.arity)
-			for _, c := range lm.cells {
-				m.set(c.t, tr.factory.And(c.r, rm.get(c.t)))
+			for _, c := range tr.ordered(lm) {
+				m.set(c.id, tr.factory.And(c.r, rm.get(c.id)))
 			}
 			return m
 		case opDiff:
 			m := newMatrix(lm.arity)
-			for _, c := range lm.cells {
-				m.set(c.t, tr.factory.And(c.r, rm.get(c.t).Not()))
+			for _, c := range tr.ordered(lm) {
+				m.set(c.id, tr.factory.And(c.r, rm.get(c.id).Not()))
 			}
 			return m
 		case opProduct:
 			m := newMatrix(lm.arity + rm.arity)
-			for _, a := range lm.cells {
-				for _, b := range rm.cells {
-					m.set(a.t.Concat(b.t), tr.factory.And(a.r, b.r))
+			rcells := tr.ordered(rm)
+			for _, a := range tr.ordered(lm) {
+				at := tr.tuples[a.id]
+				for _, b := range rcells {
+					m.set(tr.intern(at, tr.tuples[b.id]), tr.factory.And(a.r, b.r))
 				}
 			}
 			return m
 		case opJoin:
 			m := newMatrix(lm.arity + rm.arity - 2)
 			// Group right cells by leading atom for the middle sum.
-			byHead := make(map[int][]mcell)
-			for _, b := range rm.cells {
-				byHead[b.t[0]] = append(byHead[b.t[0]], b)
+			byHead := make(map[int][]cellRef)
+			for _, b := range tr.ordered(rm) {
+				head := tr.tuples[b.id][0]
+				byHead[head] = append(byHead[head], b)
 			}
-			acc := make(map[string][]boolcirc.Ref)
-			tuples := make(map[string]Tuple)
-			for _, a := range lm.cells {
-				mid := a.t[len(a.t)-1]
+			acc := make(map[int32][]boolcirc.Ref)
+			order := make([]int32, 0, len(lm.cells))
+			for _, a := range tr.ordered(lm) {
+				at := tr.tuples[a.id]
+				mid := at[len(at)-1]
 				for _, b := range byHead[mid] {
-					t := a.t[: len(a.t)-1 : len(a.t)-1].Concat(b.t[1:])
-					k := t.key()
-					acc[k] = append(acc[k], tr.factory.And(a.r, b.r))
-					tuples[k] = t
+					bt := tr.tuples[b.id]
+					id := tr.intern(at[:len(at)-1], bt[1:])
+					if _, seen := acc[id]; !seen {
+						order = append(order, id)
+					}
+					acc[id] = append(acc[id], tr.factory.And(a.r, b.r))
 				}
 			}
-			for k, refs := range acc {
-				m.set(tuples[k], tr.factory.Or(refs...))
+			for _, id := range order {
+				m.set(id, tr.factory.Or(acc[id]...))
 			}
 			return m
 		}
 		panic("relational: unknown binary expression")
 
 	case *TransposeExpr:
-		im := tr.expr(g.e, e)
+		im := tr.expr(g.e)
 		m := newMatrix(2)
-		for _, c := range im.cells {
-			m.set(Tuple{c.t[1], c.t[0]}, c.r)
+		for id, r := range im.cells {
+			t := tr.tuples[id]
+			flipped := [2]int{t[1], t[0]}
+			m.set(tr.intern(flipped[:], nil), r)
 		}
 		return m
 
 	case *ComprehensionExpr:
-		return tr.comprehension(g, g.decls, nil, boolcirc.True, e)
+		m := newMatrix(len(g.decls))
+		var prefix [8]int
+		tr.comprehension(g, g.decls, prefix[:0], boolcirc.True, m)
+		return m
 
 	default:
 		panic(fmt.Sprintf("relational: unknown expression %T", ex))
@@ -619,38 +824,26 @@ func (tr *Translator) exprUncached(ex Expr, e env) *matrix {
 
 // comprehension enumerates candidate bindings for the declarations,
 // accumulating membership guards, and emits one cell per full binding.
-func (tr *Translator) comprehension(c *ComprehensionExpr, decls []Decl, prefix Tuple, guard boolcirc.Ref, e env) *matrix {
+// The prefix is a shared scratch stack; tuples are only materialised (via
+// interning) at full bindings.
+func (tr *Translator) comprehension(c *ComprehensionExpr, decls []Decl, prefix []int, guard boolcirc.Ref, out *matrix) {
 	if len(decls) == 0 {
-		m := newMatrix(len(c.decls))
-		m.set(prefix, tr.factory.And(guard, tr.formula(c.body, e)))
-		return m
+		id := tr.intern(prefix, nil)
+		out.set(id, tr.factory.Or(out.get(id), tr.factory.And(guard, tr.formula(c.body))))
+		return
 	}
 	d := decls[0]
-	dom := tr.expr(d.domain, e)
-	out := newMatrix(len(c.decls))
-	for _, cell := range orderedCells(dom) {
-		sub := tr.comprehension(c, decls[1:],
-			prefix.Concat(cell.t),
+	dom := tr.expr(d.domain)
+	cells := tr.ordered(dom)
+	vid := tr.varID(d.v)
+	saved := tr.bind[vid]
+	for _, cell := range cells {
+		t := tr.tuples[cell.id]
+		tr.bind[vid] = int32(t[0]) + 1
+		tr.comprehension(c, decls[1:],
+			append(prefix, t...),
 			tr.factory.And(guard, cell.r),
-			e.extend(d.v, cell.t[0]))
-		for _, sc := range sub.cells {
-			out.set(sc.t, tr.factory.Or(out.get(sc.t), sc.r))
-		}
+			out)
 	}
-	return out
-}
-
-// orderedCells returns a matrix's cells in deterministic tuple order, so
-// translation output is reproducible run to run.
-func orderedCells(m *matrix) []mcell {
-	keys := make([]string, 0, len(m.cells))
-	for k := range m.cells {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]mcell, len(keys))
-	for i, k := range keys {
-		out[i] = m.cells[k]
-	}
-	return out
+	tr.bind[vid] = saved
 }

@@ -88,6 +88,7 @@ func TestArenaGCRemapsEverything(t *testing.T) {
 	if !s.Okay() {
 		t.Skip("instance trivially unsat at level 0")
 	}
+	s.flushWatches() // AddClause defers attachment; this test inspects watches
 
 	// Interleave garbage between live clauses: orphan learnts that are
 	// allocated and immediately deleted, so the arena has holes to squeeze.
@@ -140,7 +141,7 @@ func TestArenaGCRemapsEverything(t *testing.T) {
 		for _, w := range lits[:2] {
 			found := false
 			for _, ww := range s.watches[w] {
-				if ww.c == c {
+				if ww.clause() == c {
 					found = true
 					break
 				}
@@ -153,8 +154,8 @@ func TestArenaGCRemapsEverything(t *testing.T) {
 	// And no watcher may point at a stale or deleted cref.
 	for idx := range s.watches {
 		for _, w := range s.watches[idx] {
-			if w.c < 0 || int(w.c) >= len(s.ca.data) || s.ca.deleted(w.c) {
-				t.Fatalf("stale watcher cref %d survived GC", w.c)
+			if w.clause() < 0 || int(w.clause()) >= len(s.ca.data) || s.ca.deleted(w.clause()) {
+				t.Fatalf("stale watcher cref %d survived GC", w.clause())
 			}
 		}
 	}

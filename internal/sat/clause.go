@@ -28,7 +28,8 @@ const (
 	claFlagLearnt  = 1
 	claFlagDeleted = 2
 	claFlagReloced = 4
-	claFlagBits    = 3 // size is stored shifted past the flags
+	claFlagUsed    = 8 // learnt clause used in conflict analysis since the last reduceDB
+	claFlagBits    = 4 // size is stored shifted past the flags
 	claFlagMask    = 1<<claFlagBits - 1
 )
 
@@ -87,6 +88,14 @@ func (db *clauseDB) shrink(c cref, n int) {
 	db.data[c] = Lit(n<<claFlagBits) | db.data[c]&claFlagMask
 }
 
+// used/markUsed/clearUsed manage the "touched since the last reduction"
+// flag backing the learnt-clause tiers: a mid/local-tier clause that
+// served as a conflict antecedent earns one round of reprieve from
+// reduceDB (see search.go).
+func (db *clauseDB) used(c cref) bool { return db.data[c]&claFlagUsed != 0 }
+func (db *clauseDB) markUsed(c cref)  { db.data[c] |= claFlagUsed }
+func (db *clauseDB) clearUsed(c cref) { db.data[c] &^= claFlagUsed }
+
 func (db *clauseDB) lbd(c cref) int32       { return int32(db.data[c+1]) }
 func (db *clauseDB) setLBD(c cref, l int32) { db.data[c+1] = Lit(l) }
 
@@ -113,8 +122,15 @@ func (db *clauseDB) bytes() int64 { return int64(cap(db.data)) * 4 }
 
 // watcher pairs a watching clause with a "blocker" literal: if the
 // blocker is already true the clause is satisfied and need not be
-// touched, sparing the cache miss on the clause itself.
-type watcher struct {
-	c       cref
-	blocker Lit
+// touched, sparing the cache miss on the clause itself. The pair is
+// packed into one 64-bit word — cref in the high half, blocker literal
+// in the low half — so a watch-list scan is a single-word load per entry
+// and watch lists are pointer-free flat memory.
+type watcher uint64
+
+func mkWatcher(c cref, blocker Lit) watcher {
+	return watcher(uint64(uint32(c))<<32 | uint64(uint32(blocker)))
 }
+
+func (w watcher) clause() cref { return cref(int32(uint32(w >> 32))) }
+func (w watcher) blocker() Lit { return Lit(int32(uint32(w))) }

@@ -32,6 +32,26 @@ func (s *Solver) inprocessInterval() int64 {
 	return inprocessDefaultInterval
 }
 
+// vivifyBudget resolves the per-round propagation budget (Options
+// override, -1 → off).
+func (s *Solver) vivifyBudget() int64 {
+	switch {
+	case s.opts.VivifyPropBudget > 0:
+		return s.opts.VivifyPropBudget
+	case s.opts.VivifyPropBudget < 0:
+		return 0
+	}
+	return vivifyPropBudget
+}
+
+// bvePeriod resolves how many ticks pass between preprocessor re-runs.
+func (s *Solver) bvePeriod() int64 {
+	if s.opts.BVETickPeriod > 0 {
+		return s.opts.BVETickPeriod
+	}
+	return bveTickPeriod
+}
+
 // maybeInprocess runs an inprocessing tick if enough conflicts have
 // accumulated. Called from Solve's restart loop at decision level 0.
 func (s *Solver) maybeInprocess() {
@@ -50,30 +70,35 @@ func (s *Solver) maybeInprocess() {
 	if s.unsatLevel0 {
 		return
 	}
-	if !s.opts.DisableSimp && s.inprocessTicks%bveTickPeriod == 0 &&
+	if !s.opts.DisableSimp && s.inprocessTicks%s.bvePeriod() == 0 &&
 		len(s.clauses) >= s.simpMinClauses() {
 		s.runSimplify()
 	}
 }
 
-// vivifyRound probes problem clauses at level 0: for clause c = l1∨…∨ln it
+// vivifyRound probes clauses at level 0: for clause c = l1∨…∨ln it
 // assumes ¬l1,…,¬lk in turn and unit-propagates. A conflict means the
 // first k literals already form a valid (shorter) clause; a literal
 // propagated true means the clause is implied by its prefix plus that
 // literal; a literal propagated false is redundant and dropped. The
 // clause is eagerly detached while probing (otherwise it would justify
 // its own literals) and reattached, shrunk in place, afterwards.
+//
+// Problem clauses are probed first; whatever budget remains goes to the
+// core/mid-tier learnt clauses — exactly the clauses reduceDB keeps, so
+// shortening them pays off for the rest of the database's lifetime.
 func (s *Solver) vivifyRound() {
-	if len(s.clauses) == 0 || s.decisionLevel() != 0 {
+	if s.decisionLevel() != 0 {
 		return
 	}
 	startProps := s.Stats.Propagations
-	if s.vivifyHead >= len(s.clauses) {
-		s.vivifyHead = 0
+	budget := s.vivifyBudget()
+	if budget <= 0 {
+		return
 	}
 	for visited := 0; visited < len(s.clauses); visited++ {
-		if s.Stats.Propagations-startProps > vivifyPropBudget {
-			break
+		if s.Stats.Propagations-startProps > budget {
+			return
 		}
 		if s.vivifyHead >= len(s.clauses) {
 			s.vivifyHead = 0
@@ -85,6 +110,23 @@ func (s *Solver) vivifyRound() {
 		}
 		if !s.vivifyClause(c) {
 			return // level-0 contradiction
+		}
+	}
+	for visited := 0; visited < len(s.learnts); visited++ {
+		if s.Stats.Propagations-startProps > budget {
+			return
+		}
+		if s.vivifyLearntHead >= len(s.learnts) {
+			s.vivifyLearntHead = 0
+		}
+		c := s.learnts[s.vivifyLearntHead]
+		s.vivifyLearntHead++
+		if s.ca.deleted(c) || s.ca.size(c) < vivifyMinSize ||
+			s.ca.lbd(c) > tierMidLBD {
+			continue
+		}
+		if !s.vivifyClause(c) {
+			return
 		}
 	}
 }

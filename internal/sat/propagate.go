@@ -18,11 +18,12 @@ func (s *Solver) propagate() cref {
 		out := ws[:0]
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if s.value(w.blocker) == lTrue {
+			blocker := w.blocker()
+			if s.value(blocker) == lTrue {
 				out = append(out, w)
 				continue
 			}
-			c := w.c
+			c := w.clause()
 			if s.ca.deleted(c) {
 				continue // purge lazily
 			}
@@ -32,8 +33,8 @@ func (s *Solver) propagate() cref {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			first := lits[0]
-			if first != w.blocker && s.value(first) == lTrue {
-				out = append(out, watcher{c, first})
+			if first != blocker && s.value(first) == lTrue {
+				out = append(out, mkWatcher(c, first))
 				continue
 			}
 			// Look for a new literal to watch.
@@ -41,7 +42,7 @@ func (s *Solver) propagate() cref {
 			for k := 2; k < len(lits); k++ {
 				if s.value(lits[k]) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, first})
+					s.watches[lits[1]] = append(s.watches[lits[1]], mkWatcher(c, first))
 					found = true
 					break
 				}

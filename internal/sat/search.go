@@ -19,6 +19,16 @@ func (s *Solver) analyze(confl cref) ([]Lit, int32) {
 		}
 		if s.ca.learnt(confl) {
 			s.claBump(confl)
+			// Tier bookkeeping (see reduceDB): an antecedent earns one
+			// round of reprieve, and its LBD is recomputed Glucose-style —
+			// a clause that got "stickier" can be promoted into the core
+			// tier, never demoted.
+			s.ca.markUsed(confl)
+			if s.ca.lbd(confl) > tierCoreLBD {
+				if nl := s.computeLBD(s.ca.lits(confl)); nl < s.ca.lbd(confl) {
+					s.ca.setLBD(confl, nl)
+				}
+			}
 		}
 		clits := s.ca.lits(confl)
 		if p != LitUndef {
@@ -178,30 +188,59 @@ func (s *Solver) analyzeFinal(p Lit) {
 	s.seen[p.Var()] = 0
 }
 
-// reduceDB removes roughly half of the learnt clauses, preferring high-LBD,
-// low-activity ones. Glue clauses (LBD ≤ 2) and reason clauses survive.
-// Entries already deleted on the fly are purged, and the arena is
-// compacted when enough of it has died.
+// Learnt-clause tier boundaries (CaDiCaL-style): core clauses (LBD ≤ 2,
+// "glue") are kept forever; mid clauses (LBD ≤ 6) and local clauses
+// survive a reduction only if they served as a conflict antecedent since
+// the previous one, with mid-tier clauses deleted last among the
+// candidates.
+const (
+	tierCoreLBD = 2
+	tierMidLBD  = 6
+)
+
+// reduceDB trims the learnt-clause database by tier instead of by a flat
+// activity sort: core-tier clauses, reason clauses, and binaries are kept
+// unconditionally; mid/local clauses used since the last reduction get
+// one round of reprieve (and their used flag cleared, so they must earn
+// the next one); the remaining candidates are ranked local-tier first,
+// then by descending LBD and ascending activity, and the worse half is
+// deleted. Entries already deleted on the fly are purged, and the arena
+// is compacted when enough of it has died.
 func (s *Solver) reduceDB() {
 	ca := &s.ca
-	sort.Slice(s.learnts, func(i, j int) bool {
-		a, b := s.learnts[i], s.learnts[j]
-		if ga, gb := ca.lbd(a) <= 2, ca.lbd(b) <= 2; ga != gb {
-			return gb // glue clauses last (kept)
-		}
-		return ca.act(a) < ca.act(b)
-	})
 	locked := func(c cref) bool {
 		v := ca.lits(c)[0].Var()
 		return s.assigns[v] != lUndef && s.reason[v] == c
 	}
 	keep := s.learnts[:0]
-	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
+	cand := make([]cref, 0, len(s.learnts))
+	for _, c := range s.learnts {
 		if ca.deleted(c) {
 			continue // removed on the fly (OTF subsumption)
 		}
-		if i < limit && ca.lbd(c) > 2 && !locked(c) && ca.size(c) > 2 {
+		switch {
+		case ca.lbd(c) <= tierCoreLBD || ca.size(c) <= 2 || locked(c):
+			keep = append(keep, c)
+		case ca.used(c):
+			ca.clearUsed(c)
+			keep = append(keep, c)
+		default:
+			cand = append(cand, c)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := cand[i], cand[j]
+		if ta, tb := ca.lbd(a) > tierMidLBD, ca.lbd(b) > tierMidLBD; ta != tb {
+			return ta // local tier deleted before mid tier
+		}
+		if la, lb := ca.lbd(a), ca.lbd(b); la != lb {
+			return la > lb
+		}
+		return ca.act(a) < ca.act(b)
+	})
+	limit := len(cand) / 2
+	for i, c := range cand {
+		if i < limit {
 			s.detach(c)
 			s.Stats.Removed++
 		} else {
@@ -209,6 +248,12 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = keep
+	// The protected tiers can exceed the limit that triggered this call;
+	// grow it past the survivors so reduceDB doesn't re-fire every
+	// conflict while deleting nothing.
+	if float64(len(s.learnts)) >= s.maxLearnts {
+		s.maxLearnts = float64(len(s.learnts))*1.1 + 100
+	}
 	s.maybeGC()
 }
 
@@ -382,6 +427,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		return Unknown
 	}
 	s.cancelUntil(0)
+	s.flushWatches()
 	if confl := s.propagate(); confl != crefUndef {
 		s.unsatLevel0 = true
 		s.conflict = s.conflict[:0]

@@ -118,6 +118,7 @@ func (s *Solver) maybeSimplify() {
 // trail bookkeeping. Learnt clauses survive (with their LBD/activity)
 // unless they mention an eliminated variable.
 func (s *Solver) runSimplify() {
+	s.flushWatches() // queued crefs must not outlive the arena rebuild below
 	p := s.pp()
 	p.EnsureVars(len(s.assigns))
 
@@ -223,6 +224,7 @@ func (s *Solver) runSimplify() {
 			continue
 		}
 		n := newCA.alloc(s.ca.lits(c), true)
+		newCA.data[n] |= s.ca.data[c] & claFlagUsed // tier reprieve flag
 		newCA.setLBD(n, s.ca.lbd(c))
 		newCA.setAct(n, s.ca.act(c))
 		newLrn = append(newLrn, n)
@@ -230,21 +232,27 @@ func (s *Solver) runSimplify() {
 	s.ca = newCA
 	s.clauses = newCls
 	s.learnts = newLrn
-	s.vivifyHead = 0 // the rolling vivification cursor indexes s.clauses
+	s.vivifyHead = 0 // the rolling vivification cursors index the lists
+	s.vivifyLearntHead = 0
 
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
 	}
+	s.nWatched = 0
 	if s.opts.NaivePropagation {
 		for i := range s.occs {
 			s.occs[i] = s.occs[i][:0]
 		}
-	}
-	for _, c := range s.clauses {
-		s.attach(c)
-	}
-	for _, c := range s.learnts {
-		s.attach(c)
+		for _, c := range s.clauses {
+			s.attach(c)
+		}
+		for _, c := range s.learnts {
+			s.attach(c)
+		}
+	} else {
+		// Re-attaching one clause at a time would redo the per-literal grow
+		// chains the bulk loader avoids; carve the rebuilt lists instead.
+		s.buildWatches(s.clauses, s.learnts)
 	}
 	// The level-0 trail survives the rebuild, but its reason references
 	// point into the discarded arena; level-0 facts need no reason.

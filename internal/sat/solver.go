@@ -89,6 +89,14 @@ type Options struct {
 	// InprocessInterval, when positive, overrides how many conflicts pass
 	// between inprocessing ticks (default inprocessDefaultInterval).
 	InprocessInterval int64
+	// VivifyPropBudget, when positive, overrides the unit-propagation
+	// budget of one vivification round (default vivifyPropBudget); -1
+	// disables vivification. Exposed for the inprocessing budget sweeps
+	// recorded in EXPERIMENTS.md.
+	VivifyPropBudget int64
+	// BVETickPeriod, when positive, overrides how many inprocessing ticks
+	// pass between full preprocessor re-runs (default bveTickPeriod).
+	BVETickPeriod int64
 }
 
 // restartBase returns the Luby restart unit in conflicts.
@@ -121,6 +129,15 @@ type Solver struct {
 
 	watches [][]watcher // indexed by literal: clauses watching that literal
 	occs    [][]cref    // naive mode: occurrence lists per literal
+
+	// Deferred watch attachment: AddClause queues clauses here and the
+	// queue is flushed before any propagation. A bulk flush into empty
+	// watch lists sizes every list with a counting pass and carves them
+	// all out of one flat watcher arena (see buildWatches), so loading a
+	// large encoding costs O(1) allocations instead of one grow chain per
+	// literal.
+	pendingWatch []cref
+	nWatched     int // watcher entries attached since the lists were last emptied
 
 	assigns  []lbool // per variable
 	level    []int32 // decision level per variable
@@ -166,9 +183,10 @@ type Solver struct {
 	simpWatermark int // problem clause count right after the last run
 
 	// Inprocessing schedule (see inprocess.go).
-	nextInprocess  int64 // Stats.Conflicts threshold of the next tick
-	inprocessTicks int64 // ticks run, to interleave BVE every few ticks
-	vivifyHead     int   // rolling cursor into clauses
+	nextInprocess    int64 // Stats.Conflicts threshold of the next tick
+	inprocessTicks   int64 // ticks run, to interleave BVE every few ticks
+	vivifyHead       int   // rolling cursor into clauses
+	vivifyLearntHead int   // rolling cursor into learnts
 
 	// Stats accumulates counters across Solve calls.
 	Stats Stats
@@ -314,7 +332,9 @@ func (s *Solver) SetPhaseLit(l Lit) {
 
 // AddClause adds a disjunction of literals. It returns false if the clause
 // set is now known unsatisfiable at level 0 (an empty clause was derived).
-// Duplicate literals are merged and tautologies are dropped.
+// Duplicate literals are merged and tautologies are dropped. Unit clauses
+// are asserted immediately but propagated lazily: a conflict reachable
+// only through non-unit propagation surfaces at the next Solve.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsatLevel0 {
 		return false
@@ -374,17 +394,89 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.unsatLevel0 = true
 		return false
 	case 1:
+		// Enqueue without propagating: the assignment is visible to the
+		// normalisation of every later AddClause (so unit chains still
+		// resolve here), while the queue drains at the next Solve — which
+		// keeps the bulk clause load free of per-unit watch flushes.
 		s.uncheckedEnqueue(out[0], crefUndef)
-		if s.propagate() != crefUndef {
-			s.unsatLevel0 = true
-			return false
-		}
 		return true
 	}
 	c := s.ca.alloc(out, false)
 	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	if s.opts.NaivePropagation {
+		s.attach(c)
+	} else {
+		s.pendingWatch = append(s.pendingWatch, c)
+	}
 	return true
+}
+
+// watchBulkMin is the queued-clause count below which flushWatches just
+// attaches one by one: tiny batches don't repay the counting pass.
+const watchBulkMin = 1024
+
+// flushWatches attaches every clause queued by AddClause. A large batch
+// (a bulk encoding load, or a totalizer layer added between incremental
+// Solve calls) rebuilds the watch lists in one carved pass; small batches
+// are attached individually.
+func (s *Solver) flushWatches() {
+	if len(s.pendingWatch) == 0 {
+		return
+	}
+	pend := s.pendingWatch
+	s.pendingWatch = s.pendingWatch[:0]
+	if len(pend) >= watchBulkMin {
+		s.buildWatches(pend)
+		return
+	}
+	for _, c := range pend {
+		s.attach(c)
+	}
+}
+
+// buildWatches rebuilds every watch list with the given clause lists
+// appended: a counting sweep sizes each list (current entries plus new
+// watchers), the lists are carved out of a single flat watcher arena
+// (capacity-clamped so a later append cannot clobber a neighbour),
+// existing entries are copied over, and a fill sweep appends the new
+// ones. Each list gets ~50% slack over its initial population:
+// propagation migrates watchers between lists continuously, and an
+// exact-size carve would turn every migration into a list reallocation.
+func (s *Solver) buildWatches(lists ...[]cref) {
+	cnt := make([]int32, len(s.watches))
+	for i, ws := range s.watches {
+		cnt[i] = int32(len(ws))
+	}
+	added := 0
+	for _, cls := range lists {
+		for _, c := range cls {
+			lits := s.ca.lits(c)
+			cnt[lits[0]]++
+			cnt[lits[1]]++
+			added += 2
+		}
+	}
+	pad := func(n int) int { return n + n/2 + 4 }
+	padded := 0
+	for _, n := range cnt {
+		padded += pad(int(n))
+	}
+	arena := make([]watcher, padded)
+	off := 0
+	for i := range s.watches {
+		n := int(cnt[i])
+		lst := arena[off : off : off+pad(n)]
+		s.watches[i] = append(lst, s.watches[i]...)
+		off += pad(n)
+	}
+	for _, cls := range lists {
+		for _, c := range cls {
+			lits := s.ca.lits(c)
+			s.watches[lits[0]] = append(s.watches[lits[0]], mkWatcher(c, lits[1]))
+			s.watches[lits[1]] = append(s.watches[lits[1]], mkWatcher(c, lits[0]))
+		}
+	}
+	s.nWatched += added
 }
 
 func (s *Solver) attach(c cref) {
@@ -397,8 +489,9 @@ func (s *Solver) attach(c cref) {
 	}
 	// Watch the first two literals; the watch list for a literal holds
 	// clauses in which that literal is watched, visited when it goes false.
-	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{c, lits[1]})
-	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, lits[0]})
+	s.watches[lits[0]] = append(s.watches[lits[0]], mkWatcher(c, lits[1]))
+	s.watches[lits[1]] = append(s.watches[lits[1]], mkWatcher(c, lits[0]))
+	s.nWatched += 2
 }
 
 // detach lazily marks a clause deleted; watch lists are purged on scan and
@@ -410,7 +503,7 @@ func (s *Solver) detach(c cref) { s.ca.delete(c) }
 func (s *Solver) removeWatch(l Lit, c cref) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].clause() == c {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -523,8 +616,9 @@ func (s *Solver) garbageCollect() {
 			return old.relocTarget(c)
 		}
 		n := to.alloc(old.lits(c), old.learnt(c))
-		to.data[n+1] = old.data[c+1] // LBD
-		to.data[n+2] = old.data[c+2] // activity
+		to.data[n] |= old.data[c] & claFlagUsed // tier reprieve flag
+		to.data[n+1] = old.data[c+1]            // LBD
+		to.data[n+2] = old.data[c+2]            // activity
 		old.setReloced(c, n)
 		return n
 	}
@@ -561,12 +655,19 @@ func (s *Solver) garbageCollect() {
 		ws := s.watches[i]
 		out := ws[:0]
 		for _, w := range ws {
-			if n := reloc(w.c); n != crefUndef {
-				out = append(out, watcher{n, w.blocker})
+			if n := reloc(w.clause()); n != crefUndef {
+				out = append(out, mkWatcher(n, w.blocker()))
 			}
 		}
 		s.watches[i] = out
 	}
+	pend := s.pendingWatch[:0]
+	for _, c := range s.pendingWatch {
+		if n := reloc(c); n != crefUndef {
+			pend = append(pend, n)
+		}
+	}
+	s.pendingWatch = pend
 	if s.opts.NaivePropagation {
 		for i := range s.occs {
 			occ := s.occs[i]

@@ -1,0 +1,140 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWatcherRoundTrip pins the packed-watcher encoding: cref in the high
+// word, blocker literal in the low word, both recoverable exactly —
+// including the negative crefUndef sentinel, which must survive the
+// uint32 truncation and sign-extend back.
+func TestWatcherRoundTrip(t *testing.T) {
+	cases := []struct {
+		c cref
+		b Lit
+	}{
+		{0, 0},
+		{crefUndef, 0},
+		{crefUndef, PosLit(Var(17))},
+		{1, NegLit(Var(0))},
+		{1<<31 - 1, PosLit(Var(1<<29 - 1))},
+		{123456, NegLit(Var(654321))},
+	}
+	for _, tc := range cases {
+		w := mkWatcher(tc.c, tc.b)
+		if got := w.clause(); got != tc.c {
+			t.Errorf("mkWatcher(%d, %d).clause() = %d, want %d", tc.c, tc.b, got, tc.c)
+		}
+		if got := w.blocker(); got != tc.b {
+			t.Errorf("mkWatcher(%d, %d).blocker() = %d, want %d", tc.c, tc.b, got, tc.b)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		c := cref(rng.Int31())
+		b := Lit(rng.Int31())
+		w := mkWatcher(c, b)
+		if w.clause() != c || w.blocker() != b {
+			t.Fatalf("round trip failed: (%d, %d) -> (%d, %d)", c, b, w.clause(), w.blocker())
+		}
+	}
+}
+
+// mkLearnt allocates an attached learnt clause over three fresh variables
+// with the given LBD and activity, appended to the solver's learnt list.
+func mkLearnt(s *Solver, vars [3]Var, lbd int32, act float32) cref {
+	c := s.ca.alloc([]Lit{PosLit(vars[0]), PosLit(vars[1]), PosLit(vars[2])}, true)
+	s.ca.setLBD(c, lbd)
+	s.ca.setAct(c, act)
+	s.attach(c)
+	s.learnts = append(s.learnts, c)
+	return c
+}
+
+// TestReduceDBKeepsCoreTier pins the tier policy: core-tier clauses
+// (LBD ≤ tierCoreLBD) always survive a reduction; mid/local clauses with
+// the used flag survive exactly one round (the flag is cleared); among the
+// remaining candidates the local tier (LBD > tierMidLBD) is deleted
+// before the mid tier.
+func TestReduceDBKeepsCoreTier(t *testing.T) {
+	const nVars = 200
+	s := newSolverWith(nVars, [][]Lit{{PosLit(0), PosLit(1)}}, Options{DisableSimp: true})
+	s.flushWatches()
+
+	nextVar := Var(3)
+	fresh := func() [3]Var {
+		v := nextVar
+		nextVar += 3
+		return [3]Var{v, v + 1, v + 2}
+	}
+
+	var core, used, mid, local []cref
+	for i := 0; i < 4; i++ {
+		core = append(core, mkLearnt(s, fresh(), tierCoreLBD, 0.1))
+	}
+	for i := 0; i < 4; i++ {
+		c := mkLearnt(s, fresh(), tierMidLBD+3, 0.1)
+		s.ca.markUsed(c)
+		used = append(used, c)
+	}
+	for i := 0; i < 6; i++ {
+		mid = append(mid, mkLearnt(s, fresh(), tierMidLBD, float32(i)))
+	}
+	for i := 0; i < 6; i++ {
+		local = append(local, mkLearnt(s, fresh(), tierMidLBD+5, float32(i)))
+	}
+
+	s.reduceDB()
+
+	for i, c := range core {
+		if s.ca.deleted(c) {
+			t.Errorf("core-tier clause %d (LBD %d) deleted by reduceDB", i, tierCoreLBD)
+		}
+	}
+	for i, c := range used {
+		if s.ca.deleted(c) {
+			t.Errorf("used local clause %d deleted despite its reprieve", i)
+		}
+		if s.ca.used(c) {
+			t.Errorf("used flag on clause %d not cleared: it would never expire", i)
+		}
+	}
+	// 12 unused candidates, worse half deleted: all 6 local-tier clauses
+	// go first, every mid-tier clause survives this round.
+	for i, c := range local {
+		if !s.ca.deleted(c) {
+			t.Errorf("local-tier clause %d survived while the candidate half-limit covered all locals", i)
+		}
+	}
+	for i, c := range mid {
+		if s.ca.deleted(c) {
+			t.Errorf("mid-tier clause %d deleted before the local tier was exhausted", i)
+		}
+	}
+
+	// The reprieve is one round: with nothing re-marked, a second reduction
+	// must delete the formerly-used local clauses ahead of the mid tier.
+	// 10 candidates remain (4 expired locals + 6 mids), so the worse half
+	// is the locals plus exactly one mid — the lowest-activity one, pinning
+	// the activity tie-break within a tier.
+	s.reduceDB()
+	for i, c := range used {
+		if !s.ca.deleted(c) {
+			t.Errorf("formerly-used local clause %d survived a second reduction without being re-used", i)
+		}
+	}
+	if !s.ca.deleted(mid[0]) {
+		t.Error("lowest-activity mid clause survived round two; activity tie-break broken")
+	}
+	for i, c := range mid[1:] {
+		if s.ca.deleted(c) {
+			t.Errorf("mid-tier clause %d deleted on round two ahead of lower-activity siblings", i+1)
+		}
+	}
+	for i, c := range core {
+		if s.ca.deleted(c) {
+			t.Errorf("core-tier clause %d deleted on round two", i)
+		}
+	}
+}

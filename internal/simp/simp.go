@@ -227,7 +227,35 @@ func (p *Preprocessor) Run(clauses [][]Lit, abort func() bool) Result {
 	rs.arena = make([]Lit, 0, total+total/2)
 	rs.cls = make([]cl, 0, len(clauses))
 	rs.occ = make([][]clRef, 2*len(p.frozen))
+	rs.occDirty = make([]bool, 2*len(p.frozen))
 	rs.assigns = make([]int8, len(p.frozen))
+	// Pre-size the occurrence lists: one counting pass over the input, then
+	// every list is carved out of a single flat arena, capacity-clamped so
+	// an append past its count cannot clobber a neighbour. The counts are
+	// upper bounds (clauses reduced away under the current assignment never
+	// claim their slots), and lists grown later by resolvents fall back to
+	// ordinary reallocation — both fine; what matters is that loading the
+	// input costs O(1) allocations instead of a grow chain per literal.
+	occCnt := make([]int32, 2*len(p.frozen))
+	for _, lits := range clauses {
+		for _, l := range lits {
+			occCnt[l]++
+		}
+	}
+	// A quarter slack per list absorbs most resolvent appends from BVE
+	// without reallocating the list.
+	occPad := func(n int) int { return n + n/4 + 2 }
+	padded := 0
+	for _, n := range occCnt {
+		padded += occPad(int(n))
+	}
+	occArena := make([]clRef, padded)
+	off := 0
+	for l := range rs.occ {
+		n := int(occCnt[l])
+		rs.occ[l] = occArena[off : off : off+occPad(n)]
+		off += occPad(n)
+	}
 	for _, lits := range clauses {
 		rs.addClause(lits)
 		if rs.unsat {
@@ -283,6 +311,7 @@ type runState struct {
 	arena    []Lit // every working clause's literals, contiguous
 	cls      []cl
 	occ      [][]clRef // indexed by literal; cleaned lazily
+	occDirty []bool    // literal strengthened out of some clause since the list was last compacted
 	assigns  []int8    // 0 undef, +1 true, -1 false
 	units    []Lit
 	pending  []Lit // units awaiting propagation
@@ -416,6 +445,7 @@ func (rs *runState) removeLit(ci clRef, l Lit) {
 	c.n = int32(k)
 	lits = lits[:k]
 	c.sig = sigOf(lits)
+	rs.occDirty[l] = true // occ[l] now holds a stale entry for ci
 	switch k {
 	case 0:
 		rs.unsat = true
@@ -429,15 +459,35 @@ func (rs *runState) removeLit(ci clRef, l Lit) {
 
 // liveOcc compacts and returns the live occurrence list of l: clauses
 // neither deleted nor strengthened past l (strengthening leaves stale
-// occurrence entries behind rather than scanning them out eagerly).
+// occurrence entries behind rather than scanning them out eagerly). The
+// clause's variable-set signature screens out most stale entries before
+// the binary search: strengthening recomputes the signature, so a clause
+// that lost l usually lost its bit too.
 func (rs *runState) liveOcc(l Lit) []clRef {
 	out := rs.occ[l][:0]
+	if !rs.occDirty[l] {
+		// No clause lost l since the last compaction, so every non-deleted
+		// entry is live; skip the membership checks entirely.
+		for _, ci := range rs.occ[l] {
+			if !rs.cls[ci].deleted {
+				out = append(out, ci)
+			}
+		}
+		rs.occ[l] = out
+		return out
+	}
+	bit := uint64(1) << (uint(l.Var()) & 63)
 	for _, ci := range rs.occ[l] {
-		if !rs.cls[ci].deleted && containsLit(rs.litsOf(ci), l) {
+		c := &rs.cls[ci]
+		if c.deleted || c.sig&bit == 0 {
+			continue
+		}
+		if containsLit(rs.arena[c.off:c.off+c.n], l) {
 			out = append(out, ci)
 		}
 	}
 	rs.occ[l] = out
+	rs.occDirty[l] = false // compacted: stale entries are gone
 	return out
 }
 
@@ -454,46 +504,52 @@ func containsLit(sorted []Lit, l Lit) bool {
 	return lo < len(sorted) && sorted[lo] == l
 }
 
-// subset reports a ⊆ b over sorted literal slices.
-func subset(a, b []Lit) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	j := 0
-	for _, l := range a {
-		for j < len(b) && b[j] < l {
-			j++
-		}
-		if j == len(b) || b[j] != l {
-			return false
-		}
-		j++
-	}
-	return true
-}
+// litNone is the "no literal" sentinel for subsumeMatch.
+const litNone Lit = -1
 
-// subsetWithFlip reports (a \ {flip}) ∪ {¬flip} ⊆ b. Flipping a literal
-// keeps the slice sorted (2v and 2v+1 are adjacent and a is
-// tautology-free), so the two-pointer walk substitutes in place.
-func subsetWithFlip(a, b []Lit, flip Lit) bool {
+// subsumeMatch reports whether a ⊆ b allowing at most one literal of a to
+// occur complemented in b (both sorted, tautology-free). flip is that
+// literal, or litNone when a is an outright subset: a subsumes b when
+// flip == litNone, and otherwise resolving a against b on flip's variable
+// strengthens b by ¬flip. A literal and its complement are adjacent in
+// the order (2v, 2v+1), so one two-pointer walk checks both cases.
+func subsumeMatch(a, b []Lit) (ok bool, flip Lit) {
+	if len(a) > len(b) {
+		return false, litNone
+	}
+	flip = litNone
 	j := 0
 	for _, l := range a {
-		if l == flip {
-			l = flip.Not()
-		}
-		for j < len(b) && b[j] < l {
+		base := l &^ 1
+		for j < len(b) && b[j] < base {
 			j++
 		}
-		if j == len(b) || b[j] != l {
-			return false
+		if j == len(b) {
+			return false, litNone
+		}
+		switch b[j] {
+		case l:
+		case l.Not():
+			if flip != litNone {
+				return false, litNone
+			}
+			flip = l
+		default:
+			return false, litNone
 		}
 		j++
 	}
-	return true
+	return true, flip
 }
 
 // processSubsumption drains the queue: each queued clause removes the
-// clauses it subsumes and strengthens the clauses it self-subsumes.
+// clauses it subsumes and strengthens the clauses it self-subsumes. Both
+// effects are found in one scan (MiniSat-simp style): any clause d that c
+// subsumes or strengthens must contain c's best (rarest) variable in one
+// polarity or the other, so scanning that variable's two occurrence lists
+// with the combined subsumeMatch check covers everything — instead of one
+// occurrence-list sweep per literal of c, which was the preprocessing
+// CPU hotspot at fleet scale.
 func (rs *runState) processSubsumption() {
 	rs.propagateUnits()
 	for rs.subHead < len(rs.subQueue) && !rs.unsat {
@@ -513,44 +569,41 @@ func (rs *runState) processSubsumption() {
 			rs.subHead = 0
 		}
 
-		// Scan the shortest occurrence list among c's literals: every
-		// clause containing all of c must appear in it.
+		// Pick the variable with the fewest occurrences over both
+		// polarities among c's literals.
 		clits := rs.litsOf(ci)
 		best := clits[0]
+		bestLen := len(rs.occ[best]) + len(rs.occ[best.Not()])
 		for _, l := range clits[1:] {
-			if len(rs.occ[l]) < len(rs.occ[best]) {
-				best = l
+			if n := len(rs.occ[l]) + len(rs.occ[l.Not()]); n < bestLen {
+				best, bestLen = l, n
 			}
 		}
 		csig := rs.cls[ci].sig
-		for _, di := range rs.liveOcc(best) {
-			if di == ci || rs.cls[di].deleted {
-				continue
-			}
-			if csig&^rs.cls[di].sig == 0 && subset(clits, rs.litsOf(di)) {
-				rs.cls[di].deleted = true
-				rs.p.Stats.ClausesSubsumed++
-			}
-		}
-
-		// Self-subsuming resolution: if c with one literal flipped is a
-		// subset of d, resolving c against d on that variable yields
-		// d minus the flipped literal — strengthen d in place.
-		for _, l := range clits {
+		for _, p := range [2]Lit{best, best.Not()} {
 			if rs.cls[ci].deleted {
 				break
 			}
-			neg := l.Not()
-			for _, di := range rs.liveOcc(neg) {
+			for _, di := range rs.liveOcc(p) {
 				if di == ci || rs.cls[di].deleted {
 					continue
 				}
-				if csig&^rs.cls[di].sig == 0 && subsetWithFlip(clits, rs.litsOf(di), l) {
-					rs.removeLit(di, neg)
-					rs.p.Stats.LitsStrengthened++
-					if rs.unsat {
-						return
-					}
+				if csig&^rs.cls[di].sig != 0 {
+					continue
+				}
+				ok, flip := subsumeMatch(clits, rs.litsOf(di))
+				if !ok {
+					continue
+				}
+				if flip == litNone {
+					rs.cls[di].deleted = true
+					rs.p.Stats.ClausesSubsumed++
+					continue
+				}
+				rs.removeLit(di, flip.Not())
+				rs.p.Stats.LitsStrengthened++
+				if rs.unsat {
+					return
 				}
 			}
 		}

@@ -228,6 +228,15 @@ func SetEncoding(e Encoding) Encoding { return core.SetEncoding(e) }
 // EncodingConfig reports the current encoding configuration.
 func EncodingConfig() Encoding { return core.EncodingConfig() }
 
+// SetInprocessTuning installs the solver inprocessing tuning — the
+// vivification propagation budget per round and the BVE tick period — for
+// subsequently built sessions (0 = solver default, negative budget
+// disables vivification) and returns the previous pair. Safe to call
+// concurrently with running queries.
+func SetInprocessTuning(vivifyPropBudget, bveTickPeriod int64) (int64, int64) {
+	return core.SetInprocessTuning(vivifyPropBudget, bveTickPeriod)
+}
+
 // FanOut serves n independent workflow queries across a bounded goroutine
 // pool sharing one (immutable) System; each task owns its parties and any
 // SolveCache. The first error cancels the rest.

@@ -3,6 +3,7 @@ package muppet_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"muppet"
@@ -110,5 +111,71 @@ func TestWarmNegotiationByteStable(t *testing.T) {
 		if warm := run(cache); warm != cold {
 			t.Fatalf("warm iteration %d differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", i, cold, warm)
 		}
+	}
+}
+
+// allocsDuring reports heap allocations (object count) made by fn,
+// measured with the world otherwise quiet. GC is forced first so a
+// collection triggered mid-run can't misattribute background work.
+func allocsDuring(fn func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestWarmReconcileAllocGate is the regression gate for the warm-path
+// collapse fixed alongside the arena front-end: a SolveCache serving a
+// repeat reconcile from a live session must do a small fraction of the
+// cold build's allocation work. Before the fix, the "warm" benchmarks at
+// the larger sweep sizes ran with b.N=1 and silently timed the cold
+// build; the gate pins warm allocations to under 25% of cold so any
+// regression of the session-reuse path fails loudly instead of showing
+// up only as benchmark drift.
+func TestWarmReconcileAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold build at services=24 is slow; skipped under -short")
+	}
+	sc := muppet.GenerateScenario(muppet.ScenarioParams{
+		Services:        24,
+		PortsPerService: 2,
+		Flows:           24,
+		BannedPorts:     2,
+		Seed:            42,
+	})
+	sys, err := sc.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8sParty, _, err := muppet.NewK8sParty(sys, sc.K8sCurrent, muppet.AllSoft(), sc.K8sGoals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	istioParty, _, err := muppet.NewIstioParty(sys, sc.IstioCurrent, muppet.AllSoft(), sc.IstioRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties := []*muppet.Party{k8sParty, istioParty}
+	ctx := context.Background()
+
+	cache := muppet.NewSolveCache()
+	cold := allocsDuring(func() {
+		if res := cache.ReconcileCtx(ctx, sys, parties, muppet.Budget{}); !res.OK {
+			t.Fatal("must reconcile")
+		}
+	})
+	warm := allocsDuring(func() {
+		if res := cache.ReconcileCtx(ctx, sys, parties, muppet.Budget{}); !res.OK {
+			t.Fatal("must reconcile")
+		}
+	})
+	if cache.Stats().Reuses == 0 {
+		t.Fatal("second reconcile did not reuse the live session")
+	}
+	t.Logf("cold=%d warm=%d allocs (warm/cold = %.1f%%)", cold, warm, 100*float64(warm)/float64(cold))
+	if warm*4 >= cold {
+		t.Fatalf("warm reconcile allocated %d objects, >= 25%% of the cold build's %d: session reuse has regressed", warm, cold)
 	}
 }
